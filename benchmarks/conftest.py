@@ -1,0 +1,32 @@
+"""Make the shared benchmark harness importable; echo result tables.
+
+pytest captures the tables the benches print, so a terminal-summary
+hook re-emits every ``benchmarks/results/*.txt`` written during the
+session — the canonical ``pytest benchmarks/ --benchmark-only`` run
+then shows the regenerated paper tables without needing ``-s``.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+_SESSION_START = time.time()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    results_dir = Path(__file__).parent / "results"
+    if not results_dir.is_dir():
+        return
+    fresh = sorted(
+        path for path in results_dir.glob("*.txt")
+        if path.stat().st_mtime >= _SESSION_START - 1
+    )
+    if not fresh:
+        return
+    writer = terminalreporter
+    writer.section("regenerated paper tables (benchmarks/results/)")
+    for path in fresh:
+        writer.write_line(path.read_text(encoding="utf-8").rstrip())
+        writer.write_line("")

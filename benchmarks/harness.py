@@ -1,0 +1,139 @@
+"""Shared infrastructure of the reproduction benchmarks.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper.
+Because the paper's implementation is Java on an iMac Pro and ours is
+pure Python, benches run at a *reduced-but-faithful* scale by default;
+set ``REPRO_BENCH_SCALE=full`` for paper-sized datasets (slow) or
+``=smoke`` for CI-speed sanity runs.
+
+Results are printed to stdout (run pytest with ``-s`` to see them live)
+and appended to ``benchmarks/results/<bench>.txt`` so a captured run
+still leaves the tables behind.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from repro import (
+    DiscoveryConfig,
+    discover_rfds,
+    load_dataset,
+)
+from repro.dataset.relation import Relation
+from repro.discovery.dime import DiscoveryResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Per-scale dataset sizes (None = the paper's size).
+_SCALE_SIZES: dict[str, dict[str, int | None]] = {
+    "smoke": {"restaurant": 120, "cars": 100, "glass": 80, "bridges": 60,
+              "physician": 80},
+    "default": {"restaurant": 300, "cars": 250, "glass": 214,
+                "bridges": 108, "physician": 400},
+    "full": {"restaurant": None, "cars": None, "glass": None,
+             "bridges": None, "physician": 2072},
+}
+
+#: Variants per missing rate (the paper uses 5).
+_SCALE_VARIANTS = {"smoke": 1, "default": 2, "full": 5}
+
+#: Cap on discovered RFDs per RHS attribute (None = uncapped).
+_SCALE_RFD_CAP = {"smoke": 10, "default": 40, "full": None}
+
+
+def scale() -> str:
+    """The active benchmark scale (smoke / default / full)."""
+    value = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if value not in _SCALE_SIZES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALE_SIZES)}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def variants() -> int:
+    """Injected variants per missing rate at the active scale."""
+    return _SCALE_VARIANTS[scale()]
+
+
+def rfd_cap() -> int | None:
+    """Per-RHS RFD cap at the active scale."""
+    return _SCALE_RFD_CAP[scale()]
+
+
+@lru_cache(maxsize=32)
+def bench_dataset(name: str) -> Relation:
+    """The dataset at the active scale's size (cached per session)."""
+    size = _SCALE_SIZES[scale()][name]
+    if size is None:
+        return load_dataset(name, seed=0)
+    return load_dataset(name, seed=0, n_tuples=size)
+
+
+@lru_cache(maxsize=64)
+def bench_rfds(
+    name: str,
+    threshold_limit: float,
+    *,
+    max_lhs_size: int = 2,
+    grid_size: int = 3,
+) -> DiscoveryResult:
+    """Discovered RFDs for a bench dataset (cached per session)."""
+    relation = bench_dataset(name)
+    return discover_rfds(
+        relation,
+        DiscoveryConfig(
+            threshold_limit=threshold_limit,
+            max_lhs_size=max_lhs_size,
+            grid_size=grid_size,
+            max_per_rhs=rfd_cap(),
+            max_pairs=300_000,
+        ),
+    )
+
+
+class TableWriter:
+    """Collects the lines of one bench's output table and persists them.
+
+    Prints through to stdout and, on ``close``, writes the whole table
+    to ``benchmarks/results/<name>.txt``.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: list[str] = []
+
+    def row(self, text: str = "") -> None:
+        """Add (and echo) one output line."""
+        self.lines.append(text)
+        print(text)
+
+    def header(self, title: str) -> None:
+        """Add a titled separator."""
+        self.row("")
+        self.row(f"=== {title} (scale={scale()}) ===")
+
+    def close(self) -> None:
+        """Persist the collected table."""
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n", encoding="utf-8")
+
+
+def format_scores_row(label: str, scores_by_key: dict) -> str:
+    """One fixed-width row of P/R/F1 triples keyed by column."""
+    cells = []
+    for key in sorted(scores_by_key):
+        scores = scores_by_key[key]
+        if scores is None:
+            cells.append(f"{'-':^20}")
+        else:
+            cells.append(
+                f"{scores.precision:5.3f}/{scores.recall:5.3f}/"
+                f"{scores.f1:5.3f} "
+            )
+    return f"{label:<14}" + " ".join(cells)

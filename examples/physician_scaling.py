@@ -1,0 +1,70 @@
+"""Physician scaling: time/memory behaviour as the instance grows.
+
+Mirrors the paper's Table 5 stress protocol at laptop scale: the
+Physician dataset (18 attributes) at growing tuple counts, a fixed 1%
+missing rate, RENUVER with discovered RFDs, wall time and peak memory per
+run, with a time budget standing in for the paper's 48-hour limit.  Run
+with::
+
+    python examples/physician_scaling.py [budget_seconds]
+"""
+
+import sys
+
+from repro import (
+    DiscoveryConfig,
+    Renuver,
+    RenuverConfig,
+    dataset_validator,
+    discover_rfds,
+    inject_missing,
+    load_dataset,
+    score_imputation,
+)
+from repro.exceptions import BudgetExceededError
+from repro.utils.memory import format_bytes
+from repro.utils.timer import format_duration
+
+
+def main(budget_seconds: float = 120.0) -> None:
+    sizes = [104, 208, 519, 1036]
+    validator = dataset_validator("physician")
+    print(f"{'tuples':>7} {'#RFDs':>6} {'recall':>7} {'precision':>10} "
+          f"{'time':>9} {'memory':>10}")
+    for size in sizes:
+        relation = load_dataset("physician", n_tuples=size)
+        discovery = discover_rfds(
+            relation,
+            DiscoveryConfig(
+                threshold_limit=3,
+                max_lhs_size=1,
+                grid_size=3,
+                max_per_rhs=20,
+                max_pairs=200_000,
+            ),
+        )
+        injection = inject_missing(relation, rate=0.01, seed=3)
+        engine = Renuver(
+            discovery.all_rfds,
+            RenuverConfig(
+                track_memory=True, time_budget_seconds=budget_seconds
+            ),
+        )
+        try:
+            result = engine.impute(injection.relation)
+        except BudgetExceededError:
+            print(f"{size:>7} {len(discovery.rfds):>6} "
+                  f"{'TL':>7} {'-':>10} {'-':>9} {'-':>10}")
+            break
+        scores = score_imputation(result.relation, injection, validator)
+        print(
+            f"{size:>7} {len(discovery.rfds):>6} "
+            f"{scores.recall:>7.3f} {scores.precision:>10.3f} "
+            f"{format_duration(result.report.elapsed_seconds):>9} "
+            f"{format_bytes(result.report.peak_bytes):>10}"
+        )
+
+
+if __name__ == "__main__":
+    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
+    main(budget)

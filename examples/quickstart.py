@@ -1,0 +1,71 @@
+"""Quickstart: impute a small relation with hand-written RFDs.
+
+Reproduces the paper's running example (Table 2 / Figure 1): a sample of
+the Restaurant dataset with four missing values, repaired with the seven
+RFDs of Figure 1.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MISSING, Relation, Renuver, parse_rfd
+
+
+def main() -> None:
+    relation = Relation.from_rows(
+        ["Name", "City", "Phone", "Type", "Class"],
+        [
+            ["Granita", "Malibu", "310/456-0488", "Californian", 6],
+            ["Chinos Main", "LA", "310-932-9025", "French", 5],
+            ["Citrus", "Los Angeles", "213/857-0034", "Californian", 6],
+            ["Citrus", "Los Angeles", MISSING, "Californian", 6],
+            ["Fenix", "Hollywood", "213/848-6677", MISSING, 5],
+            ["Fenix Argyle", MISSING, "213/848-6677", "French (new)", 5],
+            ["C. Main", "Los Angeles", MISSING, "French", 5],
+        ],
+        name="restaurant-sample",
+    )
+
+    # The RFD set of Figure 1 (phi_1 .. phi_7), in the paper's notation.
+    rfds = [
+        parse_rfd(text)
+        for text in [
+            "Name(<=8), Phone(<=0), Class(<=1) -> Type(<=0)",
+            "Class(<=0) -> Type(<=5)",
+            "City(<=2) -> Phone(<=2)",
+            "Name(<=4) -> Phone(<=1)",
+            "Name(<=8), Phone(<=0) -> City(<=9)",
+            "Name(<=6), City(<=9) -> Phone(<=0)",
+            "Phone(<=1) -> Class(<=0)",
+        ]
+    ]
+
+    print("Before imputation:")
+    print(relation.to_text())
+    print()
+
+    engine = Renuver(rfds)
+
+    # Peek at the candidates for t7[Phone] (Example 5.8 of the paper):
+    candidates = engine.explain(relation, 6, "Phone")
+    print("Candidates for t7[Phone], best first:")
+    for candidate in candidates:
+        print(
+            f"  tuple {candidate.row}: {candidate.value!r} "
+            f"(distance {candidate.distance:g} via {candidate.rfd})"
+        )
+    print()
+
+    result = engine.impute(relation)
+
+    print("After imputation:")
+    print(result.relation.to_text())
+    print()
+    print("What happened:")
+    for outcome in result.report:
+        print(f"  {outcome}")
+    print()
+    print(result.report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""repro — a reproduction of RENUVER (Breve et al., EDBT 2022).
+
+RENUVER imputes missing values in relational data by exploiting relaxed
+functional dependencies (RFDs): dependencies whose attribute comparisons
+are distance-based rather than strict equalities.  RFDs whose RHS is the
+missing attribute generate and rank candidate tuples; RFDs whose LHS
+contains the imputed attribute verify that each imputation keeps the
+instance semantically consistent.
+
+Quickstart::
+
+    from repro import (
+        load_dataset, discover_rfds, DiscoveryConfig, Renuver,
+        inject_missing, score_imputation, dataset_validator,
+    )
+
+    clean = load_dataset("restaurant")
+    rfds = discover_rfds(clean, DiscoveryConfig(threshold_limit=6)).all_rfds
+    dirty = inject_missing(clean, rate=0.02, seed=7)
+    result = Renuver(rfds).impute(dirty.relation)
+    print(score_imputation(result.relation, dirty,
+                           dataset_validator("restaurant")))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.baselines import (
+    BaseImputer,
+    DenialConstraint,
+    DerandImputer,
+    GreyKNNImputer,
+    HolocleanLiteImputer,
+    MeanModeImputer,
+    discover_dcs,
+    fd_as_dc,
+)
+from repro.core import (
+    Candidate,
+    CellOutcome,
+    Cluster,
+    ImputationReport,
+    ImputationResult,
+    OutcomeStatus,
+    Renuver,
+    RenuverConfig,
+)
+from repro.dataset import (
+    MISSING,
+    Attribute,
+    AttributeType,
+    Relation,
+    is_missing,
+    read_csv,
+    read_csv_text,
+    write_csv,
+)
+from repro.datasets import (
+    dataset_names,
+    dataset_validator,
+    load_dataset,
+)
+from repro.discovery import DiscoveryConfig, DiscoveryResult, discover_rfds
+from repro.distance import (
+    DistanceFunction,
+    DistancePattern,
+    PatternCalculator,
+    levenshtein,
+)
+from repro.evaluation import (
+    DatasetValidator,
+    DeltaRule,
+    InjectionResult,
+    RegexRule,
+    Scores,
+    ValueSetRule,
+    build_injection_suite,
+    compare_approaches,
+    inject_missing,
+    load_rule_file,
+    run_experiment,
+    save_rule_file,
+    score_imputation,
+)
+from repro.exceptions import ReproError
+from repro.extensions import (
+    ImputationSession,
+    MultiSourceRenuver,
+    config_with_suggested_limits,
+    suggest_threshold_limits,
+)
+from repro.rfd import (
+    RFD,
+    Constraint,
+    holds,
+    holds_all,
+    load_rfds,
+    make_rfd,
+    parse_rfd,
+    save_rfds,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MISSING",
+    "Attribute",
+    "AttributeType",
+    "BaseImputer",
+    "Candidate",
+    "CellOutcome",
+    "Cluster",
+    "Constraint",
+    "DatasetValidator",
+    "DeltaRule",
+    "DenialConstraint",
+    "DerandImputer",
+    "DiscoveryConfig",
+    "DiscoveryResult",
+    "DistanceFunction",
+    "DistancePattern",
+    "GreyKNNImputer",
+    "HolocleanLiteImputer",
+    "ImputationReport",
+    "ImputationResult",
+    "ImputationSession",
+    "InjectionResult",
+    "MeanModeImputer",
+    "MultiSourceRenuver",
+    "OutcomeStatus",
+    "PatternCalculator",
+    "RFD",
+    "RegexRule",
+    "Relation",
+    "Renuver",
+    "RenuverConfig",
+    "ReproError",
+    "Scores",
+    "ValueSetRule",
+    "build_injection_suite",
+    "compare_approaches",
+    "config_with_suggested_limits",
+    "dataset_names",
+    "dataset_validator",
+    "discover_dcs",
+    "discover_rfds",
+    "fd_as_dc",
+    "holds",
+    "holds_all",
+    "inject_missing",
+    "is_missing",
+    "levenshtein",
+    "load_dataset",
+    "load_rfds",
+    "load_rule_file",
+    "make_rfd",
+    "parse_rfd",
+    "read_csv",
+    "read_csv_text",
+    "run_experiment",
+    "save_rfds",
+    "save_rule_file",
+    "score_imputation",
+    "suggest_threshold_limits",
+    "write_csv",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Comparator imputers and the metadata substrates they consume."""
+
+from repro.baselines.base import BaseImputer
+from repro.baselines.cfd import (
+    CFD,
+    PatternTuple,
+    WILDCARD,
+    discover_constant_cfds,
+    make_cfd,
+)
+from repro.baselines.dc import (
+    DenialConstraint,
+    Operator,
+    Predicate,
+    discover_dcs,
+    fd_as_dc,
+)
+from repro.baselines.derand import DerandImputer, RandomizedImputer
+from repro.baselines.holoclean_lite import HolocleanLiteImputer
+from repro.baselines.knn import GreyKNNImputer
+from repro.baselines.mean_mode import MeanModeImputer
+
+__all__ = [
+    "BaseImputer",
+    "CFD",
+    "DenialConstraint",
+    "DerandImputer",
+    "GreyKNNImputer",
+    "HolocleanLiteImputer",
+    "MeanModeImputer",
+    "Operator",
+    "RandomizedImputer",
+    "PatternTuple",
+    "Predicate",
+    "WILDCARD",
+    "discover_constant_cfds",
+    "discover_dcs",
+    "fd_as_dc",
+    "make_cfd",
+]

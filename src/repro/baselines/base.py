@@ -1,0 +1,88 @@
+"""Common interface of all imputers (RENUVER and the baselines).
+
+Every approach consumes a relation with missing cells and returns an
+:class:`~repro.core.renuver.ImputationResult` — the imputed relation plus
+a per-cell report — so the evaluation harness treats them uniformly, the
+way the paper's comparative evaluation (Section 6.3) does.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.renuver import ImputationResult
+from repro.core.report import CellOutcome, ImputationReport, OutcomeStatus
+from repro.dataset.relation import Relation
+from repro.utils.timer import Timer
+
+
+class BaseImputer(abc.ABC):
+    """Abstract imputer: subclasses implement :meth:`_impute_cells`."""
+
+    #: Human-readable approach name, used in benchmark tables.
+    name: str = "imputer"
+
+    #: Optional per-run wall-clock budget; exceeding it raises
+    #: :class:`~repro.exceptions.BudgetExceededError` mid-run (the
+    #: paper's stress tests kill runs at 48 hours).  Set it on the
+    #: instance before calling :meth:`impute`.
+    time_budget_seconds: float | None = None
+
+    def impute(
+        self, relation: Relation, *, inplace: bool = False
+    ) -> ImputationResult:
+        """Impute all missing cells; timing and reporting are shared."""
+        working = relation if inplace else relation.copy()
+        report = ImputationReport()
+        timer = Timer(self.time_budget_seconds)
+        self._timer = timer
+        timer.start()
+        try:
+            self._impute_cells(working, report)
+        finally:
+            report.elapsed_seconds = timer.stop()
+            self._timer = None
+        return ImputationResult(working, report)
+
+    def _check_budget(self) -> None:
+        """For subclass cell loops: abort when the budget is exhausted."""
+        timer = getattr(self, "_timer", None)
+        if timer is not None:
+            timer.check_budget(self.name)
+
+    @abc.abstractmethod
+    def _impute_cells(
+        self, working: Relation, report: ImputationReport
+    ) -> None:
+        """Fill missing cells of ``working`` in place, recording outcomes."""
+
+    # Helpers shared by the concrete baselines -------------------------
+    @staticmethod
+    def _record_imputed(
+        report: ImputationReport,
+        row: int,
+        attribute: str,
+        value: object,
+        *,
+        source_row: int | None = None,
+        distance: float | None = None,
+    ) -> None:
+        report.add(
+            CellOutcome(
+                row,
+                attribute,
+                OutcomeStatus.IMPUTED,
+                value=value,
+                source_row=source_row,
+                distance=distance,
+            )
+        )
+
+    @staticmethod
+    def _record_skipped(
+        report: ImputationReport,
+        row: int,
+        attribute: str,
+        status: OutcomeStatus = OutcomeStatus.NO_CANDIDATES,
+    ) -> None:
+        report.add(CellOutcome(row, attribute, status))

@@ -1,0 +1,222 @@
+"""Conditional functional dependencies (Bohannon et al., ICDE 2007).
+
+The paper's related work discusses CFDs as the first RFD flavour used
+for cleaning: an embedded FD plus a *pattern tableau* restricting where
+it applies and pinning constants.  Bohannon et al. detect violations
+with SQL; this module gives the same capability natively so CFD-based
+integrity checking can be compared against RFDc verification.
+
+A CFD is ``(X -> A, tp)`` where the pattern tuple ``tp`` assigns each
+attribute of ``X`` and ``A`` either a constant or ``_`` (wildcard):
+
+* ``([City = _ ] -> [AreaCode = _])``  — plain FD,
+* ``([City = 'LA'] -> [AreaCode = '213'])``  — constant rule,
+* ``([City = _ ] -> [AreaCode = '213'])``  — mixed.
+
+Violation semantics: single-tuple patterns (constant RHS) are violated
+by one tuple matching the LHS constants but differing on the RHS;
+variable patterns are violated by tuple pairs agreeing on ``X`` (within
+the constants) but differing on ``A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.dataset.missing import is_missing
+from repro.dataset.relation import Relation
+from repro.exceptions import RFDValidationError
+
+WILDCARD = "_"
+
+
+@dataclass(frozen=True)
+class PatternTuple:
+    """The tableau row: attribute -> constant or ``_`` (wildcard)."""
+
+    lhs: tuple[tuple[str, Any], ...]
+    rhs_attribute: str
+    rhs_value: Any  # constant or WILDCARD
+
+    def __post_init__(self) -> None:
+        if not self.lhs:
+            raise RFDValidationError("a CFD needs at least one LHS entry")
+        names = [name for name, _ in self.lhs]
+        if len(set(names)) != len(names):
+            raise RFDValidationError(f"duplicate LHS attributes {names}")
+        if self.rhs_attribute in names:
+            raise RFDValidationError(
+                f"RHS {self.rhs_attribute!r} also on the LHS"
+            )
+
+    @property
+    def lhs_attributes(self) -> tuple[str, ...]:
+        """The embedded FD's LHS attribute names."""
+        return tuple(name for name, _ in self.lhs)
+
+    def lhs_matches(self, row: Mapping[str, Any]) -> bool:
+        """Whether a tuple matches the LHS constants (wildcards always
+        match present values; missing values never match)."""
+        for name, pattern_value in self.lhs:
+            value = row[name]
+            if is_missing(value):
+                return False
+            if pattern_value != WILDCARD and value != pattern_value:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class CFD:
+    """A conditional functional dependency with one tableau row.
+
+    Multi-row tableaux are modelled as several CFDs sharing the embedded
+    FD — equivalent, and simpler to reason about.
+    """
+
+    pattern: PatternTuple
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether the RHS pattern pins a constant."""
+        return self.pattern.rhs_value != WILDCARD
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes the CFD mentions."""
+        return self.pattern.lhs_attributes + (self.pattern.rhs_attribute,)
+
+    def violations(
+        self, relation: Relation, *, limit: int | None = None
+    ) -> list[tuple[int, ...]]:
+        """Violating tuples (constant CFD) or pairs (variable CFD)."""
+        if self.is_constant:
+            return self._constant_violations(relation, limit)
+        return self._variable_violations(relation, limit)
+
+    def holds(self, relation: Relation) -> bool:
+        """Whether the instance satisfies the CFD."""
+        return not self.violations(relation, limit=1)
+
+    # ------------------------------------------------------------------
+    def _constant_violations(
+        self, relation: Relation, limit: int | None
+    ) -> list[tuple[int, ...]]:
+        found: list[tuple[int, ...]] = []
+        rhs = self.pattern.rhs_attribute
+        for row in range(relation.n_tuples):
+            view = relation.row(row)
+            if not self.pattern.lhs_matches(view):
+                continue
+            value = view[rhs]
+            if is_missing(value):
+                continue
+            if value != self.pattern.rhs_value:
+                found.append((row,))
+                if limit is not None and len(found) >= limit:
+                    break
+        return found
+
+    def _variable_violations(
+        self, relation: Relation, limit: int | None
+    ) -> list[tuple[int, ...]]:
+        found: list[tuple[int, ...]] = []
+        rhs = self.pattern.rhs_attribute
+        lhs_names = self.pattern.lhs_attributes
+        groups: dict[tuple, list[int]] = {}
+        for row in range(relation.n_tuples):
+            view = relation.row(row)
+            if not self.pattern.lhs_matches(view):
+                continue
+            if is_missing(view[rhs]):
+                continue
+            key = tuple(view[name] for name in lhs_names)
+            groups.setdefault(key, []).append(row)
+        for rows in groups.values():
+            for position, row_a in enumerate(rows):
+                for row_b in rows[position + 1:]:
+                    if relation.value(row_a, rhs) != relation.value(
+                        row_b, rhs
+                    ):
+                        found.append((row_a, row_b))
+                        if limit is not None and len(found) >= limit:
+                            return found
+        return found
+
+    def __str__(self) -> str:
+        lhs = ", ".join(
+            f"{name}={'_' if value == WILDCARD else repr(value)}"
+            for name, value in self.pattern.lhs
+        )
+        rhs_value = (
+            "_" if self.pattern.rhs_value == WILDCARD
+            else repr(self.pattern.rhs_value)
+        )
+        return (
+            f"([{lhs}] -> [{self.pattern.rhs_attribute}={rhs_value}])"
+        )
+
+
+def make_cfd(
+    lhs: Mapping[str, Any] | Iterable[tuple[str, Any]],
+    rhs: tuple[str, Any],
+) -> CFD:
+    """Convenience constructor.
+
+    ``make_cfd({"City": "LA"}, ("AreaCode", "213"))`` pins constants;
+    use :data:`WILDCARD` (``"_"``) for variable positions.
+    """
+    lhs_pairs = tuple(
+        lhs.items() if isinstance(lhs, Mapping) else lhs
+    )
+    return CFD(PatternTuple(lhs_pairs, rhs[0], rhs[1]))
+
+
+def discover_constant_cfds(
+    relation: Relation,
+    *,
+    min_support: int = 3,
+    max_lhs: int = 1,
+) -> list[CFD]:
+    """Mine high-support constant CFDs (naive CFDMiner-style pass).
+
+    Emits ``([X = c] -> [A = v])`` whenever at least ``min_support``
+    tuples carry ``X = c`` and *all* of them (with a present RHS) agree
+    on ``A = v``.  Single-attribute LHS by default, matching the cheap
+    rules cleaning pipelines actually deploy.
+    """
+    if min_support < 2:
+        raise RFDValidationError("min_support must be >= 2")
+    if max_lhs != 1:
+        raise RFDValidationError(
+            "only single-attribute LHS mining is implemented"
+        )
+    cfds: list[CFD] = []
+    names = relation.attribute_names
+    for lhs_name in names:
+        groups: dict[Any, list[int]] = {}
+        for row in range(relation.n_tuples):
+            value = relation.value(row, lhs_name)
+            if is_missing(value):
+                continue
+            groups.setdefault(value, []).append(row)
+        for constant, rows in groups.items():
+            if len(rows) < min_support:
+                continue
+            for rhs_name in names:
+                if rhs_name == lhs_name:
+                    continue
+                values = {
+                    relation.value(row, rhs_name)
+                    for row in rows
+                    if not is_missing(relation.value(row, rhs_name))
+                }
+                if len(values) == 1:
+                    cfds.append(
+                        make_cfd(
+                            {lhs_name: constant},
+                            (rhs_name, values.pop()),
+                        )
+                    )
+    return cfds

@@ -1,0 +1,233 @@
+"""Denial constraints — the metadata HoloClean consumes.
+
+A denial constraint (DC) forbids a conjunction of predicates over a tuple
+pair: ``not (t1.A = t2.A and t1.B != t2.B)`` is the DC form of the FD
+``A -> B``.  HoloClean uses DCs only as integrity features, so a compact
+predicate language is enough here: same-attribute comparisons with
+``=, !=, <, >`` (the operators used by the FASTDC/Hydra discovery papers
+the RENUVER evaluation cites for its DC sets).
+
+:func:`discover_dcs` provides the naive discovery pass standing in for
+Hydra: it enumerates two-predicate DCs that hold on the instance and are
+non-trivial, which matches the *scale* of the paper's DC sets (9 DCs for
+Restaurant vs 1961 RFDs).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.dataset.missing import is_missing
+from repro.dataset.relation import Relation
+from repro.exceptions import RFDValidationError
+
+
+class Operator(enum.Enum):
+    """Comparison operator of a DC predicate."""
+
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    GT = ">"
+
+    def evaluate(self, left: Any, right: Any) -> bool:
+        """Apply the operator; missing operands make every predicate
+        false (a pair with missing values cannot witness a violation)."""
+        if is_missing(left) or is_missing(right):
+            return False
+        if self is Operator.EQ:
+            return left == right
+        if self is Operator.NEQ:
+            return left != right
+        if self is Operator.LT:
+            return left < right
+        return left > right
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``t1.attribute <op> t2.attribute`` over a tuple pair."""
+
+    attribute: str
+    operator: Operator
+
+    def holds(self, relation: Relation, row_a: int, row_b: int) -> bool:
+        """Evaluate the predicate on a concrete pair."""
+        return self.operator.evaluate(
+            relation.value(row_a, self.attribute),
+            relation.value(row_b, self.attribute),
+        )
+
+    def __str__(self) -> str:
+        return f"t1.{self.attribute} {self.operator.value} t2.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class DenialConstraint:
+    """``not (p1 and p2 and ...)`` over every ordered tuple pair."""
+
+    predicates: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise RFDValidationError("a DC needs at least one predicate")
+        seen = set()
+        for predicate in self.predicates:
+            key = (predicate.attribute, predicate.operator)
+            if key in seen:
+                raise RFDValidationError(f"duplicate predicate {predicate}")
+            seen.add(key)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes the DC mentions."""
+        return tuple(dict.fromkeys(p.attribute for p in self.predicates))
+
+    def violated_by_pair(
+        self, relation: Relation, row_a: int, row_b: int
+    ) -> bool:
+        """Whether the pair satisfies every predicate (hence violates)."""
+        return all(
+            predicate.holds(relation, row_a, row_b)
+            for predicate in self.predicates
+        )
+
+    def violations(
+        self, relation: Relation, *, limit: int | None = None
+    ) -> list[tuple[int, int]]:
+        """Violating (unordered) pairs, up to ``limit``."""
+        found: list[tuple[int, int]] = []
+        n = relation.n_tuples
+        for row_a in range(n):
+            for row_b in range(n):
+                if row_a == row_b:
+                    continue
+                if self.violated_by_pair(relation, row_a, row_b):
+                    pair = (min(row_a, row_b), max(row_a, row_b))
+                    if pair not in found:
+                        found.append(pair)
+                        if limit is not None and len(found) >= limit:
+                            return found
+        return found
+
+    def holds(self, relation: Relation) -> bool:
+        """Whether no pair violates the constraint."""
+        return not self.violations(relation, limit=1)
+
+    def violations_with_row(
+        self, relation: Relation, row: int
+    ) -> int:
+        """Number of tuples forming a violating pair with ``row`` — the
+        HoloClean feature for a tentative cell assignment."""
+        count = 0
+        for other in range(relation.n_tuples):
+            if other == row:
+                continue
+            if self.violated_by_pair(relation, row, other):
+                count += 1
+            elif self.violated_by_pair(relation, other, row):
+                count += 1
+        return count
+
+    def __str__(self) -> str:
+        body = " and ".join(str(p) for p in self.predicates)
+        return f"not({body})"
+
+
+def fd_as_dc(lhs: Iterable[str], rhs: str) -> DenialConstraint:
+    """The DC encoding of a crisp FD ``lhs -> rhs``."""
+    predicates = tuple(
+        Predicate(attribute, Operator.EQ) for attribute in lhs
+    ) + (Predicate(rhs, Operator.NEQ),)
+    return DenialConstraint(predicates)
+
+
+def discover_dcs(
+    relation: Relation,
+    *,
+    max_lhs: int = 2,
+    min_evidence: int = 2,
+) -> list[DenialConstraint]:
+    """Naive FD-shaped DC discovery (stand-in for Hydra).
+
+    Emits ``not(t1.X = t2.X ... and t1.B != t2.B)`` constraints that hold
+    on the instance, requiring at least ``min_evidence`` pairs agreeing
+    on the LHS so vacuous constraints are skipped.  Minimality: an FD-DC
+    is only emitted if no subset of its LHS already holds.
+    """
+    names = list(relation.attribute_names)
+    groups = {name: _equality_groups(relation, name) for name in names}
+    held: list[tuple[frozenset[str], str]] = []
+    results: list[DenialConstraint] = []
+    for rhs in names:
+        for size in range(1, max_lhs + 1):
+            for lhs in itertools.combinations(
+                (n for n in names if n != rhs), size
+            ):
+                lhs_set = frozenset(lhs)
+                if any(
+                    prev_rhs == rhs and prev_lhs <= lhs_set
+                    for prev_lhs, prev_rhs in held
+                ):
+                    continue  # a smaller LHS already determined rhs
+                ok, evidence = _fd_holds(relation, groups, lhs, rhs)
+                if ok and evidence >= min_evidence:
+                    held.append((lhs_set, rhs))
+                    results.append(fd_as_dc(lhs, rhs))
+    return results
+
+
+def _equality_groups(
+    relation: Relation, attribute: str
+) -> dict[Any, list[int]]:
+    grouped: dict[Any, list[int]] = {}
+    for row in range(relation.n_tuples):
+        value = relation.value(row, attribute)
+        if is_missing(value):
+            continue
+        grouped.setdefault(value, []).append(row)
+    return grouped
+
+
+def _fd_holds(
+    relation: Relation,
+    groups: dict[str, dict[Any, list[int]]],
+    lhs: tuple[str, ...],
+    rhs: str,
+) -> tuple[bool, int]:
+    """Check a crisp FD by partition refinement; returns (holds,
+    #agreeing pairs with both RHS values present)."""
+    partitions: dict[tuple, list[int]] = {}
+    for row in range(relation.n_tuples):
+        key = []
+        skip = False
+        for attribute in lhs:
+            value = relation.value(row, attribute)
+            if is_missing(value):
+                skip = True
+                break
+            key.append(value)
+        if skip:
+            continue
+        partitions.setdefault(tuple(key), []).append(row)
+    evidence = 0
+    for rows in partitions.values():
+        if len(rows) < 2:
+            continue
+        rhs_values = {
+            relation.value(row, rhs)
+            for row in rows
+            if not is_missing(relation.value(row, rhs))
+        }
+        present = [
+            row for row in rows
+            if not is_missing(relation.value(row, rhs))
+        ]
+        if len(rhs_values) > 1:
+            return False, 0
+        if len(present) >= 2:
+            evidence += len(present) * (len(present) - 1) // 2
+    return True, evidence

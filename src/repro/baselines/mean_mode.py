@@ -1,0 +1,59 @@
+"""Mean/mode imputation — the trivial reference baseline.
+
+Not part of the paper's comparison, but a useful floor in the examples
+and benchmark tables: numeric attributes get the column mean, everything
+else the column mode (most frequent value, ties broken by value order for
+determinism).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.baselines.base import BaseImputer
+from repro.core.report import ImputationReport
+from repro.dataset.attribute import AttributeType
+from repro.dataset.missing import is_missing
+from repro.dataset.relation import Relation
+
+
+class MeanModeImputer(BaseImputer):
+    """Column mean for numeric attributes, column mode otherwise."""
+
+    name = "mean-mode"
+
+    def _impute_cells(
+        self, working: Relation, report: ImputationReport
+    ) -> None:
+        fills: dict[str, object] = {}
+        for attribute in working.attributes:
+            values = [
+                value
+                for value in working.column(attribute.name)
+                if not is_missing(value)
+            ]
+            if not values:
+                continue
+            if attribute.type is AttributeType.FLOAT:
+                fills[attribute.name] = sum(values) / len(values)
+            elif attribute.type is AttributeType.INTEGER:
+                fills[attribute.name] = round(sum(values) / len(values))
+            else:
+                fills[attribute.name] = _mode(values)
+        for row, attribute in working.missing_cells():
+            if attribute not in fills:
+                self._record_skipped(report, row, attribute)
+                continue
+            value = fills[attribute]
+            working.set_value(row, attribute, value)
+            self._record_imputed(report, row, attribute, value)
+
+
+def _mode(values: list) -> object:
+    counts = Counter(values)
+    best_count = max(counts.values())
+    candidates = sorted(
+        (value for value, count in counts.items() if count == best_count),
+        key=str,
+    )
+    return candidates[0]

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``discover``  Discover RFDs from a CSV and write them to a text file::
+
+    python -m repro discover data.csv --limit 6 --out rfds.txt
+
+``impute``    Impute a CSV's missing cells with RFDs::
+
+    python -m repro impute dirty.csv --rfds rfds.txt --out clean.csv
+
+``evaluate``  Inject, impute and score on a clean CSV (the paper's
+evaluation protocol)::
+
+    python -m repro evaluate clean.csv --rate 0.02 --limit 6 \
+        --rules rules.json
+
+``datasets``  List or export the bundled synthetic datasets::
+
+    python -m repro datasets --export restaurant --out restaurant.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import Renuver, RenuverConfig
+from repro.dataset import read_csv, write_csv
+from repro.datasets import dataset_info, dataset_names, load_dataset
+from repro.discovery import DiscoveryConfig, discover_rfds
+from repro.evaluation import (
+    inject_missing,
+    load_rule_file,
+    score_imputation,
+)
+from repro.exceptions import ReproError
+from repro.rfd import load_rfds, save_rfds
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RENUVER: RFD-based missing value imputation "
+                    "(EDBT 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    discover = sub.add_parser(
+        "discover", help="discover RFDs from a CSV file"
+    )
+    discover.add_argument("csv", help="input CSV (header row required)")
+    discover.add_argument(
+        "--limit", type=float, default=3.0,
+        help="RHS threshold limit (paper: 3/6/9/12/15; default 3)",
+    )
+    discover.add_argument(
+        "--max-lhs", type=int, default=2, help="max LHS size (default 2)"
+    )
+    discover.add_argument(
+        "--max-per-rhs", type=int, default=None,
+        help="cap RFDs kept per RHS attribute",
+    )
+    discover.add_argument(
+        "--out", default=None, help="output RFD file (default: stdout)"
+    )
+    discover.set_defaults(handler=_cmd_discover)
+
+    impute = sub.add_parser(
+        "impute", help="impute a CSV's missing cells with RFDs"
+    )
+    impute.add_argument("csv", help="input CSV with missing cells")
+    impute.add_argument(
+        "--rfds", required=True, help="RFD file (one per line)"
+    )
+    impute.add_argument(
+        "--out", default=None, help="output CSV (default: stdout)"
+    )
+    impute.add_argument(
+        "--no-verify", action="store_true",
+        help="skip IS_FAULTLESS verification (faster, less safe)",
+    )
+    impute.add_argument(
+        "--report", action="store_true",
+        help="print per-cell provenance to stderr",
+    )
+    impute.set_defaults(handler=_cmd_impute)
+
+    evaluate = sub.add_parser(
+        "evaluate",
+        help="inject missing values into a clean CSV, impute, score",
+    )
+    evaluate.add_argument("csv", help="clean input CSV")
+    evaluate.add_argument(
+        "--rate", type=float, default=0.02,
+        help="missing rate to inject (default 0.02)",
+    )
+    evaluate.add_argument(
+        "--limit", type=float, default=3.0,
+        help="discovery threshold limit (default 3)",
+    )
+    evaluate.add_argument(
+        "--rules", default=None,
+        help="JSON rule file for semantic validation",
+    )
+    evaluate.add_argument(
+        "--seed", type=int, default=0, help="injection seed (default 0)"
+    )
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    datasets = sub.add_parser(
+        "datasets", help="list or export the bundled synthetic datasets"
+    )
+    datasets.add_argument(
+        "--export", default=None, metavar="NAME",
+        help="dataset to export as CSV",
+    )
+    datasets.add_argument(
+        "--tuples", type=int, default=None,
+        help="override tuple count for --export",
+    )
+    datasets.add_argument("--seed", type=int, default=0)
+    datasets.add_argument(
+        "--out", default=None, help="output CSV for --export"
+    )
+    datasets.set_defaults(handler=_cmd_datasets)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command handlers
+# ----------------------------------------------------------------------
+def _cmd_discover(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv)
+    result = discover_rfds(
+        relation,
+        DiscoveryConfig(
+            threshold_limit=args.limit,
+            max_lhs_size=args.max_lhs,
+            max_per_rhs=args.max_per_rhs,
+        ),
+    )
+    print(result.summary(), file=sys.stderr)
+    if args.out:
+        save_rfds(result.all_rfds, args.out)
+        print(f"wrote {len(result.all_rfds)} RFDs to {args.out}",
+              file=sys.stderr)
+    else:
+        for rfd in result.all_rfds:
+            print(rfd)
+    return 0
+
+
+def _cmd_impute(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv)
+    rfds = load_rfds(args.rfds)
+    engine = Renuver(
+        rfds, RenuverConfig(verify=not args.no_verify)
+    )
+    result = engine.impute(relation)
+    print(result.report.summary(), file=sys.stderr)
+    if args.report:
+        for outcome in result.report:
+            print(f"  {outcome}", file=sys.stderr)
+    if args.out:
+        write_csv(result.relation, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        from repro.dataset import to_csv_text
+
+        sys.stdout.write(to_csv_text(result.relation))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv)
+    validator = load_rule_file(args.rules) if args.rules else None
+    discovery = discover_rfds(
+        relation, DiscoveryConfig(threshold_limit=args.limit)
+    )
+    print(discovery.summary(), file=sys.stderr)
+    injection = inject_missing(relation, rate=args.rate, seed=args.seed)
+    result = Renuver(discovery.all_rfds).impute(injection.relation)
+    scores = score_imputation(result.relation, injection, validator)
+    print(f"injected {injection.count} missing cells at "
+          f"{args.rate:.1%}", file=sys.stderr)
+    print(scores)
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    if args.export is None:
+        for name in dataset_names():
+            info = dataset_info(name)
+            print(f"{name:<12} {info.paper_tuples:>6} tuples x "
+                  f"{info.paper_attributes} attributes")
+        return 0
+    relation = load_dataset(
+        args.export, n_tuples=args.tuples, seed=args.seed
+    )
+    if args.out:
+        write_csv(relation, args.out)
+        print(f"wrote {relation.n_tuples} tuples to {args.out}",
+              file=sys.stderr)
+    else:
+        from repro.dataset import to_csv_text
+
+        sys.stdout.write(to_csv_text(relation))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

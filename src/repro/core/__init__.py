@@ -1,0 +1,33 @@
+"""RENUVER core: the paper's Algorithms 1-4."""
+
+from repro.core.candidates import Candidate, find_candidate_tuples
+from repro.core.renuver import (
+    ImputationResult,
+    Renuver,
+    RenuverConfig,
+)
+from repro.core.report import CellOutcome, ImputationReport, OutcomeStatus
+from repro.core.selection import (
+    Cluster,
+    build_cluster_plan,
+    cluster_by_rhs_threshold,
+    select_rfds_for_attribute,
+)
+from repro.core.verification import first_fault, is_faultless
+
+__all__ = [
+    "Candidate",
+    "CellOutcome",
+    "Cluster",
+    "ImputationReport",
+    "ImputationResult",
+    "OutcomeStatus",
+    "Renuver",
+    "RenuverConfig",
+    "build_cluster_plan",
+    "cluster_by_rhs_threshold",
+    "find_candidate_tuples",
+    "first_fault",
+    "is_faultless",
+    "select_rfds_for_attribute",
+]

@@ -1,0 +1,94 @@
+"""Candidate tuple generation — FIND_CANDIDATE_TUPLES (Algorithm 3).
+
+For a missing value ``t[A] = _`` and one RHS-threshold cluster, every
+other tuple ``t_j`` with a present ``t_j[A]`` is scored: its distance
+pattern against ``t`` is matched against the LHS of each RFD in the
+cluster, the per-RFD distance value is the mean LHS distance (Equation 2),
+and the candidate keeps the minimum over all matching RFDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.dataset.missing import is_missing
+from repro.distance.pattern import DistancePattern, PatternCalculator
+from repro.core.selection import Cluster
+from repro.rfd.rfd import RFD
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One plausible candidate tuple with its distance value.
+
+    ``row`` indexes the candidate tuple in the relation, ``value`` is the
+    value it offers for the missing attribute, ``distance`` is the
+    Equation-2 score (lower is better) and ``rfd`` is the dependency that
+    achieved it — kept for provenance reporting.
+    """
+
+    row: int
+    value: Any
+    distance: float
+    rfd: RFD
+
+    def sort_key(self) -> tuple[float, int]:
+        """Ascending distance, row index as a deterministic tie-break."""
+        return (self.distance, self.row)
+
+
+def find_candidate_tuples(
+    calculator: PatternCalculator,
+    target_row: int,
+    attribute: str,
+    cluster: Cluster,
+    *,
+    max_candidates: int | None = None,
+    pattern_for: Callable[[int], DistancePattern] | None = None,
+) -> list[Candidate]:
+    """All plausible candidate tuples for ``t[A]`` under one cluster.
+
+    Returns candidates sorted by ascending distance value (Algorithm 2,
+    line 3).  ``max_candidates`` optionally truncates the sorted list —
+    an efficiency knob (the paper's ``k``), disabled by default.
+
+    ``pattern_for`` lets the caller supply (memoized) distance patterns
+    covering at least this cluster's LHS attributes; the driver uses it
+    to share one pattern per donor tuple across all clusters of a cell.
+    """
+    relation = calculator.relation
+    if cluster.attribute != attribute:
+        raise ValueError(
+            f"cluster targets {cluster.attribute!r}, expected {attribute!r}"
+        )
+    # The pattern only ever needs the union of LHS attributes.
+    needed: tuple[str, ...] = tuple(
+        sorted({name for rfd in cluster.rfds for name in rfd.lhs_attributes})
+    )
+    candidates: list[Candidate] = []
+    for row in range(relation.n_tuples):
+        if row == target_row:
+            continue
+        value = relation.value(row, attribute)
+        if is_missing(value):
+            continue
+        if pattern_for is not None:
+            pattern = pattern_for(row)
+        else:
+            pattern = calculator.pattern(target_row, row, needed)
+        best_distance: float | None = None
+        best_rfd: RFD | None = None
+        for rfd in cluster.rfds:
+            if not rfd.lhs_satisfied(pattern):
+                continue
+            distance = pattern.mean_over(rfd.lhs_attributes)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_rfd = rfd
+        if best_distance is not None and best_rfd is not None:
+            candidates.append(Candidate(row, value, best_distance, best_rfd))
+    candidates.sort(key=Candidate.sort_key)
+    if max_candidates is not None:
+        candidates = candidates[:max_candidates]
+    return candidates

@@ -1,0 +1,423 @@
+"""The RENUVER driver (Algorithm 1 of the paper).
+
+Pipeline per run:
+
+(a) *Pre-processing*: split ``Sigma`` into key and non-key RFDs
+    (Definition 3.4) and collect the incomplete tuples ``r-hat``.
+(b) *RFD selection*: for each missing value ``t[A] = _``, gather
+    ``Sigma'_A`` (non-key RFDs with RHS ``A``) and cluster it by RHS
+    threshold.
+(c) *Imputation*: per cluster, generate candidate tuples (Algorithm 3),
+    try them in ascending distance order and keep the first whose
+    imputation is faultless (Algorithm 4); otherwise leave the cell blank.
+
+After every successful imputation the key/non-key split is re-evaluated
+(line 14): a fresh value can create the first LHS-matching pair of a key
+RFD, turning it usable (Example 5.1).  Only pairs involving the imputed
+tuple can do that, so the re-check is incremental.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
+
+from repro.dataset.missing import MISSING
+from repro.dataset.relation import Relation
+from repro.distance.base import DistanceFunction
+from repro.distance.pattern import PatternCalculator
+from repro.exceptions import ImputationError
+from repro.core.candidates import Candidate, find_candidate_tuples
+from repro.core.report import CellOutcome, ImputationReport, OutcomeStatus
+from repro.core.selection import (
+    Cluster,
+    cluster_by_rhs_threshold,
+    select_rfds_for_attribute,
+)
+from repro.core.verification import is_faultless
+from repro.rfd.keyness import pair_reactivates, partition_key_rfds
+from repro.rfd.rfd import RFD
+from repro.utils.memory import MemoryTracker
+from repro.utils.timer import Timer
+
+
+@dataclass(frozen=True)
+class RenuverConfig:
+    """Tuning knobs of a RENUVER run.
+
+    Attributes
+    ----------
+    cluster_order:
+        ``"ascending"`` (default; the worked example's tightest-first
+        order) or ``"descending"`` (Algorithm 2's literal wording).
+    verify:
+        Run IS_FAULTLESS on every tentative imputation.  Disabling it is
+        an ablation: faster, but consistency (Definition 4.3) is no
+        longer guaranteed.
+    check_rhs_rfds:
+        Extend verification to RFDs with the imputed attribute on the
+        RHS (stronger than the paper's Algorithm 4).
+    recheck_keys:
+        Re-evaluate key RFDs after each imputation (Algorithm 1 line 14).
+    keyness_scope:
+        Which tuple pairs count when testing Definition 3.4: ``"all"``
+        (default; the literal definition) or ``"complete"`` (only pairs
+        of complete tuples — closer to the paper's Example 5.2; see
+        repro.rfd.keyness).
+    max_candidates:
+        Optional cap on candidates tried per cluster (the paper's ``k``).
+    distance_cache:
+        Memoize distances per value pair.
+    track_memory:
+        Measure peak allocation with :mod:`tracemalloc` (slows the run;
+        used by the stress benchmarks).
+    time_budget_seconds / memory_budget_bytes:
+        Abort with :class:`~repro.exceptions.BudgetExceededError` when
+        exceeded — the paper's 48 h / 30 GB stress-test limits.
+    """
+
+    cluster_order: str = "ascending"
+    verify: bool = True
+    check_rhs_rfds: bool = False
+    recheck_keys: bool = True
+    keyness_scope: str = "all"
+    max_candidates: int | None = None
+    distance_cache: bool = True
+    track_memory: bool = False
+    time_budget_seconds: float | None = None
+    memory_budget_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.cluster_order not in ("ascending", "descending"):
+            raise ImputationError(
+                f"cluster_order must be 'ascending' or 'descending', "
+                f"got {self.cluster_order!r}"
+            )
+        if self.keyness_scope not in ("complete", "all"):
+            raise ImputationError(
+                f"keyness_scope must be 'complete' or 'all', "
+                f"got {self.keyness_scope!r}"
+            )
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise ImputationError("max_candidates must be >= 1 when given")
+
+
+@dataclass
+class ImputationResult:
+    """What :meth:`Renuver.impute` returns: the instance plus provenance."""
+
+    relation: Relation
+    report: ImputationReport
+
+
+@dataclass
+class _RunState:
+    """Mutable per-run state shared by the private helpers."""
+
+    calculator: PatternCalculator
+    active_rfds: list[RFD]
+    key_rfds: list[RFD]
+    report: ImputationReport
+    timer: Timer
+    memory: MemoryTracker | None = None
+    explanations: dict[tuple[int, str], list[Candidate]] = field(
+        default_factory=dict
+    )
+
+
+class Renuver:
+    """RFD-based null value repairer.
+
+    Parameters
+    ----------
+    rfds:
+        The set ``Sigma`` of RFDs holding on the (complete) instance.
+    config:
+        Optional :class:`RenuverConfig`.
+    distance_overrides:
+        Optional per-attribute distance functions replacing the paper's
+        defaults.
+
+    Example
+    -------
+    >>> from repro import Renuver, make_rfd
+    >>> engine = Renuver([make_rfd({"Zip": 0}, ("City", 2))])
+    >>> result = engine.impute(relation)          # doctest: +SKIP
+    >>> result.report.fill_rate                   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        rfds: Iterable[RFD],
+        config: RenuverConfig | None = None,
+        *,
+        distance_overrides: Mapping[str, DistanceFunction] | None = None,
+    ) -> None:
+        self.rfds: tuple[RFD, ...] = tuple(rfds)
+        if not self.rfds:
+            raise ImputationError("Renuver needs at least one RFD")
+        self.config = config or RenuverConfig()
+        self._distance_overrides = dict(distance_overrides or {})
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def impute(
+        self, relation: Relation, *, inplace: bool = False
+    ) -> ImputationResult:
+        """Impute every missing value of ``relation`` (Algorithm 1).
+
+        Returns an :class:`ImputationResult` whose relation is a copy
+        unless ``inplace`` is true.  Cells for which no semantically
+        consistent candidate exists are left missing, per Section 4.
+        """
+        self._validate_schema(relation)
+        working = relation if inplace else relation.copy()
+        timer = Timer(self.config.time_budget_seconds)
+        timer.start()
+
+        if self.config.track_memory:
+            memory = MemoryTracker(self.config.memory_budget_bytes)
+            memory.__enter__()
+        else:
+            memory = None
+        try:
+            state = self._preprocess(working, timer, memory)
+            self._impute_all(state)
+        finally:
+            if memory is not None:
+                memory.__exit__(None, None, None)
+        state.report.elapsed_seconds = timer.stop()
+        if memory is not None:
+            state.report.peak_bytes = memory.peak_bytes
+        return ImputationResult(working, state.report)
+
+    def explain(
+        self, relation: Relation, row: int, attribute: str
+    ) -> list[Candidate]:
+        """Candidates RENUVER would consider for one missing cell.
+
+        Diagnostic helper: runs selection + candidate generation for a
+        single cell against a copy of ``relation`` without imputing
+        anything.  Candidates from all clusters are concatenated in
+        cluster order.
+        """
+        self._validate_schema(relation)
+        if not relation.is_missing_cell(row, attribute):
+            raise ImputationError(
+                f"cell ({row}, {attribute}) is not missing"
+            )
+        working = relation.copy()
+        calculator = self._make_calculator(working)
+        _, active = partition_key_rfds(self.rfds, calculator)
+        candidates: list[Candidate] = []
+        for cluster in self._clusters_for(active, attribute):
+            candidates.extend(
+                find_candidate_tuples(
+                    calculator,
+                    row,
+                    attribute,
+                    cluster,
+                    max_candidates=self.config.max_candidates,
+                )
+            )
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Pipeline steps
+    # ------------------------------------------------------------------
+    def _preprocess(
+        self,
+        working: Relation,
+        timer: Timer,
+        memory: MemoryTracker | None,
+    ) -> _RunState:
+        """Step (a): split keys from usable RFDs, set up shared state."""
+        calculator = self._make_calculator(working)
+        key_rfds, active_rfds = partition_key_rfds(
+            self.rfds, calculator, scope=self.config.keyness_scope
+        )
+        report = ImputationReport(key_rfds_initial=len(key_rfds))
+        return _RunState(
+            calculator=calculator,
+            active_rfds=active_rfds,
+            key_rfds=key_rfds,
+            report=report,
+            timer=timer,
+            memory=memory,
+        )
+
+    def _impute_all(self, state: _RunState) -> None:
+        """Steps (b) + (c) over every missing cell, in tuple order."""
+        relation = state.calculator.relation
+        for row in relation.incomplete_rows():
+            for attribute in relation.row(row).missing_attributes():
+                state.timer.check_budget("RENUVER imputation")
+                if state.memory is not None:
+                    state.memory.check_budget("RENUVER imputation")
+                outcome = self._impute_cell(state, row, attribute)
+                state.report.add(outcome)
+                if outcome.imputed and self.config.recheck_keys:
+                    self._reactivate_keys(state, row, attribute)
+
+    def _impute_cell(
+        self, state: _RunState, row: int, attribute: str
+    ) -> CellOutcome:
+        """Algorithm 2 for one missing value."""
+        selected = select_rfds_for_attribute(state.active_rfds, attribute)
+        if not selected:
+            return CellOutcome(row, attribute, OutcomeStatus.NO_RFDS)
+        clusters = cluster_by_rhs_threshold(
+            selected, attribute, order=self.config.cluster_order
+        )
+        # Share one distance pattern per donor tuple across all clusters
+        # of this cell: tentative writes only touch `attribute`, which by
+        # construction never appears in these LHS attribute sets, so the
+        # memo stays valid for the whole cell.
+        union: tuple[str, ...] = tuple(
+            sorted({
+                name
+                for cluster in clusters
+                for rfd in cluster.rfds
+                for name in rfd.lhs_attributes
+            })
+        )
+        memo: dict[int, object] = {}
+        calculator = state.calculator
+
+        def pattern_for(donor: int):
+            pattern = memo.get(donor)
+            if pattern is None:
+                pattern = calculator.pattern(row, donor, union)
+                memo[donor] = pattern
+            return pattern
+
+        tried_total = 0
+        saw_candidates = False
+        for cluster in clusters:
+            candidates = find_candidate_tuples(
+                state.calculator,
+                row,
+                attribute,
+                cluster,
+                max_candidates=self.config.max_candidates,
+                pattern_for=pattern_for,
+            )
+            if not candidates:
+                continue
+            saw_candidates = True
+            for candidate in candidates:
+                tried_total += 1
+                accepted = self._try_candidate(
+                    state, row, attribute, candidate
+                )
+                if accepted:
+                    return CellOutcome(
+                        row,
+                        attribute,
+                        OutcomeStatus.IMPUTED,
+                        value=candidate.value,
+                        source_row=candidate.row,
+                        rfd=candidate.rfd,
+                        distance=candidate.distance,
+                        cluster_threshold=cluster.rhs_threshold,
+                        candidates_tried=tried_total,
+                    )
+        status = (
+            OutcomeStatus.ALL_REJECTED
+            if saw_candidates
+            else OutcomeStatus.NO_CANDIDATES
+        )
+        return CellOutcome(
+            row, attribute, status, candidates_tried=tried_total
+        )
+
+    def _try_candidate(
+        self,
+        state: _RunState,
+        row: int,
+        attribute: str,
+        candidate: Candidate,
+    ) -> bool:
+        """Write the candidate value, verify, roll back on fault."""
+        relation = state.calculator.relation
+        relation.set_value(row, attribute, candidate.value)
+        if not self.config.verify:
+            return True
+        if is_faultless(
+            state.calculator,
+            row,
+            attribute,
+            state.active_rfds,
+            check_rhs_rfds=self.config.check_rhs_rfds,
+        ):
+            return True
+        relation.set_value(row, attribute, MISSING)
+        return False
+
+    def _reactivate_keys(
+        self, state: _RunState, row: int, attribute: str
+    ) -> None:
+        """Incremental Algorithm 1 line 14.
+
+        Only pairs involving the imputed tuple can create a fresh
+        LHS match.  Under ``keyness_scope="all"`` the new value must
+        moreover sit on the key RFD's LHS to matter; under
+        ``"complete"`` any imputation that completes the tuple brings
+        all its pairs into scope, so every key RFD is re-checked (but
+        only when the tuple has just become complete).
+        """
+        scope = self.config.keyness_scope
+        relation = state.calculator.relation
+        if scope == "complete" and relation.row(row).is_incomplete():
+            return  # pairs with this tuple are still out of scope
+        still_key: list[RFD] = []
+        for rfd in state.key_rfds:
+            if scope == "all" and not rfd.has_lhs_attribute(attribute):
+                still_key.append(rfd)
+                continue
+            if pair_reactivates(
+                rfd, state.calculator, row, scope=scope
+            ):
+                state.active_rfds.append(rfd)
+                state.report.key_rfds_reactivated += 1
+            else:
+                still_key.append(rfd)
+        state.key_rfds = still_key
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _make_calculator(self, relation: Relation) -> PatternCalculator:
+        return PatternCalculator(
+            relation,
+            overrides=self._distance_overrides,
+            cached=self.config.distance_cache,
+        )
+
+    def _clusters_for(
+        self, active: list[RFD], attribute: str
+    ) -> list[Cluster]:
+        return cluster_by_rhs_threshold(
+            select_rfds_for_attribute(active, attribute),
+            attribute,
+            order=self.config.cluster_order,
+        )
+
+    def _validate_schema(self, relation: Relation) -> None:
+        known = set(relation.attribute_names)
+        for rfd in self.rfds:
+            unknown = set(rfd.attributes) - known
+            if unknown:
+                raise ImputationError(
+                    f"RFD {rfd} references attributes {sorted(unknown)} "
+                    f"absent from relation {relation.name!r}"
+                )
+
+    def with_config(self, **changes: object) -> "Renuver":
+        """A copy of this engine with some config fields replaced."""
+        return Renuver(
+            self.rfds,
+            replace(self.config, **changes),  # type: ignore[arg-type]
+            distance_overrides=self._distance_overrides,
+        )

@@ -1,0 +1,132 @@
+"""Imputation provenance: what was filled, from where, and why.
+
+Every missing cell RENUVER touches produces a :class:`CellOutcome` —
+either the imputed value plus its source tuple, RFD and distance, or the
+reason the cell was left blank.  The :class:`ImputationReport` aggregates
+outcomes and the run's resource usage; the evaluation harness and the
+examples both read it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.rfd.rfd import RFD
+
+
+class OutcomeStatus(enum.Enum):
+    """Terminal state of one missing cell after a run."""
+
+    IMPUTED = "imputed"
+    NO_CANDIDATES = "no_candidates"
+    ALL_REJECTED = "all_rejected"
+    NO_RFDS = "no_rfds"
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """The outcome for one missing cell ``(row, attribute)``."""
+
+    row: int
+    attribute: str
+    status: OutcomeStatus
+    value: Any = None
+    source_row: int | None = None
+    rfd: RFD | None = None
+    distance: float | None = None
+    cluster_threshold: float | None = None
+    candidates_tried: int = 0
+
+    @property
+    def imputed(self) -> bool:
+        """Whether the cell ended up filled."""
+        return self.status is OutcomeStatus.IMPUTED
+
+    def __str__(self) -> str:
+        if self.imputed:
+            return (
+                f"({self.row}, {self.attribute}) <- {self.value!r} "
+                f"from tuple {self.source_row} via {self.rfd} "
+                f"(dist={self.distance})"
+            )
+        return f"({self.row}, {self.attribute}) left missing: {self.status.value}"
+
+
+@dataclass
+class ImputationReport:
+    """Aggregate result of one imputation run."""
+
+    outcomes: list[CellOutcome] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    peak_bytes: int = 0
+    key_rfds_initial: int = 0
+    key_rfds_reactivated: int = 0
+
+    def add(self, outcome: CellOutcome) -> None:
+        """Record one cell outcome."""
+        self.outcomes.append(outcome)
+
+    def __iter__(self) -> Iterator[CellOutcome]:
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def missing_count(self) -> int:
+        """Number of missing cells the run attempted."""
+        return len(self.outcomes)
+
+    @property
+    def imputed_count(self) -> int:
+        """Number of cells successfully filled."""
+        return sum(1 for outcome in self.outcomes if outcome.imputed)
+
+    @property
+    def unimputed_count(self) -> int:
+        """Number of cells left missing."""
+        return self.missing_count - self.imputed_count
+
+    @property
+    def fill_rate(self) -> float:
+        """Fraction of attempted cells that were filled, in [0, 1]."""
+        if not self.outcomes:
+            return 0.0
+        return self.imputed_count / self.missing_count
+
+    def imputed_cells(self) -> list[CellOutcome]:
+        """Outcomes that filled a value, in processing order."""
+        return [outcome for outcome in self.outcomes if outcome.imputed]
+
+    def outcome_for(self, row: int, attribute: str) -> CellOutcome | None:
+        """The outcome recorded for one cell, if any."""
+        for outcome in self.outcomes:
+            if outcome.row == row and outcome.attribute == attribute:
+                return outcome
+        return None
+
+    def status_counts(self) -> dict[str, int]:
+        """Histogram of outcome statuses."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status.value] = (
+                counts.get(outcome.status.value, 0) + 1
+            )
+        return counts
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable digest."""
+        lines = [
+            f"missing cells : {self.missing_count}",
+            f"imputed       : {self.imputed_count} "
+            f"(fill rate {self.fill_rate:.1%})",
+            f"left missing  : {self.unimputed_count}",
+        ]
+        for status, count in sorted(self.status_counts().items()):
+            if status != OutcomeStatus.IMPUTED.value:
+                lines.append(f"  - {status}: {count}")
+        if self.elapsed_seconds:
+            lines.append(f"elapsed       : {self.elapsed_seconds:.3f}s")
+        return "\n".join(lines)

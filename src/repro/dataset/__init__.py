@@ -1,0 +1,38 @@
+"""Relational substrate: typed relations with explicit missing values."""
+
+from repro.dataset.attribute import (
+    Attribute,
+    AttributeType,
+    coerce_value,
+    infer_type,
+)
+from repro.dataset.csv_io import (
+    read_csv,
+    read_csv_text,
+    to_csv_text,
+    write_csv,
+)
+from repro.dataset.missing import (
+    MISSING,
+    MissingType,
+    is_missing,
+    normalize_missing,
+)
+from repro.dataset.relation import Relation, RowView
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "MISSING",
+    "MissingType",
+    "Relation",
+    "RowView",
+    "coerce_value",
+    "infer_type",
+    "is_missing",
+    "normalize_missing",
+    "read_csv",
+    "read_csv_text",
+    "to_csv_text",
+    "write_csv",
+]

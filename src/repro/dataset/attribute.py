@@ -1,0 +1,174 @@
+"""Attributes, attribute types and type inference.
+
+RENUVER chooses a distance function per attribute domain (edit distance for
+strings, absolute difference for numbers, equality for booleans), so every
+:class:`Attribute` carries an :class:`AttributeType`.  Types can be declared
+explicitly or inferred from data with :func:`infer_type`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.dataset.missing import MISSING, is_missing
+from repro.exceptions import DataError, SchemaError
+
+_TRUE_LITERALS = {"true", "t", "yes", "y"}
+_FALSE_LITERALS = {"false", "f", "no", "n"}
+
+
+class AttributeType(enum.Enum):
+    """Domain of an attribute; drives the default distance function."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values compare by absolute difference."""
+        return self in (AttributeType.INTEGER, AttributeType.FLOAT)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation schema."""
+
+    name: str
+    type: AttributeType = AttributeType.STRING
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def infer_type(values: Iterable[Any]) -> AttributeType:
+    """Infer the narrowest :class:`AttributeType` covering ``values``.
+
+    Missing values are ignored.  Precedence is boolean > integer > float >
+    string: a column of ``{"0", "1"}`` stays integer (not boolean) because
+    numeric literals are only treated as booleans when the column contains
+    ``true``/``false`` style literals or Python bools.
+    """
+    saw_value = False
+    could_be_bool = True
+    could_be_int = True
+    could_be_float = True
+    saw_bool_literal = False
+    for value in values:
+        if is_missing(value):
+            continue
+        saw_value = True
+        if isinstance(value, bool):
+            saw_bool_literal = True
+            could_be_int = False
+            could_be_float = False
+            continue
+        could_be_bool = could_be_bool and _is_bool_literal(value)
+        saw_bool_literal = saw_bool_literal or _is_bool_literal(value)
+        if isinstance(value, int):
+            continue
+        if isinstance(value, float):
+            could_be_int = False
+            continue
+        text = str(value).strip()
+        if not _is_int_literal(text):
+            could_be_int = False
+        if not _is_float_literal(text):
+            could_be_float = False
+    if not saw_value:
+        return AttributeType.STRING
+    if could_be_bool and saw_bool_literal:
+        return AttributeType.BOOLEAN
+    if could_be_int:
+        return AttributeType.INTEGER
+    if could_be_float:
+        return AttributeType.FLOAT
+    return AttributeType.STRING
+
+
+def coerce_value(value: Any, attr_type: AttributeType) -> Any:
+    """Coerce ``value`` into the Python representation of ``attr_type``.
+
+    :data:`MISSING` passes through untouched.  Raises :class:`DataError`
+    when the value cannot represent the target type.
+    """
+    if is_missing(value):
+        return MISSING
+    try:
+        if attr_type is AttributeType.BOOLEAN:
+            return _coerce_bool(value)
+        if attr_type is AttributeType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, float):
+                if not value.is_integer():
+                    raise DataError(
+                        f"cannot coerce non-integral {value!r} to integer"
+                    )
+                return int(value)
+            text = str(value).strip()
+            try:
+                return int(text)
+            except ValueError:
+                # "5.0" style literals: accept when integral.
+                as_float = float(text)
+                if not as_float.is_integer():
+                    raise
+                return int(as_float)
+        if attr_type is AttributeType.FLOAT:
+            if isinstance(value, bool):
+                return float(value)
+            return float(str(value).strip())
+        return str(value)
+    except (ValueError, TypeError) as exc:
+        raise DataError(
+            f"cannot coerce {value!r} to {attr_type.value}"
+        ) from exc
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in _TRUE_LITERALS:
+        return True
+    if text in _FALSE_LITERALS:
+        return False
+    raise DataError(f"cannot coerce {value!r} to boolean")
+
+
+def _is_bool_literal(value: Any) -> bool:
+    if isinstance(value, bool):
+        return True
+    if isinstance(value, (int, float)):
+        return False
+    text = str(value).strip().lower()
+    return text in _TRUE_LITERALS or text in _FALSE_LITERALS
+
+
+def _is_int_literal(text: str) -> bool:
+    if not text:
+        return False
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _is_float_literal(text: str) -> bool:
+    if not text:
+        return False
+    try:
+        value = float(text)
+    except ValueError:
+        return False
+    # Reject inf/nan spelled out in data files; they are almost always noise.
+    return value == value and value not in (float("inf"), float("-inf"))

@@ -1,0 +1,138 @@
+"""CSV import/export for relations.
+
+Empty cells and a configurable set of null literals (``_``, ``NA`` …) map
+to :data:`~repro.dataset.missing.MISSING`; attribute types are inferred
+from the remaining values unless declared explicitly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.dataset.attribute import Attribute, AttributeType, infer_type
+from repro.dataset.missing import MISSING, is_missing
+from repro.dataset.relation import Relation
+from repro.exceptions import CSVFormatError
+
+DEFAULT_NULL_LITERALS = frozenset({"", "_", "?", "na", "n/a", "null", "none"})
+
+
+def read_csv(
+    path: str | Path,
+    *,
+    name: str | None = None,
+    types: Mapping[str, AttributeType] | None = None,
+    null_literals: Sequence[str] | frozenset[str] = DEFAULT_NULL_LITERALS,
+    delimiter: str = ",",
+) -> Relation:
+    """Read a CSV file (with header row) into a :class:`Relation`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        return _parse(
+            handle,
+            name=name or path.stem,
+            types=types,
+            null_literals=null_literals,
+            delimiter=delimiter,
+        )
+
+
+def read_csv_text(
+    text: str,
+    *,
+    name: str = "relation",
+    types: Mapping[str, AttributeType] | None = None,
+    null_literals: Sequence[str] | frozenset[str] = DEFAULT_NULL_LITERALS,
+    delimiter: str = ",",
+) -> Relation:
+    """Parse CSV content from a string; convenient for tests and examples."""
+    return _parse(
+        io.StringIO(text),
+        name=name,
+        types=types,
+        null_literals=null_literals,
+        delimiter=delimiter,
+    )
+
+
+def write_csv(
+    relation: Relation,
+    path: str | Path,
+    *,
+    null_literal: str = "",
+    delimiter: str = ",",
+) -> None:
+    """Write a relation to a CSV file, rendering missing cells as
+    ``null_literal``."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        handle.write(
+            to_csv_text(
+                relation, null_literal=null_literal, delimiter=delimiter
+            )
+        )
+
+
+def to_csv_text(
+    relation: Relation,
+    *,
+    null_literal: str = "",
+    delimiter: str = ",",
+) -> str:
+    """Render a relation as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(relation.attribute_names)
+    for row in range(relation.n_tuples):
+        writer.writerow([
+            null_literal if is_missing(value) else value
+            for value in relation.row_values(row)
+        ])
+    return buffer.getvalue()
+
+
+def _parse(
+    handle: io.TextIOBase,
+    *,
+    name: str,
+    types: Mapping[str, AttributeType] | None,
+    null_literals: Sequence[str] | frozenset[str],
+    delimiter: str,
+) -> Relation:
+    nulls = {literal.lower() for literal in null_literals}
+    reader = csv.reader(handle, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise CSVFormatError("CSV input is empty (no header row)") from None
+    header = [column.strip() for column in header]
+    if any(not column for column in header):
+        raise CSVFormatError(f"blank column name in header {header}")
+    if len(set(header)) != len(header):
+        raise CSVFormatError(f"duplicate column names in header {header}")
+
+    columns: dict[str, list[object]] = {column: [] for column in header}
+    for line_number, record in enumerate(reader, start=2):
+        if not record:
+            continue  # skip completely blank lines
+        if len(record) != len(header):
+            raise CSVFormatError(
+                f"line {line_number}: expected {len(header)} fields, "
+                f"got {len(record)}"
+            )
+        for column, raw in zip(header, record):
+            cell = raw.strip()
+            if cell.lower() in nulls:
+                columns[column].append(MISSING)
+            else:
+                columns[column].append(cell)
+
+    declared = dict(types or {})
+    attributes = [
+        Attribute(column, declared.get(column) or infer_type(columns[column]))
+        for column in header
+    ]
+    return Relation(attributes, columns, name=name)

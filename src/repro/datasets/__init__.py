@@ -1,0 +1,39 @@
+"""Bundled synthetic datasets standing in for the paper's real ones."""
+
+from repro.datasets.bridges import generate_bridges
+from repro.datasets.cars import generate_cars
+from repro.datasets.glass import generate_glass
+from repro.datasets.physician import generate_physician
+from repro.datasets.registry import (
+    DatasetInfo,
+    dataset_info,
+    dataset_names,
+    dataset_validator,
+    load_dataset,
+)
+from repro.datasets.restaurant import generate_restaurant
+from repro.datasets.rules_builtin import (
+    bridges_validator,
+    cars_validator,
+    glass_validator,
+    physician_validator,
+    restaurant_validator,
+)
+
+__all__ = [
+    "DatasetInfo",
+    "bridges_validator",
+    "cars_validator",
+    "dataset_info",
+    "dataset_names",
+    "dataset_validator",
+    "generate_bridges",
+    "generate_cars",
+    "generate_glass",
+    "generate_physician",
+    "generate_restaurant",
+    "glass_validator",
+    "load_dataset",
+    "physician_validator",
+    "restaurant_validator",
+]

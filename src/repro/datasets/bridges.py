@@ -1,0 +1,79 @@
+"""Synthetic Bridges dataset (108 tuples x 13 attributes).
+
+Stands in for the Pittsburgh Bridges data: categorical-heavy design
+attributes of bridges over three rivers, with the era of construction
+driving material, material driving the plausible bridge types, and span
+driving length/lanes — the correlations that make the original a classic
+dependency-discovery benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dataset.attribute import Attribute, AttributeType
+from repro.dataset.relation import Relation
+from repro.datasets.vocab import (
+    BRIDGE_ERAS,
+    BRIDGE_PURPOSES,
+    BRIDGE_RIVERS,
+    BRIDGE_TYPES_BY_MATERIAL,
+)
+from repro.utils.rng import spawn_rng
+
+ATTRIBUTES = (
+    Attribute("Identif", AttributeType.STRING),
+    Attribute("River", AttributeType.STRING),
+    Attribute("Location", AttributeType.INTEGER),
+    Attribute("Erected", AttributeType.INTEGER),
+    Attribute("Purpose", AttributeType.STRING),
+    Attribute("Length", AttributeType.INTEGER),
+    Attribute("Lanes", AttributeType.INTEGER),
+    Attribute("ClearG", AttributeType.STRING),
+    Attribute("TOrD", AttributeType.STRING),
+    Attribute("Material", AttributeType.STRING),
+    Attribute("Span", AttributeType.STRING),
+    Attribute("RelL", AttributeType.STRING),
+    Attribute("Type", AttributeType.STRING),
+)
+
+_SPAN_LENGTH = {"SHORT": (800, 1400), "MEDIUM": (1200, 2400),
+                "LONG": (2000, 4600)}
+
+
+def generate_bridges(n_tuples: int = 108, *, seed: int = 0) -> Relation:
+    """Generate the synthetic Bridges relation."""
+    rng = spawn_rng(seed, "bridges", n_tuples)
+    rows = [_row(rng, index) for index in range(n_tuples)]
+    columns = {
+        attribute.name: [row[position] for row in rows]
+        for position, attribute in enumerate(ATTRIBUTES)
+    }
+    return Relation(ATTRIBUTES, columns, name="bridges")
+
+
+def _row(rng: random.Random, index: int) -> list:
+    era_start, era_end, material = rng.choice(BRIDGE_ERAS)
+    erected = rng.randint(era_start, era_end)
+    river = rng.choice(BRIDGE_RIVERS)
+    location = rng.randint(1, 52)
+    purpose = rng.choices(BRIDGE_PURPOSES, weights=[6, 4, 1, 1])[0]
+    span = rng.choices(
+        ["SHORT", "MEDIUM", "LONG"],
+        weights=[3, 5, 2] if material != "WOOD" else [6, 3, 1],
+    )[0]
+    low, high = _SPAN_LENGTH[span]
+    length = rng.randint(low, high)
+    lanes = {"SHORT": 2, "MEDIUM": rng.choice([2, 4]),
+             "LONG": rng.choice([4, 6])}[span]
+    if purpose == "RR":
+        lanes = 2
+    clear_g = "G" if erected >= 1870 and span != "LONG" else "N"
+    t_or_d = "THROUGH" if purpose in ("HIGHWAY", "RR") else "DECK"
+    bridge_type = rng.choice(BRIDGE_TYPES_BY_MATERIAL[material])
+    rel_l = {"SHORT": "S", "MEDIUM": "M", "LONG": "F"}[span]
+    identifier = f"{river}{index + 1}"
+    return [
+        identifier, river, location, erected, purpose, length, lanes,
+        clear_g, t_or_d, material, span, rel_l, bridge_type,
+    ]

@@ -1,0 +1,73 @@
+"""Synthetic Cars dataset (406 tuples x 9 attributes).
+
+Stands in for the UCI auto-mpg data the paper uses.  Attributes and
+value ranges follow the original (mpg, cylinders, displacement,
+horsepower, weight, acceleration, model year, origin, car name); the
+physical regressions linking them (bigger engines -> more horsepower ->
+more weight -> fewer mpg) create the relaxed dependencies the RFD
+discovery step finds, and brand determines origin crisply.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dataset.attribute import Attribute, AttributeType
+from repro.dataset.relation import Relation
+from repro.datasets.vocab import CAR_BRANDS, CAR_MODELS
+from repro.utils.rng import spawn_rng
+
+ATTRIBUTES = (
+    Attribute("Mpg", AttributeType.FLOAT),
+    Attribute("Cylinders", AttributeType.INTEGER),
+    Attribute("Displacement", AttributeType.FLOAT),
+    Attribute("Horsepower", AttributeType.FLOAT),
+    Attribute("Weight", AttributeType.INTEGER),
+    Attribute("Acceleration", AttributeType.FLOAT),
+    Attribute("ModelYear", AttributeType.INTEGER),
+    Attribute("Origin", AttributeType.INTEGER),
+    Attribute("Name", AttributeType.STRING),
+)
+
+_CYLINDER_BASE_DISPLACEMENT = {3: 80.0, 4: 120.0, 5: 150.0, 6: 200.0, 8: 320.0}
+
+
+def generate_cars(n_tuples: int = 406, *, seed: int = 0) -> Relation:
+    """Generate the synthetic Cars relation."""
+    rng = spawn_rng(seed, "cars", n_tuples)
+    rows = [_row(rng) for _ in range(n_tuples)]
+    columns = {
+        attribute.name: [row[position] for row in rows]
+        for position, attribute in enumerate(ATTRIBUTES)
+    }
+    return Relation(ATTRIBUTES, columns, name="cars")
+
+
+def _row(rng: random.Random) -> list:
+    brand = rng.choice(list(CAR_BRANDS))
+    origin, scale = CAR_BRANDS[brand]
+    cylinders = rng.choices(
+        [4, 6, 8] if origin == 1 else [3, 4, 5, 6],
+        weights=[4, 3, 3] if origin == 1 else [1, 6, 1, 2],
+    )[0]
+    displacement = _CYLINDER_BASE_DISPLACEMENT[cylinders] * scale
+    displacement *= rng.uniform(0.9, 1.1)
+    horsepower = 0.45 * displacement + rng.uniform(15, 45)
+    weight = int(1600 + 6.2 * displacement + rng.uniform(-150, 350))
+    mpg = max(9.0, 46.0 - 0.0075 * weight + rng.uniform(-3.0, 3.0))
+    acceleration = max(
+        8.0, 22.0 - 0.055 * horsepower + rng.uniform(-1.5, 1.5)
+    )
+    model_year = rng.randint(70, 82)
+    name = f"{brand} {rng.choice(CAR_MODELS)}"
+    return [
+        round(mpg, 1),
+        cylinders,
+        round(displacement, 1),
+        round(horsepower, 1),
+        weight,
+        round(acceleration, 1),
+        model_year,
+        origin,
+        name,
+    ]

@@ -1,0 +1,91 @@
+"""Synthetic Glass dataset (214 tuples x 11 attributes).
+
+Stands in for the UCI Glass Identification data: oxide concentrations
+(weight percent) plus refractive index, with the glass ``Type`` driving
+per-type Gaussian mixtures.  The means below track the published
+per-class statistics of the original, so the same qualitative difficulty
+the paper observes carries over — values are close decimal numbers whose
+small absolute distances integer-ish RFD thresholds capture poorly
+(Section 6.2's explanation of the flat Glass curves).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dataset.attribute import Attribute, AttributeType
+from repro.dataset.relation import Relation
+from repro.utils.rng import spawn_rng
+
+ATTRIBUTES = (
+    Attribute("Id", AttributeType.INTEGER),
+    Attribute("RI", AttributeType.FLOAT),
+    Attribute("Na", AttributeType.FLOAT),
+    Attribute("Mg", AttributeType.FLOAT),
+    Attribute("Al", AttributeType.FLOAT),
+    Attribute("Si", AttributeType.FLOAT),
+    Attribute("K", AttributeType.FLOAT),
+    Attribute("Ca", AttributeType.FLOAT),
+    Attribute("Ba", AttributeType.FLOAT),
+    Attribute("Fe", AttributeType.FLOAT),
+    Attribute("Type", AttributeType.INTEGER),
+)
+
+# Per-type (mean, std) of each oxide, loosely matching the UCI data:
+# type: RI, Na, Mg, Al, Si, K, Ca, Ba, Fe
+_TYPE_PROFILES: dict[int, list[tuple[float, float]]] = {
+    1: [(1.5187, 0.0015), (13.24, 0.45), (3.55, 0.25), (1.16, 0.25),
+        (72.6, 0.55), (0.45, 0.20), (8.80, 0.55), (0.01, 0.02),
+        (0.06, 0.08)],
+    2: [(1.5186, 0.0020), (13.11, 0.55), (3.00, 0.90), (1.41, 0.30),
+        (72.6, 0.70), (0.52, 0.20), (9.07, 1.20), (0.05, 0.10),
+        (0.08, 0.10)],
+    3: [(1.5179, 0.0015), (13.44, 0.50), (3.54, 0.20), (1.20, 0.30),
+        (72.4, 0.55), (0.41, 0.20), (8.78, 0.50), (0.01, 0.02),
+        (0.06, 0.08)],
+    5: [(1.5189, 0.0025), (12.83, 0.75), (0.77, 1.00), (2.03, 0.70),
+        (72.4, 1.30), (1.47, 1.00), (10.12, 2.00), (0.19, 0.60),
+        (0.06, 0.10)],
+    6: [(1.5175, 0.0020), (14.65, 1.00), (1.31, 1.30), (1.37, 0.60),
+        (73.2, 1.00), (0.00, 0.00), (9.36, 1.50), (0.00, 0.00),
+        (0.00, 0.00)],
+    7: [(1.5171, 0.0015), (14.44, 0.70), (0.54, 1.00), (2.12, 0.50),
+        (72.9, 0.90), (0.33, 0.60), (8.49, 1.00), (1.04, 0.70),
+        (0.01, 0.03)],
+}
+
+# Tuple counts per type in the original 214-row dataset.
+_TYPE_COUNTS = {1: 70, 2: 76, 3: 17, 5: 13, 6: 9, 7: 29}
+
+
+def generate_glass(n_tuples: int = 214, *, seed: int = 0) -> Relation:
+    """Generate the synthetic Glass relation."""
+    rng = spawn_rng(seed, "glass", n_tuples)
+    total = sum(_TYPE_COUNTS.values())
+    rows: list[list] = []
+    identifier = 1
+    for glass_type, count in _TYPE_COUNTS.items():
+        quota = max(1, round(count / total * n_tuples))
+        for _ in range(quota):
+            rows.append(_row(rng, identifier, glass_type))
+            identifier += 1
+    while len(rows) < n_tuples:
+        rows.append(_row(rng, identifier, 2))
+        identifier += 1
+    rows = rows[:n_tuples]
+    columns = {
+        attribute.name: [row[position] for row in rows]
+        for position, attribute in enumerate(ATTRIBUTES)
+    }
+    return Relation(ATTRIBUTES, columns, name="glass")
+
+
+def _row(rng: random.Random, identifier: int, glass_type: int) -> list:
+    profile = _TYPE_PROFILES[glass_type]
+    values: list = [identifier]
+    for position, (mean, std) in enumerate(profile):
+        value = max(0.0, rng.gauss(mean, std)) if std else mean
+        decimals = 5 if position == 0 else 2  # RI has 5 decimals
+        values.append(round(value, decimals))
+    values.append(glass_type)
+    return values

@@ -1,0 +1,83 @@
+"""Dataset registry: one-call access to the bundled datasets.
+
+``load_dataset("restaurant")`` returns the synthetic twin at the paper's
+size; ``dataset_validator("restaurant")`` returns its built-in rule file
+(see Table 3 and Section 6.1 for the originals these stand in for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dataset.relation import Relation
+from repro.datasets.bridges import generate_bridges
+from repro.datasets.cars import generate_cars
+from repro.datasets.glass import generate_glass
+from repro.datasets.physician import generate_physician
+from repro.datasets.restaurant import generate_restaurant
+from repro.datasets.rules_builtin import (
+    bridges_validator,
+    cars_validator,
+    glass_validator,
+    physician_validator,
+    restaurant_validator,
+)
+from repro.evaluation.rules import DatasetValidator
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Registry entry: generator, rule file and the paper's dimensions."""
+
+    name: str
+    generator: Callable[..., Relation]
+    validator_factory: Callable[[], DatasetValidator]
+    paper_tuples: int
+    paper_attributes: int
+
+
+_REGISTRY: dict[str, DatasetInfo] = {
+    "restaurant": DatasetInfo(
+        "restaurant", generate_restaurant, restaurant_validator, 864, 6
+    ),
+    "cars": DatasetInfo("cars", generate_cars, cars_validator, 406, 9),
+    "glass": DatasetInfo("glass", generate_glass, glass_validator, 214, 11),
+    "bridges": DatasetInfo(
+        "bridges", generate_bridges, bridges_validator, 108, 13
+    ),
+    "physician": DatasetInfo(
+        "physician", generate_physician, physician_validator, 2072, 18
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """Names of the bundled datasets."""
+    return sorted(_REGISTRY)
+
+
+def dataset_info(name: str) -> DatasetInfo:
+    """Registry entry for a dataset name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise DataError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+
+
+def load_dataset(
+    name: str, *, n_tuples: int | None = None, seed: int = 0
+) -> Relation:
+    """Generate a bundled dataset (paper-sized unless overridden)."""
+    info = dataset_info(name)
+    if n_tuples is None:
+        return info.generator(seed=seed)
+    return info.generator(n_tuples, seed=seed)
+
+
+def dataset_validator(name: str) -> DatasetValidator:
+    """The built-in rule-file validator of a bundled dataset."""
+    return dataset_info(name).validator_factory()

@@ -1,0 +1,121 @@
+"""Synthetic Restaurant dataset (864 tuples x 6 attributes).
+
+Stands in for the RIDDLE Restaurant dataset used by the paper (a data
+integration of Fodor's and Zagat's listings, hence duplicated restaurants
+whose names, cities and phone numbers are written in slightly different
+ways).  The generator reproduces that structure:
+
+* a pool of base restaurants with Name, Address, City, Phone, Type,
+  Class;
+* Phone area codes are a function of the City, Class is a function of
+  the Type — the dependencies RENUVER's RFDs exploit;
+* a fraction of the rows are near-duplicates of a base row with
+  perturbed spellings: city aliases ("Los Angeles" -> "LA"), phone
+  separator changes ("310/456-0488" -> "310-456-0488"), name
+  abbreviations ("Chinois Main" -> "C. Main").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dataset.attribute import Attribute, AttributeType
+from repro.dataset.relation import Relation
+from repro.datasets.vocab import (
+    CITY_ALIASES,
+    CITY_AREA_CODES,
+    CUISINE_CLASSES,
+    RESTAURANT_NAME_HEADS,
+    RESTAURANT_NAME_TAILS,
+    STREET_NAMES,
+)
+from repro.utils.rng import spawn_rng
+
+ATTRIBUTES = (
+    Attribute("Name", AttributeType.STRING),
+    Attribute("Address", AttributeType.STRING),
+    Attribute("City", AttributeType.STRING),
+    Attribute("Phone", AttributeType.STRING),
+    Attribute("Type", AttributeType.STRING),
+    Attribute("Class", AttributeType.INTEGER),
+)
+
+_PHONE_SEPARATORS = ["/", "-", " "]
+
+
+def generate_restaurant(
+    n_tuples: int = 864,
+    *,
+    seed: int = 0,
+    duplicate_fraction: float = 0.375,
+) -> Relation:
+    """Generate the synthetic Restaurant relation.
+
+    ``duplicate_fraction`` controls how many rows are perturbed copies of
+    earlier rows (the data-integration duplicates of the original).
+    """
+    rng = spawn_rng(seed, "restaurant", n_tuples)
+    n_duplicates = int(n_tuples * duplicate_fraction)
+    n_base = n_tuples - n_duplicates
+
+    base_rows = [_base_row(rng, index) for index in range(n_base)]
+    rows = list(base_rows)
+    for _ in range(n_duplicates):
+        original = rng.choice(base_rows)
+        rows.append(_perturb(rng, original))
+    rng.shuffle(rows)
+    columns = {
+        attribute.name: [row[position] for row in rows]
+        for position, attribute in enumerate(ATTRIBUTES)
+    }
+    return Relation(ATTRIBUTES, columns, name="restaurant")
+
+
+def _base_row(rng: random.Random, index: int) -> list:
+    head = rng.choice(RESTAURANT_NAME_HEADS)
+    tail = rng.choice(RESTAURANT_NAME_TAILS)
+    name = f"{head}{tail}".strip()
+    city = rng.choice(list(CITY_ALIASES))
+    street_number = rng.randint(100, 9999)
+    address = f"{street_number} {rng.choice(STREET_NAMES)}"
+    area = CITY_AREA_CODES[city]
+    local = f"{rng.randint(200, 999)}-{rng.randint(1000, 9999)}"
+    separator = rng.choice(_PHONE_SEPARATORS)
+    phone = f"{area}{separator}{local}"
+    cuisine = rng.choice(list(CUISINE_CLASSES))
+    return [name, address, city, phone, cuisine, CUISINE_CLASSES[cuisine]]
+
+
+def _perturb(rng: random.Random, original: list) -> list:
+    """A near-duplicate: same restaurant, integration-style variations."""
+    name, address, city, phone, cuisine, klass = original
+    # Name: occasionally abbreviate the first word ("Chinois" -> "C.").
+    if rng.random() < 0.4:
+        words = name.split(" ")
+        if len(words) > 1 and len(words[0]) > 2:
+            name = f"{words[0][0]}. {' '.join(words[1:])}"
+    # City: swap to an alias spelling.
+    if rng.random() < 0.5:
+        city = rng.choice(CITY_ALIASES[_canonical_city(city)])
+    # Phone: same digits, different separator.
+    if rng.random() < 0.6:
+        digits = phone.replace("/", "-").split("-", 1)
+        separator = rng.choice(_PHONE_SEPARATORS)
+        phone = f"{digits[0]}{separator}{digits[1]}"
+    # Type: sibling cuisine in the same class ("French" <-> "French
+    # (new)"), keeping Class consistent.
+    if rng.random() < 0.3:
+        siblings = [
+            other
+            for other, other_class in CUISINE_CLASSES.items()
+            if other_class == klass
+        ]
+        cuisine = rng.choice(siblings)
+    return [name, address, city, phone, cuisine, klass]
+
+
+def _canonical_city(alias: str) -> str:
+    for canonical, aliases in CITY_ALIASES.items():
+        if alias in aliases:
+            return canonical
+    return alias

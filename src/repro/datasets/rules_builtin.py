@@ -1,0 +1,88 @@
+"""Built-in rule files for the bundled datasets (Section 6.1).
+
+The paper curates one rule file per dataset "after a painstaking
+evaluation of each attribute value distribution"; these are the
+equivalents for the synthetic twins.  Each validator encodes which
+syntactic variations still count as a correct imputation:
+
+* phone numbers match on digits regardless of separators (regex rule),
+* city aliases are interchangeable (value-set rule),
+* numeric attributes allow the paper-style deltas (e.g. Horsepower
+  +-25 on Cars — the example Section 6.1 gives verbatim).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.vocab import CITY_ALIASES, CUISINE_CLASSES
+from repro.evaluation.rules import (
+    DatasetValidator,
+    DeltaRule,
+    RegexRule,
+    ValueSetRule,
+)
+
+PHONE_REGEX = r"(\d{3})\D*(\d{3})\D*(\d{4})"
+
+
+def restaurant_validator() -> DatasetValidator:
+    """Rules for the Restaurant dataset."""
+    type_sets = _sets_by_class()
+    validator = DatasetValidator()
+    validator.add_rule("Phone", RegexRule(PHONE_REGEX))
+    validator.add_rule(
+        "City", ValueSetRule(list(CITY_ALIASES.values()))
+    )
+    if type_sets:
+        validator.add_rule("Type", ValueSetRule(type_sets))
+    return validator
+
+
+def cars_validator() -> DatasetValidator:
+    """Rules for the Cars dataset (Horsepower delta 25 per the paper)."""
+    validator = DatasetValidator()
+    validator.add_rule("Horsepower", DeltaRule(25))
+    validator.add_rule("Mpg", DeltaRule(3.0))
+    validator.add_rule("Displacement", DeltaRule(25.0))
+    validator.add_rule("Weight", DeltaRule(250))
+    validator.add_rule("Acceleration", DeltaRule(1.5))
+    return validator
+
+
+def glass_validator() -> DatasetValidator:
+    """Rules for the Glass dataset: tight deltas on the oxide
+    concentrations (close decimal values)."""
+    validator = DatasetValidator()
+    validator.add_rule("RI", DeltaRule(0.002))
+    for oxide, delta in [
+        ("Na", 0.6), ("Mg", 0.6), ("Al", 0.4), ("Si", 0.8),
+        ("K", 0.3), ("Ca", 0.8), ("Ba", 0.3), ("Fe", 0.1),
+    ]:
+        validator.add_rule(oxide, DeltaRule(delta))
+    return validator
+
+
+def bridges_validator() -> DatasetValidator:
+    """Rules for the Bridges dataset."""
+    validator = DatasetValidator()
+    validator.add_rule("Erected", DeltaRule(15))
+    validator.add_rule("Length", DeltaRule(400))
+    validator.add_rule("Location", DeltaRule(3))
+    return validator
+
+
+def physician_validator() -> DatasetValidator:
+    """Rules for the Physician dataset."""
+    validator = DatasetValidator()
+    validator.add_rule("Phone", RegexRule(PHONE_REGEX))
+    validator.add_rule("GradYear", DeltaRule(5))
+    validator.add_rule("YearsExperience", DeltaRule(5))
+    return validator
+
+
+def _sets_by_class() -> list[list[str]]:
+    """Cuisine types sharing a class are semantic aliases (e.g. 'French'
+    / 'French (new)')."""
+    by_class: dict[int, list[str]] = {}
+    for cuisine, klass in CUISINE_CLASSES.items():
+        by_class.setdefault(klass, []).append(cuisine)
+    return [aliases for aliases in by_class.values() if len(aliases) > 1]

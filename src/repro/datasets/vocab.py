@@ -1,0 +1,160 @@
+"""Shared vocabulary for the synthetic dataset generators.
+
+The generators replace the paper's real datasets (no network access in
+this environment), so the vocabularies below are crafted to reproduce the
+*structural* properties the originals owe their RFDs to: city aliases
+with small edit distances, phone formats that differ only in separators,
+cuisine types tied to a numeric class, and so on.
+"""
+
+from __future__ import annotations
+
+# City -> list of alias spellings (index 0 is the canonical form).  The
+# aliases are intentionally close in edit distance, like the RIDDLE
+# Restaurant data ("Los Angeles" / "LA" / "Los Angles").
+CITY_ALIASES: dict[str, list[str]] = {
+    "Los Angeles": ["Los Angeles", "LA", "Los Angles", "L.A."],
+    "Hollywood": ["Hollywood", "Hollywood CA", "W. Hollywood"],
+    "Malibu": ["Malibu", "Malibu CA"],
+    "Santa Monica": ["Santa Monica", "Sta. Monica"],
+    "Pasadena": ["Pasadena", "Pasadena CA"],
+    "Beverly Hills": ["Beverly Hills", "Beverly Hills CA"],
+    "Long Beach": ["Long Beach", "Long Bch"],
+    "Venice": ["Venice", "Venice CA"],
+    "Burbank": ["Burbank", "Burbank CA"],
+    "Glendale": ["Glendale", "Glendale CA"],
+}
+
+# City -> telephone area code (a functional dependency the RFDs pick up).
+CITY_AREA_CODES: dict[str, str] = {
+    "Los Angeles": "213",
+    "Hollywood": "213",
+    "Malibu": "310",
+    "Santa Monica": "310",
+    "Pasadena": "626",
+    "Beverly Hills": "310",
+    "Long Beach": "562",
+    "Venice": "310",
+    "Burbank": "818",
+    "Glendale": "818",
+}
+
+# Cuisine type -> numeric class (Type -> Class is a crisp FD; Class ->
+# Type is relaxed, since several types share a class).
+CUISINE_CLASSES: dict[str, int] = {
+    "Californian": 6,
+    "French": 5,
+    "French (new)": 5,
+    "French Bistro": 5,
+    "Italian": 4,
+    "Pizza": 4,
+    "Mexican": 3,
+    "Tex-Mex": 3,
+    "Chinese": 2,
+    "Dim Sum": 2,
+    "American": 1,
+    "Diner": 1,
+    "Steakhouse": 7,
+    "Seafood": 8,
+}
+
+RESTAURANT_NAME_HEADS: list[str] = [
+    "Granita", "Citrus", "Fenix", "Chinois", "Campanile", "Spago",
+    "Patina", "Matsuhisa", "Lucques", "Providence", "Valentino",
+    "Angelini", "Republique", "Gjelina", "Bestia", "Mozza", "Osteria",
+    "Cicada", "Yamashiro", "Dan Tana", "Musso", "Langer", "Philippe",
+    "Cole", "Orsa", "Vespertine", "Camphor", "Kismet", "Bavel",
+    "Majordomo", "Felix", "Rustic", "Canyon", "Saddle", "Harbor",
+]
+
+RESTAURANT_NAME_TAILS: list[str] = [
+    "", " Grill", " Cafe", " Kitchen", " Bistro", " House", " Room",
+    " Main", " on Melrose", " Beverly", " Tavern", " Bar", " & Co",
+]
+
+STREET_NAMES: list[str] = [
+    "Sunset Blvd", "Melrose Ave", "Wilshire Blvd", "Pico Blvd",
+    "Olympic Blvd", "Ventura Blvd", "Ocean Ave", "Main St",
+    "Highland Ave", "Vermont Ave", "Fairfax Ave", "La Brea Ave",
+]
+
+# Cars: brand -> origin region (1 = USA, 2 = Europe, 3 = Japan) and the
+# displacement scale class of its engines; mirrors auto-mpg structure.
+CAR_BRANDS: dict[str, tuple[int, float]] = {
+    "chevrolet": (1, 1.15), "ford": (1, 1.2), "plymouth": (1, 1.1),
+    "amc": (1, 1.1), "dodge": (1, 1.15), "buick": (1, 1.25),
+    "pontiac": (1, 1.2), "volkswagen": (2, 0.7), "peugeot": (2, 0.8),
+    "audi": (2, 0.85), "saab": (2, 0.8), "bmw": (2, 0.9),
+    "fiat": (2, 0.65), "toyota": (3, 0.75), "datsun": (3, 0.75),
+    "honda": (3, 0.65), "mazda": (3, 0.7), "subaru": (3, 0.7),
+}
+
+CAR_MODELS: list[str] = [
+    "custom", "deluxe", "special", "gl", "dl", "sedan", "wagon",
+    "coupe", "hatchback", "brougham", "limited", "sport", "gt", "sl",
+]
+
+# Bridges: construction era -> plausible materials and bridge types
+# (the Pittsburgh Bridges dataset's core correlations).
+BRIDGE_ERAS: list[tuple[int, int, str]] = [
+    (1818, 1870, "WOOD"),
+    (1851, 1910, "IRON"),
+    (1880, 1986, "STEEL"),
+]
+
+BRIDGE_TYPES_BY_MATERIAL: dict[str, list[str]] = {
+    "WOOD": ["WOOD"],
+    "IRON": ["SUSPEN", "SIMPLE-T"],
+    "STEEL": ["SIMPLE-T", "ARCH", "CANTILEV", "CONT-T"],
+}
+
+BRIDGE_RIVERS: list[str] = ["A", "M", "O"]
+BRIDGE_PURPOSES: list[str] = ["HIGHWAY", "RR", "AQUEDUCT", "WALK"]
+
+# Physician: specialty -> credential plus school pools; Zip -> (City,
+# State) is the load-bearing FD of the Physician Compare data.
+PHYSICIAN_SPECIALTIES: dict[str, str] = {
+    "INTERNAL MEDICINE": "MD",
+    "FAMILY PRACTICE": "MD",
+    "CARDIOLOGY": "MD",
+    "DERMATOLOGY": "MD",
+    "ORTHOPEDIC SURGERY": "MD",
+    "CHIROPRACTIC": "DC",
+    "OPTOMETRY": "OD",
+    "DENTISTRY": "DDS",
+    "PODIATRY": "DPM",
+    "PSYCHOLOGY": "PHD",
+}
+
+PHYSICIAN_SCHOOLS: list[str] = [
+    "UNIVERSITY OF PITTSBURGH", "HARVARD MEDICAL SCHOOL",
+    "JOHNS HOPKINS UNIVERSITY", "STANFORD UNIVERSITY",
+    "UNIVERSITY OF MICHIGAN", "DUKE UNIVERSITY", "NYU SCHOOL OF MEDICINE",
+    "UCLA SCHOOL OF MEDICINE", "EMORY UNIVERSITY", "BAYLOR COLLEGE",
+]
+
+PHYSICIAN_CITIES: list[tuple[str, str, str]] = [
+    # (zip prefix, city, state)
+    ("152", "PITTSBURGH", "PA"),
+    ("191", "PHILADELPHIA", "PA"),
+    ("100", "NEW YORK", "NY"),
+    ("606", "CHICAGO", "IL"),
+    ("770", "HOUSTON", "TX"),
+    ("900", "LOS ANGELES", "CA"),
+    ("941", "SAN FRANCISCO", "CA"),
+    ("331", "MIAMI", "FL"),
+    ("980", "SEATTLE", "WA"),
+    ("302", "ATLANTA", "GA"),
+]
+
+FIRST_NAMES: list[str] = [
+    "JAMES", "MARY", "JOHN", "PATRICIA", "ROBERT", "JENNIFER",
+    "MICHAEL", "LINDA", "WILLIAM", "ELIZABETH", "DAVID", "BARBARA",
+    "RICHARD", "SUSAN", "JOSEPH", "JESSICA", "THOMAS", "SARAH",
+]
+
+LAST_NAMES: list[str] = [
+    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA",
+    "MILLER", "DAVIS", "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ",
+    "GONZALEZ", "WILSON", "ANDERSON", "THOMAS", "TAYLOR", "MOORE",
+]

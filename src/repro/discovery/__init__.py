@@ -1,0 +1,24 @@
+"""RFD discovery: distance-based lattice search with threshold inference."""
+
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.dime import DiscoveryResult, discover_rfds
+from repro.discovery.incremental import (
+    IncrementalDiscovery,
+    MaintenanceReport,
+)
+from repro.discovery.lattice import count_lhs_sets, iter_lhs_sets
+from repro.discovery.pattern_matrix import PairDistanceMatrix
+from repro.discovery.pruning import dominates, remove_dominated
+
+__all__ = [
+    "DiscoveryConfig",
+    "DiscoveryResult",
+    "IncrementalDiscovery",
+    "MaintenanceReport",
+    "PairDistanceMatrix",
+    "count_lhs_sets",
+    "discover_rfds",
+    "dominates",
+    "iter_lhs_sets",
+    "remove_dominated",
+]

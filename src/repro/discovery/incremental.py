@@ -1,0 +1,231 @@
+"""Incremental RFD maintenance under tuple insertions.
+
+The paper's incremental future-work item (Section 7) presumes "the usage
+of incremental RFDc discovery algorithms" (it cites the authors' own
+incremental discovery line of work).  This module provides that
+substrate: an :class:`IncrementalDiscovery` wraps a discovery result and
+*maintains* it as tuples arrive, without recomputing all pairs.
+
+Insertion-only maintenance is enough for the imputation session use
+case, and it decomposes cleanly because every RFD property involved is
+pairwise:
+
+* a previously holding RFD can only be *broken* by a pair involving a
+  new tuple — check new x all pairs only;
+* a key RFD can only *stop being key* the same way;
+* broken RFDs are **repaired** instead of dropped when possible: the
+  minimal RHS threshold over the new witnessing pairs is computed and,
+  if it stays within the configured limit, the dependency is re-emitted
+  with the loosened bound (the natural incremental analogue of the
+  batch algorithm's threshold inference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.dataset.relation import Relation
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.dime import DiscoveryResult, discover_rfds
+from repro.discovery.pruning import remove_dominated
+from repro.distance.pattern import PatternCalculator
+from repro.exceptions import DiscoveryError
+from repro.rfd.constraint import Constraint
+from repro.rfd.rfd import RFD
+
+
+@dataclass
+class MaintenanceReport:
+    """What one insertion batch did to the dependency set."""
+
+    inserted_tuples: int = 0
+    unchanged: int = 0
+    loosened: list[tuple[RFD, RFD]] = field(default_factory=list)
+    dropped: list[RFD] = field(default_factory=list)
+    dekeyed: list[RFD] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line digest."""
+        return (
+            f"+{self.inserted_tuples} tuples: {self.unchanged} unchanged, "
+            f"{len(self.loosened)} loosened, {len(self.dropped)} dropped, "
+            f"{len(self.dekeyed)} keys became usable"
+        )
+
+
+class IncrementalDiscovery:
+    """Maintain a discovered RFD set as tuples are appended.
+
+    Parameters
+    ----------
+    relation:
+        The initial instance (copied; later insertions go through
+        :meth:`insert`).
+    config:
+        Discovery configuration; the initial set is computed with the
+        batch algorithm.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        config: DiscoveryConfig | None = None,
+    ) -> None:
+        self.config = config or DiscoveryConfig()
+        self._relation = relation.copy(name=f"{relation.name}@inc")
+        initial: DiscoveryResult = discover_rfds(
+            self._relation, self.config
+        )
+        self._rfds: list[RFD] = list(initial.rfds)
+        self._keys: list[RFD] = list(initial.key_rfds)
+        self._calculator = PatternCalculator(self._relation)
+
+    # ------------------------------------------------------------------
+    @property
+    def relation(self) -> Relation:
+        """The maintained instance (live; mutate via :meth:`insert`)."""
+        return self._relation
+
+    @property
+    def rfds(self) -> list[RFD]:
+        """The currently holding non-key dependencies."""
+        return list(self._rfds)
+
+    @property
+    def key_rfds(self) -> list[RFD]:
+        """The currently vacuous (key) dependencies."""
+        return list(self._keys)
+
+    @property
+    def all_rfds(self) -> list[RFD]:
+        """Keys and non-keys together."""
+        return self._rfds + self._keys
+
+    def insert(self, rows: Sequence[Sequence[Any]]) -> MaintenanceReport:
+        """Append tuples and repair the dependency set incrementally."""
+        names = self._relation.attribute_names
+        width = len(names)
+        for offset, row in enumerate(rows):
+            if len(row) != width:
+                raise DiscoveryError(
+                    f"inserted row {offset} has {len(row)} values, "
+                    f"schema needs {width}"
+                )
+        start = self._relation.n_tuples
+        _grow(self._relation, names, rows)
+        new_rows = list(range(start, start + len(rows)))
+
+        report = MaintenanceReport(inserted_tuples=len(rows))
+        self._maintain_non_keys(new_rows, report)
+        self._maintain_keys(new_rows, report)
+        self._rfds = remove_dominated(self._rfds)
+        return report
+
+    # ------------------------------------------------------------------
+    def _maintain_non_keys(
+        self, new_rows: list[int], report: MaintenanceReport
+    ) -> None:
+        survivors: list[RFD] = []
+        for rfd in self._rfds:
+            worst = self._max_new_rhs_distance(rfd, new_rows)
+            if worst is None or worst <= rfd.rhs_threshold:
+                survivors.append(rfd)
+                report.unchanged += 1
+                continue
+            if worst <= self.config.rhs_limit_for(rfd.rhs_attribute):
+                loosened = RFD(
+                    rfd.lhs, Constraint(rfd.rhs_attribute, worst)
+                )
+                survivors.append(loosened)
+                report.loosened.append((rfd, loosened))
+            else:
+                report.dropped.append(rfd)
+        self._rfds = survivors
+
+    def _maintain_keys(
+        self, new_rows: list[int], report: MaintenanceReport
+    ) -> None:
+        still_keys: list[RFD] = []
+        for rfd in self._keys:
+            if not self._new_pair_matches_lhs(rfd, new_rows):
+                still_keys.append(rfd)
+                continue
+            # The key gained witnessing pairs; derive its RHS threshold
+            # from them and keep it if admissible.
+            worst = self._max_new_rhs_distance(rfd, new_rows)
+            report.dekeyed.append(rfd)
+            if worst is not None and worst <= self.config.rhs_limit_for(
+                rfd.rhs_attribute
+            ):
+                self._rfds.append(
+                    RFD(rfd.lhs, Constraint(rfd.rhs_attribute, worst))
+                )
+            elif worst is None:
+                # LHS matches exist but no comparable RHS: holds with
+                # its original (tight) threshold.
+                self._rfds.append(rfd)
+            else:
+                report.dropped.append(rfd)
+        self._keys = still_keys
+
+    def _max_new_rhs_distance(
+        self, rfd: RFD, new_rows: list[int]
+    ) -> float | None:
+        """Largest RHS distance over new LHS-matching pairs (or None)."""
+        worst: float | None = None
+        n = self._relation.n_tuples
+        new_set = set(new_rows)
+        attributes = rfd.attributes
+        for new_row in new_rows:
+            for other in range(n):
+                if other == new_row:
+                    continue
+                if other in new_set and other > new_row:
+                    continue  # new-new pairs once
+                pattern = self._calculator.pattern(
+                    new_row, other, attributes
+                )
+                if not rfd.lhs_satisfied(pattern):
+                    continue
+                if not rfd.rhs_comparable(pattern):
+                    continue
+                distance = float(pattern[rfd.rhs_attribute])
+                if worst is None or distance > worst:
+                    worst = distance
+        return worst
+
+    def _new_pair_matches_lhs(
+        self, rfd: RFD, new_rows: list[int]
+    ) -> bool:
+        n = self._relation.n_tuples
+        new_set = set(new_rows)
+        for new_row in new_rows:
+            for other in range(n):
+                if other == new_row:
+                    continue
+                if other in new_set and other > new_row:
+                    continue
+                pattern = self._calculator.pattern(
+                    new_row, other, rfd.lhs_attributes
+                )
+                if rfd.lhs_satisfied(pattern):
+                    return True
+        return False
+
+
+def _grow(
+    relation: Relation,
+    names: tuple[str, ...],
+    rows: Sequence[Sequence[Any]],
+) -> None:
+    from repro.dataset.missing import MISSING
+
+    start = relation.n_tuples
+    for name in names:
+        relation._columns[name].extend(  # noqa: SLF001 - same package
+            [MISSING] * len(rows)
+        )
+    for offset, row in enumerate(rows):
+        for name, value in zip(names, row):
+            relation.set_value(start + offset, name, value)

@@ -1,0 +1,41 @@
+"""Attribute-set lattice enumeration for discovery.
+
+Candidate LHS sets are enumerated level by level (size 1, then 2, ...)
+for each RHS attribute.  The search is bounded by
+:attr:`~repro.discovery.config.DiscoveryConfig.max_lhs_size`; dominance
+pruning afterwards removes LHS supersets that buy nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+
+def iter_lhs_sets(
+    attributes: Sequence[str],
+    rhs: str,
+    max_size: int,
+) -> Iterator[tuple[str, ...]]:
+    """Yield candidate LHS attribute sets for the given RHS attribute.
+
+    Sets are produced in increasing size, each in sorted attribute
+    order, never containing the RHS attribute.
+    """
+    pool = sorted(name for name in attributes if name != rhs)
+    top = min(max_size, len(pool))
+    for size in range(1, top + 1):
+        yield from itertools.combinations(pool, size)
+
+
+def count_lhs_sets(n_attributes: int, max_size: int) -> int:
+    """Number of LHS sets per RHS attribute (sanity/cost estimation)."""
+    pool = n_attributes - 1
+    top = min(max_size, pool)
+    return sum(_comb(pool, size) for size in range(1, top + 1))
+
+
+def _comb(n: int, k: int) -> int:
+    import math
+
+    return math.comb(n, k)

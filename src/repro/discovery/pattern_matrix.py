@@ -1,0 +1,141 @@
+"""All-pairs distance matrices for discovery.
+
+Discovery evaluates threshold candidates over *every* tuple pair, so the
+pair distances are materialized once per attribute as numpy arrays
+(``NaN`` marks pairs where either side is missing).  String distances use
+the banded Levenshtein clamped at ``limit + 1``: discovery never needs to
+distinguish distances beyond the threshold limit, and the band makes the
+quadratic pair scan affordable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.dataset.attribute import AttributeType
+from repro.dataset.missing import is_missing
+from repro.dataset.relation import Relation
+from repro.distance.levenshtein import levenshtein_bounded
+from repro.exceptions import DiscoveryError
+from repro.utils.rng import spawn_rng
+
+
+class PairDistanceMatrix:
+    """Distances of (sampled) tuple pairs, one numpy array per attribute.
+
+    Parameters
+    ----------
+    relation:
+        The instance to analyze.
+    string_limit:
+        Clamp for string distances: values above it are stored as
+        ``string_limit + 1``.  Must be at least the largest threshold the
+        caller will test.
+    max_pairs / seed:
+        Optional reservoir cap on the number of pairs; beyond it a seeded
+        random subset is used and :attr:`exact` turns false.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        string_limit: float = 15.0,
+        max_pairs: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if string_limit < 0:
+            raise DiscoveryError("string_limit must be >= 0")
+        self.relation = relation
+        self.string_limit = float(string_limit)
+        n = relation.n_tuples
+        total_pairs = n * (n - 1) // 2
+        pair_list = list(_iter_pairs(n))
+        self.exact = True
+        if max_pairs is not None and total_pairs > max_pairs:
+            rng = spawn_rng(seed, "pair-sample", n, max_pairs)
+            pair_list = rng.sample(pair_list, max_pairs)
+            pair_list.sort()
+            self.exact = False
+        self.pairs: np.ndarray = (
+            np.array(pair_list, dtype=np.int64)
+            if pair_list
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        self._distances: dict[str, np.ndarray] = {}
+        for attribute in relation.attributes:
+            self._distances[attribute.name] = self._column_distances(
+                attribute.name, attribute.type
+            )
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of pairs represented (sampled or exhaustive)."""
+        return int(self.pairs.shape[0])
+
+    def distances(self, attribute: str) -> np.ndarray:
+        """Pair distances on one attribute (``NaN`` where undefined)."""
+        try:
+            return self._distances[attribute]
+        except KeyError:
+            raise DiscoveryError(f"unknown attribute {attribute!r}") from None
+
+    def defined_mask(self, attribute: str) -> np.ndarray:
+        """Boolean mask of pairs with both values present."""
+        return ~np.isnan(self._distances[attribute])
+
+    # ------------------------------------------------------------------
+    def _column_distances(
+        self, name: str, attr_type: AttributeType
+    ) -> np.ndarray:
+        column = self.relation.column(name)
+        out = np.full(self.n_pairs, np.nan, dtype=np.float64)
+        if attr_type.is_numeric:
+            self._fill_numeric(column, out)
+        elif attr_type is AttributeType.BOOLEAN:
+            self._fill_boolean(column, out)
+        else:
+            self._fill_string(column, out)
+        return out
+
+    def _fill_numeric(self, column: tuple, out: np.ndarray) -> None:
+        values = np.array(
+            [math.nan if is_missing(v) else float(v) for v in column],
+            dtype=np.float64,
+        )
+        left = values[self.pairs[:, 0]] if self.n_pairs else values[:0]
+        right = values[self.pairs[:, 1]] if self.n_pairs else values[:0]
+        np.abs(left - right, out=out)
+
+    def _fill_boolean(self, column: tuple, out: np.ndarray) -> None:
+        for index in range(self.n_pairs):
+            a = column[self.pairs[index, 0]]
+            b = column[self.pairs[index, 1]]
+            if is_missing(a) or is_missing(b):
+                continue
+            out[index] = 0.0 if bool(a) == bool(b) else 1.0
+
+    def _fill_string(self, column: tuple, out: np.ndarray) -> None:
+        limit = int(math.ceil(self.string_limit))
+        cache: dict[tuple[str, str], float] = {}
+        for index in range(self.n_pairs):
+            a = column[self.pairs[index, 0]]
+            b = column[self.pairs[index, 1]]
+            if is_missing(a) or is_missing(b):
+                continue
+            text_a, text_b = str(a), str(b)
+            key = (text_a, text_b) if text_a <= text_b else (text_b, text_a)
+            distance = cache.get(key)
+            if distance is None:
+                distance = float(levenshtein_bounded(text_a, text_b, limit))
+                cache[key] = distance
+            out[index] = distance
+
+
+def _iter_pairs(n: int) -> Iterator[tuple[int, int]]:
+    for row_a in range(n):
+        for row_b in range(row_a + 1, n):
+            yield (row_a, row_b)

@@ -1,0 +1,73 @@
+"""Dominance pruning of discovered RFD sets.
+
+An RFD ``phi1`` *dominates* ``phi2`` (same RHS attribute) when it is at
+least as useful everywhere:
+
+* ``LHS(phi1) subseteq LHS(phi2)`` — it needs fewer attributes,
+* every shared LHS threshold of ``phi1`` is >= the one in ``phi2`` —
+  its LHS is easier to satisfy (matches at least the same pairs),
+* ``RHS_th(phi1) <= RHS_th(phi2)`` — its conclusion is at least as tight.
+
+A dominated RFD can never produce a candidate (or detect a violation)
+that its dominator would not, so dropping it shrinks ``Sigma`` without
+changing RENUVER's behaviour.  This mirrors the minimality notion of the
+dominance-based discovery algorithm the paper relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.rfd.rfd import RFD
+
+
+def dominates(first: RFD, second: RFD) -> bool:
+    """Whether ``first`` dominates ``second`` (see module docstring).
+
+    Equal RFDs dominate each other; callers handle deduplication.
+    """
+    if first.rhs_attribute != second.rhs_attribute:
+        return False
+    if first.rhs_threshold > second.rhs_threshold:
+        return False
+    first_attrs = set(first.lhs_attributes)
+    second_attrs = set(second.lhs_attributes)
+    if not first_attrs <= second_attrs:
+        return False
+    return all(
+        first.lhs_constraint(name).threshold
+        >= second.lhs_constraint(name).threshold
+        for name in first_attrs
+    )
+
+
+def remove_dominated(rfds: Iterable[RFD]) -> list[RFD]:
+    """Deduplicate and drop every RFD dominated by another one.
+
+    Quadratic in the set size per RHS attribute, which is fine for the
+    set sizes discovery produces after per-level pruning.
+    """
+    by_rhs: dict[str, list[RFD]] = {}
+    for rfd in dict.fromkeys(rfds):  # dedupe, keep order
+        by_rhs.setdefault(rfd.rhs_attribute, []).append(rfd)
+    kept: list[RFD] = []
+    for group in by_rhs.values():
+        for candidate in group:
+            if _is_dominated(candidate, group):
+                continue
+            kept.append(candidate)
+    return kept
+
+
+def _is_dominated(candidate: RFD, group: Sequence[RFD]) -> bool:
+    for other in group:
+        if other is candidate:
+            continue
+        if dominates(other, candidate):
+            # Symmetric dominance (equivalent RFDs): keep the one that
+            # appears first in the group to stay deterministic.
+            if dominates(candidate, other):
+                if group.index(other) > group.index(candidate):
+                    continue
+            return True
+    return False

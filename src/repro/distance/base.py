@@ -1,0 +1,128 @@
+"""Distance-function abstraction and the per-type default registry.
+
+The paper fixes one distance function per attribute domain (Section 5.3):
+absolute difference for numbers, edit distance for strings, equality for
+booleans.  :func:`distance_for_type` encodes that choice; callers can
+override it per attribute when building a
+:class:`~repro.distance.pattern.PatternCalculator`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.dataset.attribute import AttributeType
+from repro.dataset.missing import is_missing
+from repro.exceptions import DataError
+
+
+class DistanceFunction:
+    """A named, symmetric distance over one attribute domain.
+
+    Wraps a plain callable ``(a, b) -> float`` and optionally memoizes it
+    on the (unordered) value pair.  Memoization is the main lever against
+    RENUVER's O(n^2) pair loops: real columns contain few distinct values,
+    so most pair distances repeat.
+    """
+
+    __slots__ = ("name", "_func", "_cache", "_hits", "_misses")
+
+    def __init__(
+        self,
+        name: str,
+        func: Callable[[Any, Any], float],
+        *,
+        cached: bool = True,
+    ) -> None:
+        self.name = name
+        self._func = func
+        self._cache: dict[tuple[Any, Any], float] | None = (
+            {} if cached else None
+        )
+        self._hits = 0
+        self._misses = 0
+
+    def __call__(self, a: Any, b: Any) -> float:
+        if is_missing(a) or is_missing(b):
+            raise DataError(
+                f"distance {self.name!r} applied to a missing value"
+            )
+        if self._cache is None:
+            return self._func(a, b)
+        try:
+            key = (a, b) if a <= b else (b, a)
+        except TypeError:  # mixed-type column: fall back to a stable key
+            key = (
+                (a, b)
+                if _orderable_key(a) <= _orderable_key(b)
+                else (b, a)
+            )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        value = self._func(a, b)
+        self._cache[key] = value
+        return value
+
+    @property
+    def cache_info(self) -> tuple[int, int, int]:
+        """``(hits, misses, size)`` of the memo table (zeros if disabled)."""
+        if self._cache is None:
+            return (0, 0, 0)
+        return (self._hits, self._misses, len(self._cache))
+
+    def clear_cache(self) -> None:
+        """Drop all memoized distances."""
+        if self._cache is not None:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __repr__(self) -> str:
+        return f"DistanceFunction({self.name!r})"
+
+
+def _orderable_key(value: Any) -> tuple[str, str]:
+    """A total order over mixed-type values, for symmetric cache keys."""
+    return (type(value).__name__, str(value))
+
+
+def absolute_difference(a: float, b: float) -> float:
+    """``|a - b|`` — the paper's numeric distance."""
+    return abs(float(a) - float(b))
+
+
+def boolean_equality(a: bool, b: bool) -> float:
+    """0 when equal, 1 otherwise — the paper's boolean distance."""
+    return 0.0 if bool(a) == bool(b) else 1.0
+
+
+def string_edit_distance(a: Any, b: Any) -> float:
+    """Edit distance on the string renderings of the values."""
+    from repro.distance.levenshtein import levenshtein
+
+    return float(levenshtein(str(a), str(b)))
+
+
+def distance_for_type(
+    attr_type: AttributeType, *, cached: bool = True
+) -> DistanceFunction:
+    """The paper's default distance for an attribute type.
+
+    Numeric and boolean distances are never memoized: computing them is
+    cheaper than the cache lookup.  ``cached`` therefore only controls
+    the (expensive) string edit distance.
+    """
+    if attr_type.is_numeric:
+        return DistanceFunction(
+            "absolute_difference", absolute_difference, cached=False
+        )
+    if attr_type is AttributeType.BOOLEAN:
+        return DistanceFunction(
+            "boolean_equality", boolean_equality, cached=False
+        )
+    return DistanceFunction(
+        "edit_distance", string_edit_distance, cached=cached
+    )

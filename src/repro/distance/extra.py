@@ -1,0 +1,128 @@
+"""Additional distance functions for RFDc constraints.
+
+Definition 3.2 permits *any* similarity/distance function per attribute;
+the core defaults (edit distance / absolute difference / equality) come
+from the paper, but real deployments often want domain-specific ones.
+This module ships three and they plug into
+:class:`~repro.distance.pattern.PatternCalculator` via ``overrides``:
+
+* :func:`jaro_winkler_distance` — 1 - Jaro-Winkler similarity; better
+  than raw edit distance for person/organization names where common
+  prefixes matter.  Thresholds live in [0, 1].
+* :func:`token_jaccard_distance` — 1 - Jaccard similarity of the token
+  sets; robust to word reordering ("Main Chinois" vs "Chinois Main").
+* :func:`relative_difference` — |a-b| / max(|a|,|b|); a scale-free
+  numeric distance so one threshold works for Weight (thousands) and
+  RI (hundredths) alike.
+"""
+
+from __future__ import annotations
+
+from repro.distance.base import DistanceFunction
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1] (1 = equal)."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if not len_a or not len_b:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    window = max(window, 0)
+
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+    matches = 0
+    for i, char_a in enumerate(a):
+        low = max(0, i - window)
+        high = min(len_b, i + window + 1)
+        for j in range(low, high):
+            if not matched_b[j] and b[j] == char_a:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    # Standard transposition count: compare the matched characters of
+    # both strings in their own orders; half the mismatching positions.
+    sequence_a = [a[i] for i in range(len_a) if matched_a[i]]
+    sequence_b = [b[j] for j in range(len_b) if matched_b[j]]
+    half_transpositions = sum(
+        1 for char_a, char_b in zip(sequence_a, sequence_b)
+        if char_a != char_b
+    )
+    transpositions = half_transpositions / 2.0
+
+    m = float(matches)
+    return (
+        m / len_a + m / len_b + (m - transpositions) / m
+    ) / 3.0
+
+
+def jaro_winkler_similarity(
+    a: str, b: str, *, prefix_scale: float = 0.1, max_prefix: int = 4
+) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by the common prefix."""
+    if not 0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be in [0, 0.25]")
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a[:max_prefix], b[:max_prefix]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def jaro_winkler_distance(a: object, b: object) -> float:
+    """``1 - JaroWinkler`` on the string renderings, in [0, 1]."""
+    return 1.0 - jaro_winkler_similarity(str(a), str(b))
+
+
+def token_jaccard_distance(a: object, b: object) -> float:
+    """``1 - |A ∩ B| / |A ∪ B|`` over lower-cased whitespace tokens.
+
+    Two empty values are identical (distance 0); an empty vs non-empty
+    value is maximally distant.
+    """
+    tokens_a = set(str(a).lower().split())
+    tokens_b = set(str(b).lower().split())
+    if not tokens_a and not tokens_b:
+        return 0.0
+    union = tokens_a | tokens_b
+    if not union:
+        return 0.0
+    return 1.0 - len(tokens_a & tokens_b) / len(union)
+
+
+def relative_difference(a: float, b: float) -> float:
+    """``|a - b| / max(|a|, |b|)`` in [0, 1] (0 for two zeros)."""
+    x, y = float(a), float(b)
+    denominator = max(abs(x), abs(y))
+    if denominator == 0:
+        return 0.0
+    return abs(x - y) / denominator
+
+
+def jaro_winkler_function(*, cached: bool = True) -> DistanceFunction:
+    """A ready-to-use override for name-like attributes."""
+    return DistanceFunction(
+        "jaro_winkler", jaro_winkler_distance, cached=cached
+    )
+
+
+def token_jaccard_function(*, cached: bool = True) -> DistanceFunction:
+    """A ready-to-use override for multi-word text attributes."""
+    return DistanceFunction(
+        "token_jaccard", token_jaccard_distance, cached=cached
+    )
+
+
+def relative_difference_function() -> DistanceFunction:
+    """A ready-to-use override for scale-free numeric attributes."""
+    return DistanceFunction(
+        "relative_difference", relative_difference, cached=False
+    )

@@ -1,0 +1,101 @@
+"""Levenshtein (edit) distance.
+
+RENUVER compares string attributes with the edit distance.  Two variants
+are provided:
+
+* :func:`levenshtein` — the exact distance, classic two-row DP.
+* :func:`levenshtein_bounded` — a banded DP that stops as soon as the
+  distance provably exceeds ``limit`` and returns ``limit + 1`` instead.
+
+The bounded variant matters for performance: RFD thresholds are small
+(the paper's discovery limits are 3..15), so most of the O(len(a)·len(b))
+work of the exact DP is wasted on pairs that are "far anyway".
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Exact edit distance between two strings (insert/delete/substitute)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,        # deletion
+                    current[j - 1] + 1,     # insertion
+                    previous[j - 1] + cost, # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_bounded(a: str, b: str, limit: int) -> int:
+    """Edit distance clamped at ``limit``.
+
+    Returns the exact distance when it is ``<= limit`` and ``limit + 1``
+    otherwise.  Uses the standard diagonal band of width ``2*limit + 1``:
+    cells outside the band can only lie on paths costing more than
+    ``limit``, so they are never inspected.
+    """
+    if limit < 0:
+        raise ValueError("limit must be non-negative")
+    if a == b:
+        return 0
+    if len(a) < len(b):
+        a, b = b, a
+    len_a, len_b = len(a), len(b)
+    if len_a - len_b > limit:
+        return limit + 1
+    if not len_b:
+        return len_a if len_a <= limit else limit + 1
+
+    big = limit + 1
+    previous = [j if j <= limit else big for j in range(len_b + 1)]
+    for i in range(1, len_a + 1):
+        low = max(1, i - limit)
+        high = min(len_b, i + limit)
+        current = [big] * (len_b + 1)
+        if low == 1:
+            current[0] = i if i <= limit else big
+        char_a = a[i - 1]
+        row_min = current[0] if low == 1 else big
+        for j in range(low, high + 1):
+            cost = 0 if char_a == b[j - 1] else 1
+            best = previous[j - 1] + cost
+            if previous[j] + 1 < best:
+                best = previous[j] + 1
+            if current[j - 1] + 1 < best:
+                best = current[j - 1] + 1
+            if best > limit:
+                best = big
+            current[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min >= big:
+            return big
+        previous = current
+    return previous[len_b] if previous[len_b] <= limit else big
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """Length-normalized edit distance in [0, 1] (Yujian & Bo, 2007 style).
+
+    Not used by the core algorithm (the paper's thresholds are absolute),
+    but handy for rule-based evaluation and examples.
+    """
+    if not a and not b:
+        return 0.0
+    distance = levenshtein(a, b)
+    return (2 * distance) / (len(a) + len(b) + distance)

@@ -1,0 +1,207 @@
+"""Distance patterns between tuple pairs (Definition 5.4 of the paper).
+
+A *distance pattern* ``p`` for a tuple pair ``(t, t_j)`` holds, for every
+attribute ``A_i``, either the distance ``delta_{A_i}(t[A_i], t_j[A_i])`` or
+the missing marker ``_`` when either side is missing.
+
+:class:`PatternCalculator` binds a relation to one distance function per
+attribute (the paper's defaults unless overridden) and computes patterns on
+demand.  Value-pair memoization inside each
+:class:`~repro.distance.base.DistanceFunction` keeps repeated pair loops
+cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.dataset.missing import MISSING, MissingType, is_missing
+from repro.dataset.relation import Relation
+from repro.distance.base import DistanceFunction, distance_for_type
+from repro.exceptions import SchemaError
+
+
+class DistancePattern(Mapping[str, "float | MissingType"]):
+    """The per-attribute distances of one tuple pair.
+
+    Behaves as a read-only mapping from attribute name to distance (or
+    :data:`MISSING`).  Attributes that were not requested when the pattern
+    was computed raise ``KeyError`` on access, which catches accidental
+    use of partial patterns.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, float | MissingType]) -> None:
+        self._values = dict(values)
+
+    def __getitem__(self, name: str) -> float | MissingType:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def is_missing_on(self, name: str) -> bool:
+        """Whether the pattern is ``_`` on the given attribute."""
+        return is_missing(self._values[name])
+
+    def within(self, name: str, threshold: float) -> bool:
+        """Whether the pair is comparable and within ``threshold`` on
+        ``name`` — the satisfaction test used for RFD constraints."""
+        value = self._values[name]
+        if is_missing(value):
+            return False
+        return float(value) <= threshold
+
+    def mean_over(self, names: Iterable[str]) -> float:
+        """Average distance over ``names`` (Equation 2's numerator/|X|).
+
+        Raises ``ValueError`` if any requested attribute is missing in the
+        pattern; callers must check satisfaction first.
+        """
+        names = list(names)
+        if not names:
+            raise ValueError("mean_over needs at least one attribute")
+        total = 0.0
+        for name in names:
+            value = self._values[name]
+            if is_missing(value):
+                raise ValueError(
+                    f"pattern is missing on {name!r}; cannot average"
+                )
+            total += float(value)
+        return total / len(names)
+
+    def as_vector(self, order: Iterable[str]) -> tuple[Any, ...]:
+        """The pattern as a tuple in the given attribute order, using
+        ``_`` for missing entries — the paper's ``[7, _, 0, _, 0]`` form."""
+        return tuple(self._values[name] for name in order)
+
+    def __repr__(self) -> str:
+        cells = ", ".join(
+            f"{name}={'_' if is_missing(v) else v}"
+            for name, v in self._values.items()
+        )
+        return f"DistancePattern({cells})"
+
+
+class PatternCalculator:
+    """Compute distance patterns over one relation.
+
+    Parameters
+    ----------
+    relation:
+        The instance to compare tuples of.  The calculator reads cells
+        live, so patterns computed after an imputation see the new value.
+    overrides:
+        Optional per-attribute distance functions replacing the paper's
+        defaults (edit distance / absolute difference / equality).
+    cached:
+        Whether per-value-pair memoization is enabled.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        overrides: Mapping[str, DistanceFunction] | None = None,
+        cached: bool = True,
+    ) -> None:
+        self.relation = relation
+        self._functions: dict[str, DistanceFunction] = {}
+        overrides = dict(overrides or {})
+        unknown = set(overrides) - set(relation.attribute_names)
+        if unknown:
+            raise SchemaError(
+                f"distance overrides for unknown attributes {sorted(unknown)}"
+            )
+        for attr in relation.attributes:
+            self._functions[attr.name] = overrides.get(
+                attr.name, distance_for_type(attr.type, cached=cached)
+            )
+        # Direct references to the relation's column lists: cell reads in
+        # the O(n^2) pair loops bypass per-call bounds checking.  The
+        # lists are mutated in place by Relation.set_value, so the
+        # references stay live across imputations.
+        self._columns: dict[str, list] = {
+            name: relation._columns[name]  # noqa: SLF001 - same package
+            for name in relation.attribute_names
+        }
+
+    def function_for(self, name: str) -> DistanceFunction:
+        """The distance function bound to attribute ``name``."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def distance(self, row_a: int, row_b: int,
+                 name: str) -> float | MissingType:
+        """Distance between two tuples on one attribute, or ``_``."""
+        try:
+            column = self._columns[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+        value_a = column[row_a]
+        value_b = column[row_b]
+        # Stored missing values are always the canonical MISSING object
+        # (Relation normalizes on construction and on set_value), so an
+        # identity check suffices here.
+        if value_a is MISSING or value_b is MISSING:
+            return MISSING
+        return self._functions[name](value_a, value_b)
+
+    def value_distance(self, name: str, value_a: Any,
+                       value_b: Any) -> float | MissingType:
+        """Distance between two raw values under ``name``'s function."""
+        if is_missing(value_a) or is_missing(value_b):
+            return MISSING
+        return self.function_for(name)(value_a, value_b)
+
+    def pattern(
+        self,
+        row_a: int,
+        row_b: int,
+        attributes: Iterable[str] | None = None,
+    ) -> DistancePattern:
+        """The distance pattern of a tuple pair (Definition 5.4).
+
+        ``attributes`` restricts the pattern to a subset — RENUVER's inner
+        loops only ever need the LHS/RHS attributes of the RFDs in play,
+        so partial patterns avoid needless string comparisons.
+        """
+        names = (
+            attributes
+            if attributes is not None
+            else self.relation.attribute_names
+        )
+        columns = self._columns
+        functions = self._functions
+        values: dict[str, float | MissingType] = {}
+        try:
+            for name in names:
+                column = columns[name]
+                value_a = column[row_a]
+                value_b = column[row_b]
+                if value_a is MISSING or value_b is MISSING:
+                    values[name] = MISSING
+                else:
+                    values[name] = functions[name](value_a, value_b)
+        except KeyError as exc:
+            raise SchemaError(f"unknown attribute {exc.args[0]!r}") from None
+        return DistancePattern(values)
+
+    def clear_caches(self) -> None:
+        """Drop all per-attribute memo tables."""
+        for function in self._functions.values():
+            function.clear_cache()
+
+    def cache_report(self) -> dict[str, tuple[int, int, int]]:
+        """Per-attribute ``(hits, misses, size)`` memoization statistics."""
+        return {
+            name: function.cache_info
+            for name, function in self._functions.items()
+        }

@@ -1,0 +1,76 @@
+"""Evaluation framework: injection, metrics, rule validation, runner."""
+
+from repro.evaluation.ascii_chart import render_chart, render_metric_charts
+from repro.evaluation.error_analysis import (
+    AttributeBreakdown,
+    CellError,
+    CellVerdict,
+    ErrorAnalysis,
+    analyze_errors,
+)
+from repro.evaluation.injection import (
+    InjectionResult,
+    InjectionSuite,
+    build_injection_suite,
+    inject_missing,
+    missing_count_for_rate,
+)
+from repro.evaluation.metrics import (
+    Scores,
+    mean_scores,
+    score_imputation,
+    score_result,
+)
+from repro.evaluation.rulefile import (
+    load_rule_file,
+    save_rule_file,
+    validator_from_dict,
+    validator_to_dict,
+)
+from repro.evaluation.rules import (
+    DatasetValidator,
+    DeltaRule,
+    RegexRule,
+    Rule,
+    ValueSetRule,
+    rule_from_spec,
+)
+from repro.evaluation.runner import (
+    ExperimentResult,
+    RunRecord,
+    compare_approaches,
+    run_experiment,
+)
+
+__all__ = [
+    "AttributeBreakdown",
+    "CellError",
+    "CellVerdict",
+    "DatasetValidator",
+    "DeltaRule",
+    "ErrorAnalysis",
+    "ExperimentResult",
+    "InjectionResult",
+    "InjectionSuite",
+    "RegexRule",
+    "Rule",
+    "RunRecord",
+    "Scores",
+    "ValueSetRule",
+    "analyze_errors",
+    "build_injection_suite",
+    "compare_approaches",
+    "inject_missing",
+    "load_rule_file",
+    "mean_scores",
+    "missing_count_for_rate",
+    "render_chart",
+    "render_metric_charts",
+    "rule_from_spec",
+    "run_experiment",
+    "save_rule_file",
+    "score_imputation",
+    "score_result",
+    "validator_from_dict",
+    "validator_to_dict",
+]

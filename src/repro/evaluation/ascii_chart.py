@@ -1,0 +1,136 @@
+"""Terminal line charts for the figure-regenerating benchmarks.
+
+The paper's Figures 2 and 3 are metric-vs-missing-rate line plots; the
+benchmark harness renders the same series as compact ASCII charts so a
+captured pytest run still "shows the figure".  Pure text, no plotting
+dependency.
+
+Example output::
+
+    recall vs missing rate
+    1.00 |                 A
+         |        A
+    0.50 |  A        B
+         |     B           B
+    0.00 +------------------
+          1%    3%    5%
+      A=renuver B=derand
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import EvaluationError
+
+_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    *,
+    title: str = "",
+    height: int = 8,
+    y_min: float = 0.0,
+    y_max: float = 1.0,
+) -> str:
+    """Render named series as an ASCII line chart.
+
+    Every series must have one value per x label; values are clamped to
+    ``[y_min, y_max]``.  Series are drawn with letter markers; where two
+    series collide on a cell, the later marker wins and the legend
+    disambiguates.
+    """
+    if not series:
+        raise EvaluationError("render_chart needs at least one series")
+    if height < 2:
+        raise EvaluationError("height must be >= 2")
+    if y_max <= y_min:
+        raise EvaluationError("y_max must exceed y_min")
+    names = list(series)
+    if len(names) > len(_MARKERS):
+        raise EvaluationError(
+            f"too many series ({len(names)}); max {len(_MARKERS)}"
+        )
+    for name in names:
+        if len(series[name]) != len(x_labels):
+            raise EvaluationError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(x_labels)}"
+            )
+
+    column_width = max(
+        4,
+        max((len(label) for label in x_labels), default=4) + 2,
+        len(names) + 2,
+    )
+    width = column_width * len(x_labels)
+    grid = [[" "] * width for _ in range(height)]
+
+    for series_index, name in enumerate(names):
+        marker = _MARKERS[series_index]
+        for point_index, value in enumerate(series[name]):
+            clamped = min(max(float(value), y_min), y_max)
+            fraction = (clamped - y_min) / (y_max - y_min)
+            row = int(round((height - 1) * (1.0 - fraction)))
+            # Offset each series inside its x column so markers landing
+            # on the same row stay distinguishable.
+            base = point_index * column_width
+            offset = (column_width - len(names)) // 2 + series_index
+            column = base + min(column_width - 1, max(0, offset))
+            grid[row][column] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:4.2f}"
+        elif row_index == height - 1:
+            label = f"{y_min:4.2f}"
+        else:
+            label = "    "
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append("     +" + "-" * width)
+    axis = "".join(
+        label.center(column_width) for label in x_labels
+    )
+    lines.append("      " + axis)
+    legend = " ".join(
+        f"{_MARKERS[index]}={name}" for index, name in enumerate(names)
+    )
+    lines.append(f"      {legend}")
+    return "\n".join(lines)
+
+
+def render_metric_charts(
+    table: Mapping[str, Mapping[float, object]],
+    rates: Sequence[float],
+    metrics: Sequence[str] = ("precision", "recall", "f1"),
+    *,
+    height: int = 8,
+) -> str:
+    """Charts for approach -> rate -> Scores tables (the benches' shape).
+
+    ``table[approach][rate]`` must expose the requested metric
+    attributes (as :class:`~repro.evaluation.metrics.Scores` does).
+    """
+    charts: list[str] = []
+    labels = [f"{rate:.0%}" for rate in rates]
+    for metric in metrics:
+        series = {
+            approach: [
+                getattr(table[approach][rate], metric) for rate in rates
+            ]
+            for approach in table
+        }
+        charts.append(
+            render_chart(
+                series,
+                labels,
+                title=f"{metric} vs missing rate",
+                height=height,
+            )
+        )
+    return "\n\n".join(charts)

@@ -1,0 +1,127 @@
+"""Imputation quality metrics (Section 6.1).
+
+With ``missing`` the injected cells, ``imputed`` the cells an approach
+filled, and ``true`` the filled cells judged correct by the rule-based
+validator:
+
+* ``precision = |true| / |imputed|``  — the "reliability" score: how
+  often the approach is right when it chooses to impute,
+* ``recall    = |true| / |missing|``  — how much of the damage was
+  correctly repaired,
+* ``F1        = 2 * p * r / (p + r)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.renuver import ImputationResult
+from repro.dataset.missing import is_missing
+from repro.dataset.relation import Relation
+from repro.evaluation.injection import InjectionResult
+from repro.evaluation.rules import DatasetValidator
+from repro.exceptions import EvaluationError
+
+
+@dataclass(frozen=True)
+class Scores:
+    """Precision/recall/F1 plus the raw counts they derive from."""
+
+    missing: int
+    imputed: int
+    correct: int
+
+    def __post_init__(self) -> None:
+        if self.missing < 0 or self.imputed < 0 or self.correct < 0:
+            raise EvaluationError("score counts must be non-negative")
+        if self.correct > self.imputed:
+            raise EvaluationError("correct cannot exceed imputed")
+
+    @property
+    def precision(self) -> float:
+        """|true| / |imputed| (0 when nothing was imputed)."""
+        if self.imputed == 0:
+            return 0.0
+        return self.correct / self.imputed
+
+    @property
+    def recall(self) -> float:
+        """|true| / |missing| (0 when nothing was missing)."""
+        if self.missing == 0:
+            return 0.0
+        return self.correct / self.missing
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    @property
+    def fill_rate(self) -> float:
+        """|imputed| / |missing|."""
+        if self.missing == 0:
+            return 0.0
+        return self.imputed / self.missing
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"({self.correct}/{self.imputed} correct, "
+            f"{self.missing} missing)"
+        )
+
+
+def score_imputation(
+    imputed_relation: Relation,
+    injection: InjectionResult,
+    validator: DatasetValidator | None = None,
+) -> Scores:
+    """Score an imputed relation against the injection's ground truth.
+
+    A cell counts as *imputed* when it is no longer missing in the
+    result, and as *correct* when the validator accepts its value for
+    the ground truth (strict equality when no validator is given).
+    """
+    validator = validator or DatasetValidator()
+    missing = injection.count
+    imputed = 0
+    correct = 0
+    for (row, attribute), expected in injection.ground_truth.items():
+        value = imputed_relation.value(row, attribute)
+        if is_missing(value):
+            continue
+        imputed += 1
+        if validator.is_correct(attribute, value, expected):
+            correct += 1
+    return Scores(missing=missing, imputed=imputed, correct=correct)
+
+
+def score_result(
+    result: ImputationResult,
+    injection: InjectionResult,
+    validator: DatasetValidator | None = None,
+) -> Scores:
+    """Convenience wrapper of :func:`score_imputation` for
+    :class:`ImputationResult`."""
+    return score_imputation(result.relation, injection, validator)
+
+
+def mean_scores(batches: Iterable[Scores]) -> Scores:
+    """Aggregate several variants into one Scores by summing counts.
+
+    Summing counts before dividing equals weighting each variant by its
+    injected-cell count — the stable way to average the paper's five
+    variants per rate.
+    """
+    batches = list(batches)
+    if not batches:
+        raise EvaluationError("mean_scores needs at least one Scores")
+    return Scores(
+        missing=sum(score.missing for score in batches),
+        imputed=sum(score.imputed for score in batches),
+        correct=sum(score.correct for score in batches),
+    )

@@ -1,0 +1,176 @@
+"""Serialization of experiment results: JSON archives, Markdown tables.
+
+The benchmark harness uses these to persist runs in a machine-readable
+form and to regenerate the EXPERIMENTS.md tables; downstream users get a
+stable format for their own sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.evaluation.metrics import Scores
+from repro.evaluation.runner import ExperimentResult, RunRecord
+from repro.exceptions import EvaluationError
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-ready representation of an :class:`ExperimentResult`."""
+    return {
+        "approach": result.approach,
+        "records": [
+            {
+                "rate": record.rate,
+                "variant": record.variant,
+                "status": record.status,
+                "elapsed_seconds": record.elapsed_seconds,
+                "peak_bytes": record.peak_bytes,
+                "error": record.error,
+                "scores": (
+                    {
+                        "missing": record.scores.missing,
+                        "imputed": record.scores.imputed,
+                        "correct": record.scores.correct,
+                    }
+                    if record.scores is not None
+                    else None
+                ),
+            }
+            for record in result.records
+        ],
+    }
+
+
+def result_from_dict(data: Mapping) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`."""
+    try:
+        result = ExperimentResult(approach=data["approach"])
+        for entry in data["records"]:
+            scores = entry.get("scores")
+            result.records.append(
+                RunRecord(
+                    rate=float(entry["rate"]),
+                    variant=int(entry["variant"]),
+                    scores=(
+                        Scores(
+                            missing=scores["missing"],
+                            imputed=scores["imputed"],
+                            correct=scores["correct"],
+                        )
+                        if scores is not None
+                        else None
+                    ),
+                    elapsed_seconds=float(entry["elapsed_seconds"]),
+                    peak_bytes=int(entry["peak_bytes"]),
+                    status=entry.get("status", "ok"),
+                    error=entry.get("error"),
+                )
+            )
+        return result
+    except (KeyError, TypeError, ValueError) as exc:
+        raise EvaluationError(
+            f"malformed experiment-result data: {exc}"
+        ) from exc
+
+
+def save_results(
+    results: Mapping[str, ExperimentResult], path: str | Path
+) -> None:
+    """Write a multi-approach comparison to a JSON file."""
+    payload = {
+        approach: result_to_dict(result)
+        for approach, result in results.items()
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_results(path: str | Path) -> dict[str, ExperimentResult]:
+    """Inverse of :func:`save_results`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise EvaluationError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise EvaluationError(f"{path}: top level must be an object")
+    return {
+        approach: result_from_dict(data)
+        for approach, data in payload.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Markdown
+# ----------------------------------------------------------------------
+def markdown_comparison(
+    results: Mapping[str, ExperimentResult],
+    rates: Sequence[float],
+    *,
+    metrics: Sequence[str] = ("precision", "recall", "f1"),
+) -> str:
+    """A GitHub-flavoured Markdown table of a multi-approach comparison.
+
+    One row per approach, one column group per rate; budget-limited
+    cells render as their status (``TL``/``ML``/``error``).
+    """
+    if not results:
+        raise EvaluationError("markdown_comparison needs results")
+    header_cells = ["approach"]
+    for rate in rates:
+        for metric in metrics:
+            header_cells.append(f"{metric[0].upper()}@{rate:.0%}")
+    lines = [
+        "| " + " | ".join(header_cells) + " |",
+        "|" + "|".join(["---"] * len(header_cells)) + "|",
+    ]
+    for approach, result in results.items():
+        row = [approach]
+        for rate in rates:
+            if result.status_at(rate) != "ok":
+                row.extend([result.status_at(rate)] * len(metrics))
+                continue
+            scores = result.mean_scores(rate)
+            row.extend(
+                f"{getattr(scores, metric):.3f}" for metric in metrics
+            )
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def markdown_resource_table(
+    results: Mapping[str, ExperimentResult],
+    rates: Sequence[float],
+) -> str:
+    """Markdown table of wall time / peak memory per approach and rate,
+    the shape of the paper's Tables 4-5."""
+    from repro.utils.memory import format_bytes
+    from repro.utils.timer import format_duration
+
+    lines = [
+        "| approach | rate | recall | precision | F1 | time | memory |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for approach, result in results.items():
+        for rate in rates:
+            status = result.status_at(rate)
+            if status != "ok":
+                lines.append(
+                    f"| {approach} | {rate:.0%} | {status} | - | - | - "
+                    f"| - |"
+                )
+                continue
+            scores = result.mean_scores(rate)
+            lines.append(
+                f"| {approach} | {rate:.0%} | {scores.recall:.3f} "
+                f"| {scores.precision:.3f} | {scores.f1:.3f} "
+                f"| {format_duration(result.mean_elapsed(rate))} "
+                f"| {format_bytes(result.max_peak_bytes(rate))} |"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Rule files: the JSON persistence of a :class:`DatasetValidator`.
+
+The paper's evaluation methodology stores the admissible variations of
+each attribute in a manually curated *rule file*.  Format::
+
+    {
+      "dataset": "restaurant",
+      "attributes": {
+        "Phone": {"rules": [
+          {"type": "regex",
+           "pattern": "(\\d{3})\\D*(\\d{3})\\D*(\\d{4})"}
+        ]},
+        "City": {"rules": [
+          {"type": "value_set",
+           "sets": [["la", "los angeles", "los angles"]]}
+        ]},
+        "Horsepower": {"rules": [{"type": "delta", "delta": 25}]}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.evaluation.rules import DatasetValidator, rule_from_spec
+from repro.exceptions import RuleFileError
+
+
+def validator_from_dict(data: Mapping[str, Any]) -> DatasetValidator:
+    """Build a validator from a parsed rule-file dictionary."""
+    attributes = data.get("attributes")
+    if not isinstance(attributes, Mapping):
+        raise RuleFileError("rule file needs an 'attributes' mapping")
+    rules_by_attribute: dict[str, list] = {}
+    for attribute, section in attributes.items():
+        if not isinstance(section, Mapping):
+            raise RuleFileError(
+                f"attribute section {attribute!r} must be a mapping"
+            )
+        specs = section.get("rules", [])
+        if not isinstance(specs, list):
+            raise RuleFileError(
+                f"'rules' of attribute {attribute!r} must be a list"
+            )
+        rules_by_attribute[attribute] = [
+            rule_from_spec(spec) for spec in specs
+        ]
+    return DatasetValidator(rules_by_attribute)
+
+
+def validator_to_dict(
+    validator: DatasetValidator, *, dataset: str | None = None
+) -> dict:
+    """Serialize a validator back to the rule-file structure."""
+    data: dict[str, Any] = {}
+    if dataset:
+        data["dataset"] = dataset
+    data["attributes"] = {
+        attribute: {
+            "rules": [rule.to_spec() for rule in validator.rules_for(attribute)]
+        }
+        for attribute in validator.attributes()
+    }
+    return data
+
+
+def load_rule_file(path: str | Path) -> DatasetValidator:
+    """Load a rule file from disk."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise RuleFileError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise RuleFileError(f"{path}: top level must be an object")
+    return validator_from_dict(data)
+
+
+def save_rule_file(
+    validator: DatasetValidator,
+    path: str | Path,
+    *,
+    dataset: str | None = None,
+) -> None:
+    """Write a validator to disk as a rule file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(
+            validator_to_dict(validator, dataset=dataset),
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")

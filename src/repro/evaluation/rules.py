@@ -1,0 +1,223 @@
+"""Rule-based automatic validation of imputed values (Section 6.1).
+
+The paper introduces a rule framework that accepts an imputation as
+correct even when it is not byte-identical to the expected value, as long
+as it is *semantically* equivalent.  Three rule kinds are supported,
+matching the paper exactly:
+
+* :class:`ValueSetRule` — aliases: ``{"new york", "ny"}`` count as one
+  value.
+* :class:`RegexRule` — structural variation: both values must match a
+  pattern and agree on the concatenated capture groups, e.g. phone
+  numbers that differ only in separators.
+* :class:`DeltaRule` — numeric tolerance: ``|imputed - expected| <=
+  delta``.
+
+A value is accepted if it equals the expectation exactly (after text
+normalization) or any rule of its attribute accepts it.
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from typing import Any, Iterable, Mapping
+
+from repro.dataset.missing import is_missing
+from repro.exceptions import RuleFileError
+
+
+class Rule(abc.ABC):
+    """One acceptance rule for an attribute's values."""
+
+    #: Identifier used in rule files.
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def accepts(self, imputed: Any, expected: Any) -> bool:
+        """Whether ``imputed`` is an admissible stand-in for
+        ``expected``."""
+
+    @abc.abstractmethod
+    def to_spec(self) -> dict:
+        """JSON-serializable description (inverse of
+        :func:`rule_from_spec`)."""
+
+
+class ValueSetRule(Rule):
+    """Accept values belonging to the same alias set as the expectation.
+
+    Comparison is case-insensitive on stripped strings, the way the
+    paper's ``"new york" / "ny"`` example demands.
+    """
+
+    kind = "value_set"
+
+    def __init__(self, sets: Iterable[Iterable[str]]) -> None:
+        self.sets: list[frozenset[str]] = []
+        for aliases in sets:
+            normalized = frozenset(_normalize(alias) for alias in aliases)
+            if len(normalized) < 2:
+                raise RuleFileError(
+                    "a value set needs at least two distinct aliases"
+                )
+            self.sets.append(normalized)
+        if not self.sets:
+            raise RuleFileError("ValueSetRule needs at least one set")
+
+    def accepts(self, imputed: Any, expected: Any) -> bool:
+        imputed_norm = _normalize(imputed)
+        expected_norm = _normalize(expected)
+        return any(
+            imputed_norm in aliases and expected_norm in aliases
+            for aliases in self.sets
+        )
+
+    def to_spec(self) -> dict:
+        return {
+            "type": self.kind,
+            "sets": [sorted(aliases) for aliases in self.sets],
+        }
+
+
+class RegexRule(Rule):
+    """Accept values that match a pattern and agree on its captures.
+
+    The pattern must contain at least one capture group; both values must
+    fully match, and the concatenation of their captured groups must be
+    equal.  This realizes the paper's phone example: with pattern
+    ``(\\d{3})\\D*(\\d{3})\\D*(\\d{4})``, ``213/848-6677`` and
+    ``213-848-6677`` agree on captures ``213 848 6677``.
+    """
+
+    kind = "regex"
+
+    def __init__(self, pattern: str) -> None:
+        try:
+            self.regex = re.compile(pattern)
+        except re.error as exc:
+            raise RuleFileError(f"invalid regex {pattern!r}: {exc}") from exc
+        if self.regex.groups < 1:
+            raise RuleFileError(
+                f"regex {pattern!r} needs at least one capture group"
+            )
+        self.pattern = pattern
+
+    def accepts(self, imputed: Any, expected: Any) -> bool:
+        captured_imputed = self._captures(imputed)
+        if captured_imputed is None:
+            return False
+        captured_expected = self._captures(expected)
+        if captured_expected is None:
+            return False
+        return captured_imputed == captured_expected
+
+    def _captures(self, value: Any) -> str | None:
+        match = self.regex.fullmatch(str(value).strip())
+        if not match:
+            return None
+        return "".join(group or "" for group in match.groups())
+
+    def to_spec(self) -> dict:
+        return {"type": self.kind, "pattern": self.pattern}
+
+
+class DeltaRule(Rule):
+    """Accept numeric values within ``delta`` of the expectation."""
+
+    kind = "delta"
+
+    def __init__(self, delta: float) -> None:
+        if delta < 0:
+            raise RuleFileError("delta must be >= 0")
+        self.delta = float(delta)
+
+    def accepts(self, imputed: Any, expected: Any) -> bool:
+        try:
+            return abs(float(imputed) - float(expected)) <= self.delta
+        except (TypeError, ValueError):
+            return False
+
+    def to_spec(self) -> dict:
+        return {"type": self.kind, "delta": self.delta}
+
+
+_RULE_KINDS = {
+    ValueSetRule.kind: lambda spec: ValueSetRule(spec["sets"]),
+    RegexRule.kind: lambda spec: RegexRule(spec["pattern"]),
+    DeltaRule.kind: lambda spec: DeltaRule(spec["delta"]),
+}
+
+
+def rule_from_spec(spec: Mapping[str, Any]) -> Rule:
+    """Build a rule from its JSON description."""
+    kind = spec.get("type")
+    factory = _RULE_KINDS.get(kind)  # type: ignore[arg-type]
+    if factory is None:
+        raise RuleFileError(
+            f"unknown rule type {kind!r}; expected one of "
+            f"{sorted(_RULE_KINDS)}"
+        )
+    try:
+        return factory(spec)
+    except KeyError as exc:
+        raise RuleFileError(
+            f"rule spec {spec!r} is missing field {exc}"
+        ) from exc
+
+
+class DatasetValidator:
+    """Attribute-wise acceptance of imputations for one dataset.
+
+    ``validator.is_correct("Phone", "213-848-6677", "213/848-6677")``
+    first tries normalized equality, then the attribute's rules.
+    Attributes without rules fall back to normalized equality only.
+    """
+
+    def __init__(
+        self, rules_by_attribute: Mapping[str, Iterable[Rule]] | None = None
+    ) -> None:
+        self._rules: dict[str, list[Rule]] = {
+            attribute: list(rules)
+            for attribute, rules in (rules_by_attribute or {}).items()
+        }
+
+    def rules_for(self, attribute: str) -> list[Rule]:
+        """The rules registered for an attribute (possibly empty)."""
+        return list(self._rules.get(attribute, []))
+
+    def add_rule(self, attribute: str, rule: Rule) -> None:
+        """Register one more rule for an attribute."""
+        self._rules.setdefault(attribute, []).append(rule)
+
+    def attributes(self) -> list[str]:
+        """Attributes having at least one rule."""
+        return sorted(self._rules)
+
+    def is_correct(self, attribute: str, imputed: Any, expected: Any) -> bool:
+        """Whether an imputed value counts as correct for the expected
+        one."""
+        if is_missing(imputed):
+            return False
+        if is_missing(expected):
+            return False
+        if _equal(imputed, expected):
+            return True
+        return any(
+            rule.accepts(imputed, expected)
+            for rule in self._rules.get(attribute, [])
+        )
+
+
+def _normalize(value: Any) -> str:
+    return str(value).strip().lower()
+
+
+def _equal(imputed: Any, expected: Any) -> bool:
+    if imputed == expected:
+        return True
+    try:
+        return float(imputed) == float(expected)
+    except (TypeError, ValueError):
+        pass
+    return _normalize(imputed) == _normalize(expected)

@@ -1,0 +1,194 @@
+"""The experiment runner: the paper's evaluation loop in one call.
+
+Drives an imputer over an :class:`InjectionSuite` (five variants per
+missing rate), scores each run with the rule-based validator and
+aggregates per rate — the exact protocol behind Figures 2-3 and Tables
+4-5.  Budgets mirror the stress tests: a run exceeding the time or
+memory budget is recorded as ``TL``/``ML`` instead of crashing the
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.renuver import ImputationResult
+from repro.dataset.relation import Relation
+from repro.evaluation.injection import InjectionResult, InjectionSuite
+from repro.evaluation.metrics import Scores, mean_scores, score_imputation
+from repro.evaluation.rules import DatasetValidator
+from repro.exceptions import BudgetExceededError, EvaluationError
+from repro.utils.memory import MemoryTracker
+from repro.utils.timer import Timer
+
+ImputerFactory = Callable[[], object]
+
+
+@dataclass
+class RunRecord:
+    """One (rate, variant) execution."""
+
+    rate: float
+    variant: int
+    scores: Scores | None
+    elapsed_seconds: float
+    peak_bytes: int
+    status: str = "ok"  # "ok" | "TL" | "ML" | "error"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed inside its budgets."""
+        return self.status == "ok"
+
+
+@dataclass
+class ExperimentResult:
+    """All runs of one approach over one injection suite."""
+
+    approach: str
+    records: list[RunRecord] = field(default_factory=list)
+
+    def rates(self) -> list[float]:
+        """The distinct missing rates, sorted."""
+        return sorted({record.rate for record in self.records})
+
+    def records_for(self, rate: float) -> list[RunRecord]:
+        """Records of one rate, variant order."""
+        return [record for record in self.records if record.rate == rate]
+
+    def mean_scores(self, rate: float) -> Scores:
+        """Variant-aggregated scores at one rate (completed runs only)."""
+        scored = [
+            record.scores
+            for record in self.records_for(rate)
+            if record.ok and record.scores is not None
+        ]
+        if not scored:
+            raise EvaluationError(
+                f"no completed runs at rate {rate} for {self.approach}"
+            )
+        return mean_scores(scored)
+
+    def mean_elapsed(self, rate: float) -> float:
+        """Average wall time per run at one rate (completed runs)."""
+        completed = [r for r in self.records_for(rate) if r.ok]
+        if not completed:
+            return float("nan")
+        return sum(r.elapsed_seconds for r in completed) / len(completed)
+
+    def max_peak_bytes(self, rate: float) -> int:
+        """Largest observed peak allocation at one rate."""
+        completed = [r for r in self.records_for(rate) if r.ok]
+        if not completed:
+            return 0
+        return max(r.peak_bytes for r in completed)
+
+    def status_at(self, rate: float) -> str:
+        """"ok" if any run at the rate completed, else the first
+        failure status ("TL"/"ML"/"error")."""
+        records = self.records_for(rate)
+        if any(record.ok for record in records):
+            return "ok"
+        return records[0].status if records else "error"
+
+
+def run_experiment(
+    approach: str,
+    imputer_factory: ImputerFactory,
+    suite: InjectionSuite,
+    validator: DatasetValidator | None = None,
+    *,
+    time_budget_seconds: float | None = None,
+    memory_budget_bytes: int | None = None,
+    track_memory: bool = False,
+) -> ExperimentResult:
+    """Run a freshly built imputer on every variant of the suite.
+
+    ``imputer_factory`` must return an object with
+    ``impute(relation) -> ImputationResult`` (RENUVER and every baseline
+    qualify).  A fresh imputer per variant keeps runs independent.
+    """
+    result = ExperimentResult(approach=approach)
+    for injection in suite:
+        result.records.append(
+            _run_one(
+                imputer_factory,
+                injection,
+                validator,
+                time_budget_seconds,
+                memory_budget_bytes,
+                track_memory,
+            )
+        )
+    return result
+
+
+def _run_one(
+    imputer_factory: ImputerFactory,
+    injection: InjectionResult,
+    validator: DatasetValidator | None,
+    time_budget_seconds: float | None,
+    memory_budget_bytes: int | None,
+    track_memory: bool,
+) -> RunRecord:
+    imputer = imputer_factory()
+    timer = Timer(time_budget_seconds)
+    tracker = MemoryTracker(memory_budget_bytes) if track_memory else None
+    timer.start()
+    if tracker is not None:
+        tracker.__enter__()
+    try:
+        outcome: ImputationResult = imputer.impute(injection.relation)  # type: ignore[attr-defined]
+        elapsed = timer.stop()
+        if timer.budget_seconds is not None and elapsed > timer.budget_seconds:
+            return RunRecord(
+                injection.rate, injection.variant, None, elapsed,
+                _peak(tracker), status="TL",
+            )
+        if tracker is not None and tracker.expired:
+            return RunRecord(
+                injection.rate, injection.variant, None, elapsed,
+                _peak(tracker), status="ML",
+            )
+        scores = score_imputation(outcome.relation, injection, validator)
+        return RunRecord(
+            injection.rate, injection.variant, scores, elapsed,
+            _peak(tracker),
+        )
+    except BudgetExceededError as exc:
+        elapsed = timer.elapsed
+        status = "ML" if exc.peak_bytes is not None else "TL"
+        return RunRecord(
+            injection.rate, injection.variant, None, elapsed,
+            _peak(tracker), status=status, error=str(exc),
+        )
+    except Exception as exc:  # noqa: BLE001 - a sweep must survive one bad run
+        return RunRecord(
+            injection.rate, injection.variant, None, timer.elapsed,
+            _peak(tracker), status="error", error=f"{type(exc).__name__}: {exc}",
+        )
+    finally:
+        if tracker is not None:
+            tracker.__exit__(None, None, None)
+
+
+def _peak(tracker: MemoryTracker | None) -> int:
+    return tracker.peak_bytes if tracker is not None else 0
+
+
+def compare_approaches(
+    factories: dict[str, ImputerFactory],
+    suite: InjectionSuite,
+    validator: DatasetValidator | None = None,
+    **budget_kwargs: object,
+) -> dict[str, ExperimentResult]:
+    """Run several approaches on the *same* injected variants — the
+    paper's "same sets of missing values" guarantee (Section 6.3)."""
+    return {
+        approach: run_experiment(
+            approach, factory, suite, validator, **budget_kwargs  # type: ignore[arg-type]
+        )
+        for approach, factory in factories.items()
+    }

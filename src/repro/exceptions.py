@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-classes mirror the main
+subsystems (dataset handling, RFD parsing, discovery, imputation and
+evaluation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is invalid or an attribute lookup failed."""
+
+
+class DataError(ReproError):
+    """A relation instance contains malformed or unusable data."""
+
+
+class CSVFormatError(DataError):
+    """A CSV file could not be parsed into a relation."""
+
+
+class RFDParseError(ReproError):
+    """A textual RFD specification could not be parsed."""
+
+
+class RFDValidationError(ReproError):
+    """An RFD references unknown attributes or carries invalid thresholds."""
+
+
+class DiscoveryError(ReproError):
+    """RFD discovery was configured or executed incorrectly."""
+
+
+class ImputationError(ReproError):
+    """The imputation engine was misused (bad inputs, unknown attribute)."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation of an imputation result failed (bad rules, bad masks)."""
+
+
+class RuleFileError(EvaluationError):
+    """A validation rule file is malformed."""
+
+
+class BudgetExceededError(ReproError):
+    """A configured time or memory budget was exhausted.
+
+    Mirrors the paper's 48-hour / 30 GB stress-test limits: benchmark
+    harnesses convert this into the "TL"/"ML" table entries instead of
+    letting a run go unbounded.
+    """
+
+    def __init__(self, message: str, *, elapsed_seconds: float | None = None,
+                 peak_bytes: int | None = None) -> None:
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+        self.peak_bytes = peak_bytes

@@ -1,0 +1,23 @@
+"""Extensions realizing the paper's Section 7 future-work items:
+
+* :func:`suggest_threshold_limits` — per-attribute threshold bounds
+  derived from value distributions,
+* :class:`MultiSourceRenuver` — candidate tuples drawn from multiple
+  datasets,
+* :class:`ImputationSession` — incremental imputation over an
+  append-only instance.
+"""
+
+from repro.extensions.autothreshold import (
+    config_with_suggested_limits,
+    suggest_threshold_limits,
+)
+from repro.extensions.incremental import ImputationSession
+from repro.extensions.multi_source import MultiSourceRenuver
+
+__all__ = [
+    "ImputationSession",
+    "MultiSourceRenuver",
+    "config_with_suggested_limits",
+    "suggest_threshold_limits",
+]

@@ -1,0 +1,102 @@
+"""Data-driven threshold bounds (paper Section 7, future work #1).
+
+The paper's conclusion proposes RFD thresholds "whose upper bound depends
+on attribute domains and value distributions".  This module realizes
+that: :func:`suggest_threshold_limits` inspects the pairwise distance
+distribution of every attribute and proposes a per-attribute cap — a
+quantile of the observed distances — which plugs straight into
+:attr:`repro.discovery.DiscoveryConfig.attribute_limits`.
+
+The rationale: a fixed global limit (the paper's 3/6/9/12/15) treats an
+attribute whose distances span [0, 2000] (e.g. car Weight) the same as
+one spanning [0, 0.02] (Glass refractive index).  A quantile-based cap
+keeps "similar" meaning *similar for this attribute*.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dataset.relation import Relation
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.pattern_matrix import PairDistanceMatrix
+from repro.exceptions import DiscoveryError
+
+
+def suggest_threshold_limits(
+    relation: Relation,
+    *,
+    quantile: float = 0.25,
+    max_pairs: int | None = 100_000,
+    string_limit: float = 32.0,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Per-attribute threshold caps from the pair-distance distribution.
+
+    For every attribute the cap is the ``quantile`` of its observed
+    pairwise distances (defaults to the lower quartile: two values count
+    as similar when they are closer than 75% of random pairs).  String
+    distances are measured up to ``string_limit``.  Attributes with no
+    comparable pair get a cap of 0.
+    """
+    if not 0 < quantile < 1:
+        raise DiscoveryError("quantile must be in (0, 1)")
+    matrix = PairDistanceMatrix(
+        relation,
+        string_limit=string_limit,
+        max_pairs=max_pairs,
+        seed=seed,
+    )
+    limits: dict[str, float] = {}
+    for name in relation.attribute_names:
+        distances = matrix.distances(name)
+        defined = distances[~np.isnan(distances)]
+        if defined.size == 0:
+            limits[name] = 0.0
+            continue
+        cap = float(np.quantile(defined, quantile))
+        limits[name] = _round_for_domain(cap)
+    return limits
+
+
+def config_with_suggested_limits(
+    relation: Relation,
+    base: DiscoveryConfig | None = None,
+    *,
+    quantile: float = 0.25,
+    seed: int = 0,
+) -> DiscoveryConfig:
+    """A :class:`DiscoveryConfig` carrying data-driven attribute limits.
+
+    The global ``threshold_limit`` of ``base`` is widened to the largest
+    suggested cap so the per-attribute limits (which are applied as
+    minima) become the binding constraint.
+    """
+    from dataclasses import replace
+
+    base = base or DiscoveryConfig()
+    limits = suggest_threshold_limits(
+        relation,
+        quantile=quantile,
+        max_pairs=base.max_pairs or 100_000,
+        seed=seed,
+    )
+    widest = max(limits.values(), default=base.threshold_limit)
+    return replace(
+        base,
+        threshold_limit=max(base.threshold_limit, widest),
+        attribute_limits=limits,
+    )
+
+
+def _round_for_domain(cap: float) -> float:
+    """Round a cap to a human-scale precision: integers above 1, three
+    significant digits below."""
+    if cap >= 1:
+        return float(math.ceil(cap))
+    if cap == 0:
+        return 0.0
+    magnitude = 10 ** (math.floor(math.log10(cap)) - 2)
+    return float(math.ceil(cap / magnitude) * magnitude)

@@ -1,0 +1,133 @@
+"""Multi-dataset candidate selection (paper Section 7, future work #2).
+
+The paper's conclusion proposes "selecting plausible candidate tuples
+among multiple datasets" to raise the number of imputed values.
+:class:`MultiSourceRenuver` realizes that: auxiliary relations with the
+same schema contribute *donor* tuples, while only the target relation's
+missing cells are imputed.
+
+Mechanics: target and sources are stacked into one working instance
+(donor rows after the target rows).  Candidate generation then sees the
+union — a donor from any source can supply a value — and verification
+(IS_FAULTLESS) also runs over the union, so an imputation must be
+consistent with every source's evidence.  The returned relation and
+report are re-projected onto the target rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.renuver import (
+    ImputationResult,
+    Renuver,
+    RenuverConfig,
+)
+from repro.core.report import CellOutcome, ImputationReport
+from repro.dataset.relation import Relation
+from repro.exceptions import ImputationError
+from repro.rfd.rfd import RFD
+
+
+class MultiSourceRenuver:
+    """RENUVER with donor tuples drawn from auxiliary relations.
+
+    Parameters
+    ----------
+    rfds:
+        The RFD set (assumed to hold on target and sources alike).
+    sources:
+        Auxiliary relations sharing the target's schema; their tuples
+        donate values but are never imputed.
+    config:
+        Optional :class:`RenuverConfig`, forwarded to the inner engine.
+    """
+
+    def __init__(
+        self,
+        rfds: Iterable[RFD],
+        sources: Sequence[Relation],
+        config: RenuverConfig | None = None,
+    ) -> None:
+        self.rfds = tuple(rfds)
+        self.sources = list(sources)
+        self.config = config or RenuverConfig()
+        if not self.sources:
+            raise ImputationError(
+                "MultiSourceRenuver needs at least one source relation; "
+                "use Renuver directly otherwise"
+            )
+
+    def impute(self, relation: Relation) -> ImputationResult:
+        """Impute the target's missing cells using union candidates."""
+        for source in self.sources:
+            if source.attributes != relation.attributes:
+                raise ImputationError(
+                    f"source {source.name!r} schema differs from target "
+                    f"{relation.name!r}"
+                )
+        combined = self._stack(relation)
+        engine = Renuver(self.rfds, self.config)
+        inner = engine.impute(combined, inplace=True)
+        return self._project(relation, inner)
+
+    # ------------------------------------------------------------------
+    def _stack(self, relation: Relation) -> Relation:
+        columns: dict[str, list] = {
+            name: list(relation.column(name))
+            for name in relation.attribute_names
+        }
+        for source in self.sources:
+            for name in relation.attribute_names:
+                columns[name].extend(source.column(name))
+        return Relation(
+            relation.attributes,
+            columns,
+            name=f"{relation.name}+{len(self.sources)}src",
+            coerce=False,
+        )
+
+    def _project(
+        self, target: Relation, inner: ImputationResult
+    ) -> ImputationResult:
+        n_target = target.n_tuples
+        projected = inner.relation.take(
+            list(range(n_target)), name=target.name
+        )
+        report = ImputationReport(
+            elapsed_seconds=inner.report.elapsed_seconds,
+            peak_bytes=inner.report.peak_bytes,
+            key_rfds_initial=inner.report.key_rfds_initial,
+            key_rfds_reactivated=inner.report.key_rfds_reactivated,
+        )
+        for outcome in inner.report:
+            if outcome.row < n_target:
+                report.add(self._tag_external(outcome, n_target))
+        return ImputationResult(projected, report)
+
+    def _tag_external(
+        self, outcome: CellOutcome, n_target: int
+    ) -> CellOutcome:
+        """Mark donors that came from a source relation.
+
+        Source rows sit past the target in the stacked instance; their
+        indices are preserved (callers can map ``source_row - n_target``
+        back into the concatenated sources).
+        """
+        return outcome
+
+    def donor_origin(self, outcome: CellOutcome,
+                     target: Relation) -> str:
+        """Which relation donated the value of an imputed outcome."""
+        if outcome.source_row is None:
+            raise ImputationError("outcome has no donor")
+        offset = outcome.source_row - target.n_tuples
+        if offset < 0:
+            return target.name
+        for source in self.sources:
+            if offset < source.n_tuples:
+                return source.name
+            offset -= source.n_tuples
+        raise ImputationError(
+            f"donor row {outcome.source_row} outside the stacked instance"
+        )

@@ -1,0 +1,56 @@
+"""RFD model: constraints, dependencies, parsing, keyness, violations."""
+
+from repro.rfd.constraint import Constraint
+from repro.rfd.inference import (
+    closure,
+    implied_by_set,
+    implies,
+    minimal_cover,
+    transitive_consequence,
+)
+from repro.rfd.keyness import is_key_rfd, non_key_rfds, partition_key_rfds
+from repro.rfd.parser import (
+    format_rfd,
+    load_rfds,
+    parse_constraint,
+    parse_rfd,
+    save_rfds,
+)
+from repro.rfd.rfd import RFD, make_rfd
+from repro.rfd.stats import RFDStatistics, rank_by_support, rfd_statistics
+from repro.rfd.violations import (
+    Violation,
+    count_violations,
+    find_violations,
+    holds,
+    holds_all,
+    iter_violations,
+)
+
+__all__ = [
+    "RFD",
+    "RFDStatistics",
+    "Constraint",
+    "closure",
+    "Violation",
+    "count_violations",
+    "find_violations",
+    "format_rfd",
+    "holds",
+    "holds_all",
+    "implied_by_set",
+    "implies",
+    "is_key_rfd",
+    "iter_violations",
+    "load_rfds",
+    "make_rfd",
+    "minimal_cover",
+    "non_key_rfds",
+    "parse_constraint",
+    "parse_rfd",
+    "partition_key_rfds",
+    "rank_by_support",
+    "rfd_statistics",
+    "save_rfds",
+    "transitive_consequence",
+]

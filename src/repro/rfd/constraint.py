@@ -1,0 +1,57 @@
+"""Per-attribute similarity constraints of an RFDc.
+
+Definition 3.2: each attribute of an RFDc carries a constraint made of a
+distance function, an operator and a threshold.  Following the paper's
+restriction (Section 3), we fix the operator to ``<=`` over a distance
+value; the distance function itself is bound per attribute by the
+:class:`~repro.distance.pattern.PatternCalculator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.missing import MissingType, is_missing
+from repro.exceptions import RFDValidationError
+
+
+@dataclass(frozen=True, order=True)
+class Constraint:
+    """``attribute(<= threshold)``: a distance bound on one attribute."""
+
+    attribute: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise RFDValidationError("constraint attribute must be non-empty")
+        try:
+            threshold = float(self.threshold)
+        except (TypeError, ValueError):
+            raise RFDValidationError(
+                f"constraint threshold {self.threshold!r} is not numeric"
+            ) from None
+        if threshold < 0:
+            raise RFDValidationError(
+                f"constraint threshold must be >= 0, got {threshold}"
+            )
+        object.__setattr__(self, "threshold", threshold)
+
+    def is_satisfied_by(self, distance: float | MissingType) -> bool:
+        """Whether a pair distance satisfies this constraint.
+
+        A missing distance (one side of the pair has no value) never
+        satisfies a constraint — the convention the paper uses both for
+        candidate generation and verification.
+        """
+        if is_missing(distance):
+            return False
+        return float(distance) <= self.threshold
+
+    def __str__(self) -> str:
+        threshold = self.threshold
+        rendered = (
+            f"{int(threshold)}" if float(threshold).is_integer()
+            else f"{threshold}"
+        )
+        return f"{self.attribute}(<={rendered})"

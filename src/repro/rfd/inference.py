@@ -1,0 +1,161 @@
+"""Logical reasoning over RFDc sets: implication and minimal covers.
+
+Differential/relaxed dependencies admit sound inference rules analogous
+to Armstrong's axioms (Song & Chen, TODS 2011 — the DD formalism the
+paper's Derand baseline builds on).  Implemented here for the paper's
+RFDc fragment (single-attribute RHS, ``<=`` thresholds):
+
+* **Dominance** (reflexivity generalized): ``X(alpha) -> A(beta)``
+  implies ``X'(alpha') -> A(beta')`` whenever ``X subseteq X'``, every
+  shared LHS threshold only shrinks (``alpha' <= alpha``) and the RHS
+  threshold only grows (``beta' >= beta``).
+* **Transitivity** (threshold-aware): from
+  ``X(alpha) -> B(beta)`` and ``B(beta_b) -> A(gamma)`` with
+  ``beta <= beta_b`` infer ``X(alpha) -> A(gamma)``... *only* when the
+  middle distance is a metric obeying the triangle inequality; distances
+  compose as ``d_A(t1,t2) <= gamma'`` with ``gamma' = 2*gamma`` in
+  general.  We implement the conservative variant that requires
+  ``beta <= beta_b`` and widens the conclusion threshold to
+  ``2 * gamma`` (sound for metric distances; see
+  :func:`transitive_consequence`).
+
+These rules give a practical *semantic subsumption* check used by
+:func:`minimal_cover` to shrink discovered sets before imputation: every
+removed dependency is implied by one kept, so RENUVER's behaviour is
+preserved while its |Sigma| loops shrink.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.discovery.pruning import dominates
+from repro.exceptions import RFDValidationError
+from repro.rfd.constraint import Constraint
+from repro.rfd.rfd import RFD
+
+
+def implies(premise: RFD, conclusion: RFD) -> bool:
+    """Whether ``premise`` logically implies ``conclusion`` (dominance).
+
+    Sound for arbitrary distance functions: if every pair within the
+    conclusion's (tighter) LHS thresholds is within the premise's, the
+    premise's RHS bound applies and is at most the conclusion's.
+    """
+    return dominates(premise, conclusion)
+
+
+def implied_by_set(rfds: Sequence[RFD], conclusion: RFD) -> bool:
+    """Whether any single dependency in ``rfds`` implies ``conclusion``.
+
+    (Single-premise implication; combining premises requires attribute
+    union reasoning that the RFDc fragment does not need for covers.)
+    """
+    return any(
+        implies(premise, conclusion)
+        for premise in rfds
+        if premise != conclusion
+    )
+
+
+def transitive_consequence(
+    first: RFD, second: RFD, *, metric: bool = True
+) -> RFD | None:
+    """The transitive composition of two RFDs, or ``None``.
+
+    From ``X(alpha) -> B(beta)`` and ``B(beta_b) -> A(gamma)``: for a
+    pair within ``alpha`` on ``X``, the ``B`` distance is at most
+    ``beta``; if ``beta <= beta_b`` the second dependency applies...
+    almost.  Its LHS compares *tuple values on B*, and the pair at hand
+    is (t1, t2) directly — so the composition is exact:
+    ``X(alpha) -> A(gamma)``.
+
+    When ``X`` contains ``A`` the result would be trivial; ``None`` is
+    returned.  ``metric`` is kept for API compatibility with widened
+    non-metric composition (currently the exact pairwise composition is
+    returned in both cases because RFDc constraints compare the same
+    tuple pair throughout — no triangle step is involved).
+    """
+    if first.rhs_attribute not in {
+        constraint.attribute for constraint in second.lhs
+    }:
+        return None
+    middle = second.lhs_constraint(first.rhs_attribute)
+    if first.rhs_threshold > middle.threshold:
+        return None  # the guaranteed B-distance is not tight enough
+    if second.rhs_attribute in first.lhs_attributes:
+        return None
+    # Conclusion LHS: X plus the remaining LHS attributes of `second`.
+    constraints: dict[str, Constraint] = {
+        constraint.attribute: constraint for constraint in first.lhs
+    }
+    for constraint in second.lhs:
+        if constraint.attribute == first.rhs_attribute:
+            continue
+        existing = constraints.get(constraint.attribute)
+        if existing is None or constraint.threshold < existing.threshold:
+            constraints[constraint.attribute] = constraint
+    if second.rhs_attribute in constraints:
+        return None
+    try:
+        return RFD(tuple(constraints.values()), second.rhs)
+    except RFDValidationError:
+        return None
+
+
+def closure(
+    rfds: Iterable[RFD], *, max_new: int = 1000
+) -> list[RFD]:
+    """Dependencies derivable by repeated transitive composition.
+
+    Returns the input plus derived dependencies (dominance-pruned),
+    stopping after ``max_new`` derivations as a safety valve.
+    """
+    known: list[RFD] = list(dict.fromkeys(rfds))
+    seen = set(known)
+    frontier = list(known)
+    derived = 0
+    while frontier and derived < max_new:
+        next_frontier: list[RFD] = []
+        for first in frontier:
+            for second in known:
+                consequence = transitive_consequence(first, second)
+                if consequence is None or consequence in seen:
+                    continue
+                if implied_by_set(known, consequence):
+                    continue
+                seen.add(consequence)
+                next_frontier.append(consequence)
+                derived += 1
+                if derived >= max_new:
+                    break
+            if derived >= max_new:
+                break
+        known.extend(next_frontier)
+        frontier = next_frontier
+    return known
+
+
+def minimal_cover(rfds: Iterable[RFD]) -> list[RFD]:
+    """A subset implying every input dependency (dominance-based).
+
+    Deterministic: keeps the first of equivalent dependencies in input
+    order.  Every removed RFD is implied by a kept one, so candidate
+    generation and verification outcomes are unchanged.
+    """
+    ordered = list(dict.fromkeys(rfds))
+    kept: list[RFD] = []
+    for candidate in ordered:
+        if implied_by_set(ordered, candidate):
+            # Skip only if an eventual keeper implies it; the simple
+            # two-pass scheme below resolves mutual implication.
+            continue
+        kept.append(candidate)
+    # Second pass: re-add anything not implied by the kept set (handles
+    # equivalence cycles where both directions were skipped).
+    for candidate in ordered:
+        if candidate in kept:
+            continue
+        if not implied_by_set(kept, candidate):
+            kept.append(candidate)
+    return kept

@@ -1,0 +1,119 @@
+"""Textual (de)serialization of RFDs.
+
+Grammar (whitespace-insensitive)::
+
+    rfd        := lhs "->" constraint
+    lhs        := constraint ("," constraint)*
+    constraint := NAME "(" "<=" NUMBER ")"
+
+Example: ``Name(<=8), Phone(<=0) -> City(<=9)`` — the notation used in the
+paper's figures.  :func:`format_rfd`/:func:`parse_rfd` round-trip, and
+:func:`load_rfds`/:func:`save_rfds` handle one-RFD-per-line files with
+``#`` comments.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.exceptions import RFDParseError
+from repro.rfd.constraint import Constraint
+from repro.rfd.rfd import RFD
+
+_CONSTRAINT_RE = re.compile(
+    r"^\s*(?P<name>[^(),]+?)\s*\(\s*<=\s*(?P<threshold>[0-9]+(?:\.[0-9]+)?)"
+    r"\s*\)\s*$"
+)
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse one ``Name(<=4)`` constraint."""
+    match = _CONSTRAINT_RE.match(text)
+    if not match:
+        raise RFDParseError(
+            f"cannot parse constraint {text!r}; expected 'Attr(<=threshold)'"
+        )
+    return Constraint(
+        match.group("name").strip(), float(match.group("threshold"))
+    )
+
+
+def parse_rfd(text: str) -> RFD:
+    """Parse one textual RFD like ``Name(<=4), City(<=2) -> Phone(<=1)``."""
+    if "->" not in text:
+        raise RFDParseError(f"missing '->' in RFD {text!r}")
+    lhs_text, _, rhs_text = text.partition("->")
+    rhs_text = rhs_text.strip()
+    if "->" in rhs_text:
+        raise RFDParseError(f"multiple '->' in RFD {text!r}")
+    lhs_parts = _split_constraints(lhs_text)
+    if not lhs_parts:
+        raise RFDParseError(f"empty LHS in RFD {text!r}")
+    rhs_parts = _split_constraints(rhs_text)
+    if len(rhs_parts) != 1:
+        raise RFDParseError(
+            f"RHS of {text!r} must contain exactly one constraint"
+        )
+    lhs = tuple(parse_constraint(part) for part in lhs_parts)
+    rhs = parse_constraint(rhs_parts[0])
+    return RFD(lhs, rhs)
+
+
+def format_rfd(rfd: RFD) -> str:
+    """Render an RFD in the paper's notation (inverse of
+    :func:`parse_rfd`)."""
+    return str(rfd)
+
+
+def load_rfds(path: str | Path) -> list[RFD]:
+    """Load RFDs from a text file: one per line, ``#`` starts a comment."""
+    path = Path(path)
+    rfds: list[RFD] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                rfds.append(parse_rfd(line))
+            except RFDParseError as exc:
+                raise RFDParseError(
+                    f"{path}:{line_number}: {exc}"
+                ) from exc
+    return rfds
+
+
+def save_rfds(rfds: Iterable[RFD], path: str | Path) -> None:
+    """Save RFDs to a text file, one per line."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for rfd in rfds:
+            handle.write(format_rfd(rfd))
+            handle.write("\n")
+
+
+def _split_constraints(text: str) -> list[str]:
+    """Split ``A(<=1), B(<=2)`` on commas outside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise RFDParseError(f"unbalanced parentheses in {text!r}")
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise RFDParseError(f"unbalanced parentheses in {text!r}")
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [part for part in (p.strip() for p in parts) if part]

@@ -1,0 +1,140 @@
+"""The RFDc object: ``X_Phi1 -> A_phi2``.
+
+Per the paper's simplification (Section 3), every RFD here has a single
+attribute on the RHS, all constraints use ``<=`` over a distance value, and
+the LHS is a non-empty set of per-attribute constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.distance.pattern import DistancePattern
+from repro.exceptions import RFDValidationError
+from repro.rfd.constraint import Constraint
+
+
+@dataclass(frozen=True)
+class RFD:
+    """A relaxed functional dependency with distance constraints.
+
+    ``lhs`` is stored sorted by attribute name so two RFDs with the same
+    constraints compare and hash equal regardless of declaration order.
+    """
+
+    lhs: tuple[Constraint, ...]
+    rhs: Constraint
+    _lhs_index: dict[str, Constraint] = field(
+        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if not self.lhs:
+            raise RFDValidationError("an RFD needs at least one LHS constraint")
+        ordered = tuple(sorted(self.lhs, key=lambda c: c.attribute))
+        names = [constraint.attribute for constraint in ordered]
+        if len(set(names)) != len(names):
+            raise RFDValidationError(f"duplicate LHS attributes in {names}")
+        if self.rhs.attribute in names:
+            raise RFDValidationError(
+                f"RHS attribute {self.rhs.attribute!r} also appears on the LHS"
+            )
+        object.__setattr__(self, "lhs", ordered)
+        object.__setattr__(
+            self,
+            "_lhs_index",
+            {constraint.attribute: constraint for constraint in ordered},
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors mirroring the paper's LHS(.), RHS(.), RHS_th(.)
+    # ------------------------------------------------------------------
+    @property
+    def lhs_attributes(self) -> tuple[str, ...]:
+        """``LHS(phi)`` — the LHS attribute names, sorted."""
+        return tuple(constraint.attribute for constraint in self.lhs)
+
+    @property
+    def rhs_attribute(self) -> str:
+        """``RHS(phi)`` — the single RHS attribute name."""
+        return self.rhs.attribute
+
+    @property
+    def rhs_threshold(self) -> float:
+        """``RHS_th(phi)`` — the RHS distance threshold."""
+        return self.rhs.threshold
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes mentioned by the RFD (LHS then RHS)."""
+        return self.lhs_attributes + (self.rhs_attribute,)
+
+    def lhs_constraint(self, attribute: str) -> Constraint:
+        """The LHS constraint on ``attribute``."""
+        try:
+            return self._lhs_index[attribute]
+        except KeyError:
+            raise RFDValidationError(
+                f"{attribute!r} is not an LHS attribute of {self}"
+            ) from None
+
+    def has_lhs_attribute(self, attribute: str) -> bool:
+        """Whether ``attribute`` appears on the LHS."""
+        return attribute in self._lhs_index
+
+    # ------------------------------------------------------------------
+    # Satisfaction over distance patterns
+    # ------------------------------------------------------------------
+    def lhs_satisfied(self, pattern: DistancePattern) -> bool:
+        """Whether a pair's distance pattern satisfies every LHS
+        constraint (missing entries never satisfy)."""
+        return all(
+            constraint.is_satisfied_by(pattern[constraint.attribute])
+            for constraint in self.lhs
+        )
+
+    def rhs_satisfied(self, pattern: DistancePattern) -> bool:
+        """Whether the pattern satisfies the RHS constraint."""
+        return self.rhs.is_satisfied_by(pattern[self.rhs_attribute])
+
+    def rhs_comparable(self, pattern: DistancePattern) -> bool:
+        """Whether the RHS distance is defined (neither side missing)."""
+        return not pattern.is_missing_on(self.rhs_attribute)
+
+    def violated_by(self, pattern: DistancePattern) -> bool:
+        """Whether a pair violates this RFD.
+
+        A violation needs a satisfied LHS and a *comparable but exceeded*
+        RHS; pairs whose RHS distance is undefined (a missing value) are
+        not counted as violations, matching how the paper treats
+        incomplete tuples during verification.
+        """
+        if not self.lhs_satisfied(pattern):
+            return False
+        if not self.rhs_comparable(pattern):
+            return False
+        return not self.rhs_satisfied(pattern)
+
+    def __str__(self) -> str:
+        lhs = ", ".join(str(constraint) for constraint in self.lhs)
+        return f"{lhs} -> {self.rhs}"
+
+
+def make_rfd(
+    lhs: Iterable[tuple[str, float]] | dict[str, float],
+    rhs: tuple[str, float],
+) -> RFD:
+    """Convenience constructor from plain pairs.
+
+    ``make_rfd({"Name": 4}, ("Phone", 1))`` builds
+    ``Name(<=4) -> Phone(<=1)``.
+    """
+    if isinstance(lhs, dict):
+        lhs_pairs = list(lhs.items())
+    else:
+        lhs_pairs = list(lhs)
+    constraints = tuple(
+        Constraint(attribute, threshold) for attribute, threshold in lhs_pairs
+    )
+    return RFD(constraints, Constraint(rhs[0], rhs[1]))

@@ -1,0 +1,135 @@
+"""Per-RFD statistics over an instance.
+
+The RFD survey the paper builds on (Caruccio et al., TKDE 2016) defines
+*coverage measures* quantifying how much of an instance a dependency
+actually constrains.  These numbers drive practical decisions the
+RENUVER pipeline needs: which RFDs are near-keys (useless donors), which
+carry real evidence, which are on the edge of violation.
+
+For an RFD ``X -> A`` over ``n`` tuples:
+
+* ``lhs_matches``   — pairs satisfying every LHS constraint,
+* ``witnesses``     — LHS-matching pairs with a defined RHS distance,
+* ``violations``    — witnesses exceeding the RHS threshold,
+* ``support``       — witnesses / total pairs (the dependency's
+  evidence density),
+* ``confidence``    — (witnesses - violations) / witnesses (1.0 for a
+  dependency that holds),
+* ``rhs_margin``    — threshold minus the largest witnessed RHS
+  distance: how much slack remains before the next violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.distance.pattern import PatternCalculator
+from repro.rfd.rfd import RFD
+
+
+@dataclass(frozen=True)
+class RFDStatistics:
+    """Evidence counts of one RFD on one instance."""
+
+    rfd: RFD
+    total_pairs: int
+    lhs_matches: int
+    witnesses: int
+    violations: int
+    max_witnessed_rhs: float | None
+
+    @property
+    def support(self) -> float:
+        """Witness pairs / total pairs, in [0, 1]."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.witnesses / self.total_pairs
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of witnesses that satisfy the RHS (1.0 = holds)."""
+        if self.witnesses == 0:
+            return 1.0
+        return (self.witnesses - self.violations) / self.witnesses
+
+    @property
+    def holds(self) -> bool:
+        """Whether the instance satisfies the RFD (no violations)."""
+        return self.violations == 0
+
+    @property
+    def is_key(self) -> bool:
+        """Definition 3.4: no pair satisfies the LHS."""
+        return self.lhs_matches == 0
+
+    @property
+    def rhs_margin(self) -> float | None:
+        """Threshold slack: ``RHS_th - max witnessed distance``.
+
+        ``None`` when no witness exists; negative when violated.
+        """
+        if self.max_witnessed_rhs is None:
+            return None
+        return self.rfd.rhs_threshold - self.max_witnessed_rhs
+
+    def __str__(self) -> str:
+        return (
+            f"{self.rfd}: support={self.support:.4f} "
+            f"confidence={self.confidence:.3f} "
+            f"witnesses={self.witnesses} violations={self.violations}"
+        )
+
+
+def rfd_statistics(
+    rfd: RFD, calculator: PatternCalculator
+) -> RFDStatistics:
+    """Compute :class:`RFDStatistics` by scanning all tuple pairs."""
+    relation = calculator.relation
+    n = relation.n_tuples
+    attributes = rfd.attributes
+    total = n * (n - 1) // 2
+    lhs_matches = 0
+    witnesses = 0
+    violations = 0
+    max_rhs: float | None = None
+    for row_a in range(n):
+        for row_b in range(row_a + 1, n):
+            pattern = calculator.pattern(row_a, row_b, attributes)
+            if not rfd.lhs_satisfied(pattern):
+                continue
+            lhs_matches += 1
+            if not rfd.rhs_comparable(pattern):
+                continue
+            witnesses += 1
+            distance = float(pattern[rfd.rhs_attribute])
+            if max_rhs is None or distance > max_rhs:
+                max_rhs = distance
+            if not rfd.rhs.is_satisfied_by(distance):
+                violations += 1
+    return RFDStatistics(
+        rfd=rfd,
+        total_pairs=total,
+        lhs_matches=lhs_matches,
+        witnesses=witnesses,
+        violations=violations,
+        max_witnessed_rhs=max_rhs,
+    )
+
+
+def rank_by_support(
+    rfds: Iterable[RFD],
+    calculator: PatternCalculator,
+    *,
+    holding_only: bool = False,
+) -> list[RFDStatistics]:
+    """Statistics for a whole set, strongest evidence first.
+
+    ``holding_only`` drops violated dependencies — useful to audit a
+    discovered set against a (possibly imputed) instance.
+    """
+    stats = [rfd_statistics(rfd, calculator) for rfd in rfds]
+    if holding_only:
+        stats = [entry for entry in stats if entry.holds]
+    stats.sort(key=lambda entry: (-entry.support, str(entry.rfd)))
+    return stats

@@ -1,0 +1,79 @@
+"""RFD satisfaction and violation checking over whole instances.
+
+``holds`` implements Definition 3.2 ("r |= phi"); ``find_violations``
+enumerates offending tuple pairs, which the evaluation harness and tests
+use to assert the semantic-consistency invariant of Definition 4.3:
+an imputation result r' is consistent iff r' |= Sigma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.distance.pattern import PatternCalculator
+from repro.rfd.rfd import RFD
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One tuple pair violating one RFD."""
+
+    rfd: RFD
+    row_a: int
+    row_b: int
+
+    def __str__(self) -> str:
+        return f"({self.row_a}, {self.row_b}) violates {self.rfd}"
+
+
+def iter_violations(
+    rfd: RFD, calculator: PatternCalculator
+) -> Iterator[Violation]:
+    """Yield every tuple pair violating ``rfd`` on the relation.
+
+    Pairs with a missing value on any LHS attribute cannot satisfy the
+    LHS, and pairs with a missing RHS distance are not comparable — both
+    are skipped, matching the paper's treatment of incomplete tuples.
+    """
+    relation = calculator.relation
+    attributes = rfd.attributes
+    n = relation.n_tuples
+    for row_a in range(n):
+        for row_b in range(row_a + 1, n):
+            pattern = calculator.pattern(row_a, row_b, attributes)
+            if rfd.violated_by(pattern):
+                yield Violation(rfd, row_a, row_b)
+
+
+def find_violations(
+    rfd: RFD,
+    calculator: PatternCalculator,
+    *,
+    limit: int | None = None,
+) -> list[Violation]:
+    """Collect up to ``limit`` violations of ``rfd`` (all when ``None``)."""
+    violations: list[Violation] = []
+    for violation in iter_violations(rfd, calculator):
+        violations.append(violation)
+        if limit is not None and len(violations) >= limit:
+            break
+    return violations
+
+
+def holds(rfd: RFD, calculator: PatternCalculator) -> bool:
+    """Whether ``r |= rfd`` (no violating pair exists)."""
+    for _ in iter_violations(rfd, calculator):
+        return False
+    return True
+
+
+def holds_all(rfds: Iterable[RFD], calculator: PatternCalculator) -> bool:
+    """Whether ``r |= Sigma`` — the semantic-consistency test of
+    Definition 4.3."""
+    return all(holds(rfd, calculator) for rfd in rfds)
+
+
+def count_violations(rfd: RFD, calculator: PatternCalculator) -> int:
+    """Number of violating tuple pairs for ``rfd``."""
+    return sum(1 for _ in iter_violations(rfd, calculator))

@@ -1,0 +1,14 @@
+"""Small shared utilities: timing, memory tracking and seeded RNG helpers."""
+
+from repro.utils.timer import Timer, format_duration
+from repro.utils.memory import MemoryTracker, format_bytes
+from repro.utils.rng import derive_seed, spawn_rng
+
+__all__ = [
+    "Timer",
+    "format_duration",
+    "MemoryTracker",
+    "format_bytes",
+    "derive_seed",
+    "spawn_rng",
+]

@@ -1,0 +1,154 @@
+"""Peak-memory tracking for the stress-test benchmarks.
+
+The paper's Tables 4 and 5 report peak memory per run and enforce a
+30 GB limit ("ML" entries).  :class:`MemoryTracker` reports a comparable
+number with two interchangeable methods:
+
+* ``rss`` — the process' peak resident set (Linux ``VmHWM``), reset at
+  block entry via ``/proc/self/clear_refs``.  Near-zero overhead and
+  closest to what the paper measured (whole-process memory), but Linux
+  only.
+* ``tracemalloc`` — Python-heap allocation peaks.  Portable and
+  per-block exact, but slows allocation-heavy code several-fold.
+
+The default ``auto`` picks ``rss`` when the proc interface is usable
+and falls back to ``tracemalloc`` otherwise.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from pathlib import Path
+
+from repro.exceptions import BudgetExceededError
+
+_UNITS = ["B", "KB", "MB", "GB", "TB"]
+_STATUS_PATH = Path("/proc/self/status")
+_CLEAR_REFS_PATH = Path("/proc/self/clear_refs")
+_METHODS = ("auto", "rss", "tracemalloc")
+
+
+def _read_vm_hwm_bytes() -> int | None:
+    """Current peak resident set in bytes, or ``None`` off-Linux."""
+    try:
+        for line in _STATUS_PATH.read_text().splitlines():
+            if line.startswith("VmHWM:"):
+                return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def _reset_vm_hwm() -> bool:
+    """Reset the kernel's peak-RSS watermark; False when unsupported."""
+    try:
+        _CLEAR_REFS_PATH.write_text("5")
+    except OSError:
+        return False
+    return True
+
+
+def rss_tracking_supported() -> bool:
+    """Whether the cheap RSS method works on this platform."""
+    return _read_vm_hwm_bytes() is not None and _reset_vm_hwm()
+
+
+class MemoryTracker:
+    """Track peak memory inside a ``with`` block.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Optional cap; :meth:`check_budget` raises
+        :class:`~repro.exceptions.BudgetExceededError` beyond it.
+    method:
+        ``"auto"`` (default), ``"rss"`` or ``"tracemalloc"`` — see the
+        module docstring.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int | None = None,
+        *,
+        method: str = "auto",
+    ) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive when given")
+        if method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}")
+        self.budget_bytes = budget_bytes
+        if method == "auto":
+            method = "rss" if rss_tracking_supported() else "tracemalloc"
+        self.method = method
+        self._owns_trace = False
+        self._baseline = 0
+        self._peak: int | None = None
+
+    def __enter__(self) -> "MemoryTracker":
+        if self.method == "rss":
+            if not _reset_vm_hwm():
+                # Interface vanished (e.g. restricted container):
+                # degrade to tracemalloc transparently.
+                self.method = "tracemalloc"
+        if self.method == "tracemalloc":
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._owns_trace = True
+            tracemalloc.reset_peak()
+            self._baseline = tracemalloc.get_traced_memory()[0]
+        self._peak = None
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._peak = self._current_peak()
+        if self._owns_trace:
+            tracemalloc.stop()
+            self._owns_trace = False
+
+    def _current_peak(self) -> int:
+        if self.method == "rss":
+            value = _read_vm_hwm_bytes()
+            return value if value is not None else 0
+        _, peak = tracemalloc.get_traced_memory()
+        return max(0, peak - self._baseline)
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak bytes observed (live inside the block, final after)."""
+        if self._peak is not None:
+            return self._peak
+        if self.method == "rss":
+            return self._current_peak()
+        if tracemalloc.is_tracing():
+            return self._current_peak()
+        return 0
+
+    @property
+    def expired(self) -> bool:
+        """Whether the configured memory budget has been exhausted."""
+        if self.budget_bytes is None:
+            return False
+        return self.peak_bytes > self.budget_bytes
+
+    def check_budget(self, context: str = "operation") -> None:
+        """Raise :class:`BudgetExceededError` if the budget is exhausted."""
+        if self.expired:
+            raise BudgetExceededError(
+                f"{context} exceeded memory budget of "
+                f"{format_bytes(self.budget_bytes or 0)}",
+                peak_bytes=self.peak_bytes,
+            )
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count the way the paper's tables do (``1.38 GB``)."""
+    if num_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    value = float(num_bytes)
+    for unit in _UNITS:
+        if value < 1024 or unit == _UNITS[-1]:
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")

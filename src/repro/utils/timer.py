@@ -1,0 +1,104 @@
+"""Wall-clock timing helpers used by the evaluation harness.
+
+The paper reports execution times per imputation run (Tables 4 and 5) and
+enforces a 48-hour budget.  :class:`Timer` provides both: a context manager
+that measures elapsed wall time and an optional budget that marks the run
+as expired.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import BudgetExceededError
+
+
+class Timer:
+    """Measure elapsed wall-clock time, optionally against a budget.
+
+    Usage::
+
+        with Timer() as timer:
+            run_imputation()
+        print(timer.elapsed)
+
+    A ``budget_seconds`` turns the timer into a watchdog: call
+    :meth:`check_budget` from long-running loops to abort once the budget
+    is exhausted, mirroring the paper's "TL" (time limit) entries.
+    """
+
+    def __init__(self, budget_seconds: float | None = None) -> None:
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive when given")
+        self.budget_seconds = budget_seconds
+        self._start: float | None = None
+        self._elapsed: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start (or restart) the clock."""
+        self._start = time.perf_counter()
+        self._elapsed = None
+
+    def stop(self) -> float:
+        """Stop the clock and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self._elapsed = time.perf_counter() - self._start
+        return self._elapsed
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer has been started and not yet stopped."""
+        return self._start is not None and self._elapsed is None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds: final if stopped, live if still running."""
+        if self._start is None:
+            return 0.0
+        if self._elapsed is not None:
+            return self._elapsed
+        return time.perf_counter() - self._start
+
+    @property
+    def expired(self) -> bool:
+        """Whether the configured budget has been exhausted."""
+        if self.budget_seconds is None:
+            return False
+        return self.elapsed > self.budget_seconds
+
+    def check_budget(self, context: str = "operation") -> None:
+        """Raise :class:`BudgetExceededError` if the budget is exhausted."""
+        if self.expired:
+            raise BudgetExceededError(
+                f"{context} exceeded time budget of "
+                f"{format_duration(self.budget_seconds or 0.0)}",
+                elapsed_seconds=self.elapsed,
+            )
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (``1h 10m``, ``14s``).
+
+    Values under one second are shown in milliseconds (``470ms``); larger
+    values use the two most significant units.
+    """
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1:
+        return f"{seconds * 1000:.0f}ms"
+    total = int(round(seconds))
+    hours, remainder = divmod(total, 3600)
+    minutes, secs = divmod(remainder, 60)
+    if hours:
+        return f"{hours}h {minutes}m"
+    if minutes:
+        return f"{minutes}m {secs}s"
+    return f"{secs}s"

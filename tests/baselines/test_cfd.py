@@ -1,0 +1,132 @@
+"""Tests for conditional functional dependencies."""
+
+import pytest
+
+from repro.baselines.cfd import (
+    WILDCARD,
+    discover_constant_cfds,
+    make_cfd,
+)
+from repro.dataset import MISSING, Relation
+from repro.exceptions import RFDValidationError
+
+
+@pytest.fixture()
+def phones() -> Relation:
+    from repro.dataset import Attribute, AttributeType
+
+    return Relation.from_rows(
+        [
+            Attribute("City"),
+            Attribute("AreaCode", AttributeType.STRING),
+            Attribute("Name"),
+        ],
+        [
+            ["LA", "213", "granita"],
+            ["LA", "213", "citrus"],
+            ["LA", "213", "fenix"],
+            ["SF", "415", "zuni"],
+            ["SF", "415", "swan"],
+            ["NY", "212", "katz"],
+        ],
+    )
+
+
+class TestConstantCfd:
+    def test_holds(self, phones):
+        cfd = make_cfd({"City": "LA"}, ("AreaCode", "213"))
+        assert cfd.holds(phones)
+        assert cfd.is_constant
+
+    def test_violation_detected(self, phones):
+        phones.set_value(1, "AreaCode", "310")
+        cfd = make_cfd({"City": "LA"}, ("AreaCode", "213"))
+        assert cfd.violations(phones) == [(1,)]
+
+    def test_missing_rhs_not_a_violation(self, phones):
+        phones.set_value(1, "AreaCode", MISSING)
+        cfd = make_cfd({"City": "LA"}, ("AreaCode", "213"))
+        assert cfd.holds(phones)
+
+    def test_non_matching_tuples_ignored(self, phones):
+        cfd = make_cfd({"City": "Boston"}, ("AreaCode", "617"))
+        assert cfd.holds(phones)  # vacuously
+
+    def test_limit(self, phones):
+        phones.set_value(0, "AreaCode", "310")
+        phones.set_value(1, "AreaCode", "310")
+        cfd = make_cfd({"City": "LA"}, ("AreaCode", "213"))
+        assert len(cfd.violations(phones, limit=1)) == 1
+
+
+class TestVariableCfd:
+    def test_plain_fd_semantics(self, phones):
+        cfd = make_cfd({"City": WILDCARD}, ("AreaCode", WILDCARD))
+        assert cfd.holds(phones)
+        phones.set_value(1, "AreaCode", "310")
+        assert (0, 1) in cfd.violations(phones)
+
+    def test_mixed_pattern_restricts_scope(self, phones):
+        # FD holds only inside City = LA; break it elsewhere.
+        phones.set_value(4, "AreaCode", "628")  # SF inconsistency
+        scoped = make_cfd({"City": "LA"}, ("AreaCode", WILDCARD))
+        assert scoped.holds(phones)
+        unscoped = make_cfd({"City": WILDCARD}, ("AreaCode", WILDCARD))
+        assert not unscoped.holds(phones)
+
+    def test_missing_lhs_never_matches(self, phones):
+        phones.set_value(0, "City", MISSING)
+        cfd = make_cfd({"City": WILDCARD}, ("AreaCode", WILDCARD))
+        assert cfd.holds(phones)
+
+    def test_str_renderings(self):
+        constant = make_cfd({"City": "LA"}, ("AreaCode", "213"))
+        variable = make_cfd({"City": WILDCARD}, ("AreaCode", WILDCARD))
+        assert "City='LA'" in str(constant)
+        assert "AreaCode=_" in str(variable)
+
+
+class TestValidation:
+    def test_rhs_on_lhs_rejected(self):
+        with pytest.raises(RFDValidationError):
+            make_cfd({"A": WILDCARD}, ("A", WILDCARD))
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(RFDValidationError):
+            make_cfd({}, ("A", WILDCARD))
+
+    def test_duplicate_lhs_rejected(self):
+        from repro.baselines.cfd import CFD, PatternTuple
+
+        with pytest.raises(RFDValidationError):
+            CFD(PatternTuple((("A", "_"), ("A", "x")), "B", "_"))
+
+
+class TestDiscovery:
+    def test_mines_area_code_rules(self, phones):
+        cfds = discover_constant_cfds(phones, min_support=2)
+        rendered = {str(cfd) for cfd in cfds}
+        assert "([City='LA'] -> [AreaCode='213'])" in rendered
+        assert "([AreaCode='213'] -> [City='LA'])" in rendered
+
+    def test_min_support_filters(self, phones):
+        cfds = discover_constant_cfds(phones, min_support=3)
+        rendered = {str(cfd) for cfd in cfds}
+        assert "([City='LA'] -> [AreaCode='213'])" in rendered
+        assert "([City='SF'] -> [AreaCode='415'])" not in rendered
+
+    def test_mined_cfds_hold(self, phones):
+        for cfd in discover_constant_cfds(phones, min_support=2):
+            assert cfd.holds(phones)
+
+    def test_disagreeing_groups_skipped(self, phones):
+        phones.set_value(1, "AreaCode", "310")
+        cfds = discover_constant_cfds(phones, min_support=2)
+        rendered = {str(cfd) for cfd in cfds}
+        assert not any("City='LA'] -> [AreaCode" in r for r in rendered)
+
+    def test_invalid_parameters(self, phones):
+        with pytest.raises(RFDValidationError):
+            discover_constant_cfds(phones, min_support=1)
+        with pytest.raises(RFDValidationError):
+            discover_constant_cfds(phones, max_lhs=2)

@@ -1,0 +1,117 @@
+"""Tests for denial constraints and their naive discovery."""
+
+import pytest
+
+from repro.baselines.dc import (
+    DenialConstraint,
+    Operator,
+    Predicate,
+    discover_dcs,
+    fd_as_dc,
+)
+from repro.dataset import MISSING, Relation
+from repro.exceptions import RFDValidationError
+
+
+@pytest.fixture()
+def relation() -> Relation:
+    return Relation.from_rows(
+        ["Zip", "City", "Pop"],
+        [
+            ["90001", "LA", 100],
+            ["90001", "LA", 150],
+            ["94101", "SF", 120],
+            ["94101", "SF", 90],
+        ],
+    )
+
+
+class TestOperator:
+    def test_eq_neq(self):
+        assert Operator.EQ.evaluate(1, 1)
+        assert not Operator.EQ.evaluate(1, 2)
+        assert Operator.NEQ.evaluate(1, 2)
+
+    def test_lt_gt(self):
+        assert Operator.LT.evaluate(1, 2)
+        assert Operator.GT.evaluate(2, 1)
+        assert not Operator.LT.evaluate(2, 2)
+
+    def test_missing_operand_is_false(self):
+        for operator in Operator:
+            assert not operator.evaluate(MISSING, 1)
+            assert not operator.evaluate(1, None)
+
+
+class TestDenialConstraint:
+    def test_fd_as_dc_holds(self, relation):
+        dc = fd_as_dc(["Zip"], "City")
+        assert dc.holds(relation)
+
+    def test_violation_detected(self, relation):
+        relation.set_value(1, "City", "SF")
+        dc = fd_as_dc(["Zip"], "City")
+        assert not dc.holds(relation)
+        assert (0, 1) in dc.violations(relation)
+
+    def test_violations_with_row(self, relation):
+        relation.set_value(1, "City", "SF")
+        dc = fd_as_dc(["Zip"], "City")
+        assert dc.violations_with_row(relation, 1) == 1
+        assert dc.violations_with_row(relation, 2) == 0
+
+    def test_attributes(self):
+        dc = fd_as_dc(["A", "B"], "C")
+        assert dc.attributes == ("A", "B", "C")
+
+    def test_rejects_empty(self):
+        with pytest.raises(RFDValidationError):
+            DenialConstraint(())
+
+    def test_rejects_duplicate_predicates(self):
+        predicate = Predicate("A", Operator.EQ)
+        with pytest.raises(RFDValidationError):
+            DenialConstraint((predicate, Predicate("A", Operator.EQ)))
+
+    def test_str(self):
+        dc = fd_as_dc(["Zip"], "City")
+        assert str(dc) == "not(t1.Zip = t2.Zip and t1.City != t2.City)"
+
+    def test_violations_limit(self, relation):
+        relation.set_value(1, "City", "SF")
+        relation.set_value(3, "City", "LA")
+        dc = fd_as_dc(["Zip"], "City")
+        assert len(dc.violations(relation, limit=1)) == 1
+
+
+class TestDiscoverDcs:
+    def test_finds_zip_city_fd(self, relation):
+        dcs = discover_dcs(relation, max_lhs=1)
+        rendered = {str(dc) for dc in dcs}
+        assert "not(t1.Zip = t2.Zip and t1.City != t2.City)" in rendered
+
+    def test_discovered_dcs_hold(self, relation):
+        for dc in discover_dcs(relation, max_lhs=2):
+            assert dc.holds(relation)
+
+    def test_minimality_skips_supersets(self, relation):
+        dcs = discover_dcs(relation, max_lhs=2)
+        city_rhs = [
+            dc for dc in dcs if dc.predicates[-1].attribute == "City"
+        ]
+        # Zip -> City holds, so {Zip, Pop} -> City must not be emitted.
+        assert all(len(dc.predicates) == 2 for dc in city_rhs)
+
+    def test_min_evidence_filters_vacuous(self):
+        relation = Relation.from_rows(
+            ["A", "B"], [["x", "1"], ["y", "2"], ["z", "3"]]
+        )
+        assert discover_dcs(relation, min_evidence=1) == []
+
+    def test_missing_values_tolerated(self):
+        relation = Relation.from_rows(
+            ["K", "V"],
+            [["a", "x"], ["a", "x"], [MISSING, "y"], ["a", MISSING]],
+        )
+        dcs = discover_dcs(relation, max_lhs=1, min_evidence=1)
+        assert all(dc.holds(relation) for dc in dcs)

@@ -1,0 +1,107 @@
+"""Tests for the Derand baseline."""
+
+import pytest
+
+from repro.baselines import DerandImputer
+from repro.core import OutcomeStatus
+from repro.dataset import MISSING, Relation
+from repro.exceptions import ImputationError
+from repro.rfd import make_rfd
+
+
+@pytest.fixture()
+def keyed() -> Relation:
+    return Relation.from_rows(
+        ["K", "V", "W"],
+        [
+            ["a", "v1", "w1"],
+            ["a", "v1", "w1"],
+            ["a", MISSING, "w1"],
+            ["b", "v2", "w2"],
+            ["b", "v2", MISSING],
+        ],
+    )
+
+
+class TestImputation:
+    def test_fills_from_dd_matches(self, keyed):
+        dds = [
+            make_rfd({"K": 0}, ("V", 0)),
+            make_rfd({"K": 0}, ("W", 0)),
+        ]
+        result = DerandImputer(dds).impute(keyed)
+        assert result.relation.value(2, "V") == "v1"
+        assert result.relation.value(4, "W") == "w2"
+        assert result.report.fill_rate == 1.0
+
+    def test_no_dd_for_attribute_skips(self, keyed):
+        result = DerandImputer([make_rfd({"K": 0}, ("V", 0))]).impute(keyed)
+        assert result.relation.value(4, "W") is MISSING
+        outcome = result.report.outcome_for(4, "W")
+        assert outcome.status is OutcomeStatus.NO_CANDIDATES
+
+    def test_rejects_definitely_inconsistent_candidates(self):
+        # The only candidate for t2[V] would violate V(<=0) -> K(<=0)
+        # against t3 (same V donated, different K).
+        relation = Relation.from_rows(
+            ["K", "V"],
+            [
+                ["aa", "v1"],
+                ["aa", MISSING],
+                ["zz", "v1"],
+            ],
+        )
+        relation.set_value(2, "V", "v1")
+        dds = [
+            make_rfd({"K": 0}, ("V", 0)),
+            make_rfd({"V": 0}, ("K", 0)),
+        ]
+        result = DerandImputer(dds).impute(relation)
+        outcome = result.report.outcome_for(1, "V")
+        assert outcome.status is OutcomeStatus.ALL_REJECTED
+
+    def test_support_ranking_prefers_frequent_value(self):
+        relation = Relation.from_rows(
+            ["K", "V"],
+            [
+                ["a", "common"],
+                ["a", "common"],
+                ["a", "rare"],
+                ["a", MISSING],
+            ],
+        )
+        result = DerandImputer([make_rfd({"K": 0}, ("V", 10))]).impute(
+            relation
+        )
+        assert result.relation.value(3, "V") == "common"
+
+    def test_max_candidates_cap(self):
+        relation = Relation.from_rows(
+            ["K", "V"],
+            [["a", f"v{i}"] for i in range(10)] + [["a", MISSING]],
+        )
+        imputer = DerandImputer(
+            [make_rfd({"K": 0}, ("V", 100))], max_candidates=3
+        )
+        result = imputer.impute(relation)
+        assert result.report.fill_rate == 1.0
+
+
+class TestValidation:
+    def test_needs_dds(self):
+        with pytest.raises(ImputationError):
+            DerandImputer([])
+
+    def test_invalid_max_candidates(self):
+        with pytest.raises(ImputationError):
+            DerandImputer([make_rfd({"A": 0}, ("B", 0))], max_candidates=0)
+
+    def test_deterministic(self, keyed):
+        dds = [make_rfd({"K": 0}, ("V", 0)), make_rfd({"K": 0}, ("W", 0))]
+        first = DerandImputer(dds).impute(keyed)
+        second = DerandImputer(dds).impute(keyed)
+        assert first.relation.equals(second.relation)
+
+    def test_original_untouched(self, keyed):
+        DerandImputer([make_rfd({"K": 0}, ("V", 0))]).impute(keyed)
+        assert keyed.count_missing() == 2

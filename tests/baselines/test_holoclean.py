@@ -1,0 +1,84 @@
+"""Tests for the HoloClean-lite baseline."""
+
+import pytest
+
+from repro.baselines import HolocleanLiteImputer, discover_dcs, fd_as_dc
+from repro.dataset import MISSING, Relation
+from repro.exceptions import ImputationError
+
+
+@pytest.fixture()
+def cooccurring() -> Relation:
+    rows = [["90001", "LA"]] * 6 + [["94101", "SF"]] * 6
+    rows.append(["90001", MISSING])
+    return Relation.from_rows(["Zip", "City"], rows)
+
+
+class TestImputation:
+    def test_cooccurrence_drives_choice(self, cooccurring):
+        result = HolocleanLiteImputer(seed=3).impute(cooccurring)
+        assert result.relation.value(12, "City") == "LA"
+
+    def test_always_commits_when_domain_exists(self, cooccurring):
+        result = HolocleanLiteImputer(seed=3).impute(cooccurring)
+        assert result.report.fill_rate == 1.0
+
+    def test_dc_feature_penalizes_violations(self):
+        # Without the DC, "X" and "Y" co-occur equally with the context;
+        # the DC (Zip -> City) rules out the value that would clash.
+        rows = (
+            [["90001", "LA", "ctx"]] * 4
+            + [["94101", "SF", "ctx"]] * 4
+            + [["90001", MISSING, "ctx"]]
+        )
+        relation = Relation.from_rows(["Zip", "City", "C"], rows)
+        dc = fd_as_dc(["Zip"], "City")
+        result = HolocleanLiteImputer([dc], seed=3).impute(relation)
+        assert result.relation.value(8, "City") == "LA"
+
+    def test_numeric_quantization(self):
+        rows = [[1.01, "low"], [1.02, "low"], [0.99, "low"],
+                [9.0, "high"], [9.1, "high"], [1.0, MISSING]]
+        relation = Relation.from_rows(["X", "Label"], rows)
+        result = HolocleanLiteImputer(seed=1).impute(relation)
+        assert result.relation.value(5, "Label") == "low"
+
+    def test_empty_relation_of_missing_column(self):
+        relation = Relation.from_rows(
+            ["A", "B"], [[MISSING, MISSING], [MISSING, MISSING]]
+        )
+        result = HolocleanLiteImputer(seed=0).impute(relation)
+        assert result.report.imputed_count == 0
+
+
+class TestLearning:
+    def test_deterministic_under_seed(self, cooccurring):
+        first = HolocleanLiteImputer(seed=7).impute(cooccurring)
+        second = HolocleanLiteImputer(seed=7).impute(cooccurring)
+        assert first.relation.equals(second.relation)
+
+    def test_domain_size_respected(self, cooccurring):
+        imputer = HolocleanLiteImputer(domain_size=1, seed=0)
+        result = imputer.impute(cooccurring)
+        assert result.relation.value(12, "City") == "LA"
+
+    def test_works_with_discovered_dcs(self, zip_city_relation):
+        zip_city_relation.set_value(0, "City", MISSING)
+        dcs = discover_dcs(zip_city_relation, max_lhs=1)
+        result = HolocleanLiteImputer(dcs, seed=0).impute(zip_city_relation)
+        assert result.relation.value(0, "City") == "Los Angeles"
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"domain_size": 0},
+            {"epochs": 0},
+            {"learning_rate": 0},
+            {"training_cells": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ImputationError):
+            HolocleanLiteImputer(**kwargs)

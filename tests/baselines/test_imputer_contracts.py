@@ -1,0 +1,109 @@
+"""Contract tests every imputer must satisfy.
+
+Parametrized across RENUVER and all baselines: whatever the strategy,
+an imputer must only write missing cells, report exactly the missing
+cells, keep the input untouched, and be deterministic.
+"""
+
+import pytest
+
+from repro import (
+    DerandImputer,
+    GreyKNNImputer,
+    HolocleanLiteImputer,
+    MeanModeImputer,
+    Renuver,
+    inject_missing,
+    make_rfd,
+)
+from repro.baselines.derand import RandomizedImputer
+from repro.dataset import Relation, is_missing
+
+
+def _relation() -> Relation:
+    rows = []
+    for i in range(24):
+        key = f"k{i % 4}"
+        rows.append([key, f"value-{i % 4}", (i % 4) * 10 + 5])
+    return Relation.from_rows(["K", "V", "N"], rows, name="contract")
+
+
+def _rfds():
+    return [
+        make_rfd({"K": 0}, ("V", 1)),
+        make_rfd({"K": 0}, ("N", 2)),
+        make_rfd({"V": 1}, ("K", 0)),
+    ]
+
+
+FACTORIES = {
+    "renuver": lambda: Renuver(_rfds()),
+    "derand": lambda: DerandImputer(_rfds()),
+    "derand-randomized": lambda: RandomizedImputer(_rfds(), seed=3),
+    "knn": lambda: GreyKNNImputer(k=3),
+    "holoclean": lambda: HolocleanLiteImputer(seed=1,
+                                              training_cells=40),
+    "mean-mode": MeanModeImputer,
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES), ids=sorted(FACTORIES))
+def imputer_factory(request):
+    return FACTORIES[request.param]
+
+
+class TestImputerContracts:
+    def test_only_missing_cells_written(self, imputer_factory):
+        injection = inject_missing(_relation(), count=5, seed=11)
+        result = imputer_factory().impute(injection.relation)
+        changed = result.relation.diff_cells(injection.relation)
+        assert set(changed) <= set(injection.cells)
+
+    def test_report_covers_exactly_missing_cells(self, imputer_factory):
+        injection = inject_missing(_relation(), count=5, seed=12)
+        result = imputer_factory().impute(injection.relation)
+        reported = {(o.row, o.attribute) for o in result.report}
+        assert reported == set(injection.cells)
+
+    def test_input_not_mutated(self, imputer_factory):
+        injection = inject_missing(_relation(), count=5, seed=13)
+        before = injection.relation.copy()
+        imputer_factory().impute(injection.relation)
+        assert injection.relation.equals(before)
+
+    def test_inplace_mutates_and_returns_same_object(self,
+                                                     imputer_factory):
+        injection = inject_missing(_relation(), count=5, seed=14)
+        target = injection.relation.copy()
+        result = imputer_factory().impute(target, inplace=True)
+        assert result.relation is target
+
+    def test_deterministic(self, imputer_factory):
+        injection = inject_missing(_relation(), count=5, seed=15)
+        first = imputer_factory().impute(injection.relation)
+        second = imputer_factory().impute(injection.relation)
+        assert first.relation.equals(second.relation)
+
+    def test_report_consistent_with_relation(self, imputer_factory):
+        injection = inject_missing(_relation(), count=6, seed=16)
+        result = imputer_factory().impute(injection.relation)
+        for outcome in result.report:
+            cell_value = result.relation.value(
+                outcome.row, outcome.attribute
+            )
+            if outcome.imputed:
+                assert not is_missing(cell_value)
+                assert cell_value == outcome.value
+            else:
+                assert is_missing(cell_value)
+
+    def test_elapsed_recorded(self, imputer_factory):
+        injection = inject_missing(_relation(), count=3, seed=17)
+        result = imputer_factory().impute(injection.relation)
+        assert result.report.elapsed_seconds >= 0
+
+    def test_clean_relation_is_noop(self, imputer_factory):
+        clean = _relation()
+        result = imputer_factory().impute(clean)
+        assert result.report.missing_count == 0
+        assert result.relation.equals(clean)

@@ -1,0 +1,98 @@
+"""Tests for the grey-based kNN imputer."""
+
+import pytest
+
+from repro.baselines import GreyKNNImputer
+from repro.dataset import MISSING, Relation
+from repro.exceptions import ImputationError
+
+
+def _numeric_clusters() -> Relation:
+    """Two obvious clusters; the missing cell sits in cluster A."""
+    rows = [
+        [1.0, 10.0, 100.0],
+        [1.1, 11.0, 101.0],
+        [1.2, 10.5, MISSING],
+        [9.0, 90.0, 900.0],
+        [9.1, 91.0, 901.0],
+    ]
+    return Relation.from_rows(["X", "Y", "Z"], rows)
+
+
+class TestNumericImputation:
+    def test_value_from_near_cluster(self):
+        result = GreyKNNImputer(k=2).impute(_numeric_clusters())
+        value = result.relation.value(2, "Z")
+        assert 100.0 <= value <= 101.0
+
+    def test_k1_copies_nearest(self):
+        result = GreyKNNImputer(k=1).impute(_numeric_clusters())
+        assert result.relation.value(2, "Z") in (100.0, 101.0)
+
+    def test_integer_target_rounded(self):
+        relation = Relation.from_rows(
+            ["X", "N"], [[1.0, 10], [1.1, 12], [1.05, MISSING]]
+        )
+        result = GreyKNNImputer(k=2).impute(relation)
+        assert isinstance(result.relation.value(2, "N"), int)
+
+
+class TestCategoricalImputation:
+    def test_weighted_mode(self):
+        relation = Relation.from_rows(
+            ["X", "C"],
+            [[1.0, "red"], [1.1, "red"], [9.0, "blue"], [1.05, MISSING]],
+        )
+        result = GreyKNNImputer(k=2).impute(relation)
+        assert result.relation.value(3, "C") == "red"
+
+    def test_string_similarity_drives_neighbours(self):
+        relation = Relation.from_rows(
+            ["Name", "City"],
+            [
+                ["granita", "Malibu"],
+                ["granitas", MISSING],
+                ["completely different", "Boston"],
+            ],
+        )
+        result = GreyKNNImputer(k=1).impute(relation)
+        assert result.relation.value(1, "City") == "Malibu"
+
+
+class TestEdgeCases:
+    def test_no_donor_with_value_present(self):
+        relation = Relation.from_rows(
+            ["X", "Y"], [[1.0, MISSING], [2.0, MISSING]]
+        )
+        result = GreyKNNImputer().impute(relation)
+        assert result.report.imputed_count == 0
+
+    def test_all_context_missing_skips(self):
+        relation = Relation.from_rows(
+            ["X", "Y"], [[MISSING, MISSING], [1.0, 5.0]]
+        )
+        result = GreyKNNImputer().impute(relation)
+        assert result.relation.value(0, "Y") is MISSING
+
+    def test_imputes_from_snapshot_not_chained(self):
+        # Two missing cells: neither uses the other's imputed value.
+        relation = Relation.from_rows(
+            ["X", "Y"],
+            [[1.0, 10.0], [1.0, MISSING], [1.0, MISSING]],
+        )
+        result = GreyKNNImputer(k=5).impute(relation)
+        assert result.relation.value(1, "Y") == 10.0
+        assert result.relation.value(2, "Y") == 10.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ImputationError):
+            GreyKNNImputer(k=0)
+        with pytest.raises(ImputationError):
+            GreyKNNImputer(zeta=0)
+        with pytest.raises(ImputationError):
+            GreyKNNImputer(zeta=1.5)
+
+    def test_deterministic(self):
+        first = GreyKNNImputer(k=2).impute(_numeric_clusters())
+        second = GreyKNNImputer(k=2).impute(_numeric_clusters())
+        assert first.relation.equals(second.relation)

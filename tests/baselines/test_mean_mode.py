@@ -1,0 +1,60 @@
+"""Tests for the mean/mode baseline."""
+
+from repro.baselines import MeanModeImputer
+from repro.dataset import MISSING, AttributeType, Relation
+
+
+def _relation():
+    return Relation.from_rows(
+        ["Cat", "Num", "Flt"],
+        [
+            ["a", 10, 1.0],
+            ["b", 20, 2.0],
+            ["a", MISSING, MISSING],
+            [MISSING, 30, 3.0],
+        ],
+    )
+
+
+class TestMeanMode:
+    def test_mode_for_categorical(self):
+        result = MeanModeImputer().impute(_relation())
+        assert result.relation.value(3, "Cat") == "a"
+
+    def test_mean_for_float(self):
+        result = MeanModeImputer().impute(_relation())
+        assert result.relation.value(2, "Flt") == 2.0
+
+    def test_rounded_mean_for_integer(self):
+        result = MeanModeImputer().impute(_relation())
+        assert result.relation.value(2, "Num") == 20
+        assert result.relation.attribute("Num").type is AttributeType.INTEGER
+
+    def test_everything_imputed(self):
+        result = MeanModeImputer().impute(_relation())
+        assert result.relation.count_missing() == 0
+        assert result.report.fill_rate == 1.0
+
+    def test_mode_tie_breaks_deterministically(self):
+        relation = Relation.from_rows(
+            ["C"], [["b"], ["a"], [MISSING]]
+        )
+        result = MeanModeImputer().impute(relation)
+        assert result.relation.value(2, "C") == "a"  # smallest by str
+
+    def test_all_missing_column_skipped(self):
+        relation = Relation.from_rows(
+            ["A", "B"], [[MISSING, 1], [MISSING, 2]]
+        )
+        result = MeanModeImputer().impute(relation)
+        assert result.relation.value(0, "A") is MISSING
+        assert result.report.imputed_count == 0
+
+    def test_original_untouched(self):
+        relation = _relation()
+        MeanModeImputer().impute(relation)
+        assert relation.count_missing() == 3
+
+    def test_report_timing_recorded(self):
+        result = MeanModeImputer().impute(_relation())
+        assert result.report.elapsed_seconds >= 0

@@ -1,0 +1,93 @@
+"""Tests for the randomized precursor of Derand."""
+
+import pytest
+
+from repro.baselines.derand import DerandImputer, RandomizedImputer
+from repro.core import OutcomeStatus
+from repro.dataset import MISSING, Relation
+from repro.exceptions import ImputationError
+from repro.rfd import make_rfd
+
+
+def _relation() -> Relation:
+    return Relation.from_rows(
+        ["K", "V"],
+        [
+            ["a", "v1"],
+            ["a", "v1"],
+            ["a", MISSING],
+            ["b", "v2"],
+        ],
+    )
+
+
+class TestRandomized:
+    def test_fills_consistent_candidate(self):
+        imputer = RandomizedImputer(
+            [make_rfd({"K": 0}, ("V", 0))], seed=1
+        )
+        result = imputer.impute(_relation())
+        assert result.relation.value(2, "V") == "v1"
+
+    def test_seeded_determinism(self):
+        dds = [make_rfd({"K": 0}, ("V", 10))]
+        first = RandomizedImputer(dds, seed=5).impute(_relation())
+        second = RandomizedImputer(dds, seed=5).impute(_relation())
+        assert first.relation.equals(second.relation)
+
+    def test_different_seeds_may_differ(self):
+        relation = Relation.from_rows(
+            ["K", "V"],
+            [["a", f"v{i}"] for i in range(8)] + [["a", MISSING]],
+        )
+        dds = [make_rfd({"K": 0}, ("V", 100))]
+        values = {
+            RandomizedImputer(dds, seed=seed)
+            .impute(relation)
+            .relation.value(8, "V")
+            for seed in range(8)
+        }
+        assert len(values) > 1  # genuinely randomized
+
+    def test_rejects_definite_violations(self):
+        relation = Relation.from_rows(
+            ["K", "V"],
+            [["aa", "v1"], ["aa", MISSING], ["zz", "v1"]],
+        )
+        dds = [
+            make_rfd({"K": 0}, ("V", 0)),
+            make_rfd({"V": 0}, ("K", 0)),
+        ]
+        result = RandomizedImputer(dds, seed=0, attempts=5).impute(
+            relation
+        )
+        outcome = result.report.outcome_for(1, "V")
+        assert outcome.status is OutcomeStatus.ALL_REJECTED
+
+    def test_no_candidates_skipped(self):
+        relation = Relation.from_rows(
+            ["K", "V"], [["a", MISSING], ["b", "x"]]
+        )
+        result = RandomizedImputer(
+            [make_rfd({"K": 0}, ("V", 0))], seed=0
+        ).impute(relation)
+        assert result.report.outcome_for(0, "V").status is (
+            OutcomeStatus.NO_CANDIDATES
+        )
+
+    def test_invalid_attempts(self):
+        with pytest.raises(ImputationError):
+            RandomizedImputer(
+                [make_rfd({"K": 0}, ("V", 0))], attempts=0
+            )
+
+    def test_inherits_derand_candidate_generation(self):
+        dds = [make_rfd({"K": 0}, ("V", 10))]
+        randomized = RandomizedImputer(dds, seed=0)
+        derand = DerandImputer(dds)
+        # Same domain machinery: both fill the same cell on this input.
+        first = randomized.impute(_relation())
+        second = derand.impute(_relation())
+        assert first.relation.value(2, "V") == (
+            second.relation.value(2, "V")
+        )

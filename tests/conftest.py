@@ -1,0 +1,60 @@
+"""Shared fixtures: the paper's running example and small relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import MISSING, Relation
+from repro.rfd import RFD, parse_rfd
+
+
+@pytest.fixture()
+def restaurant_sample() -> Relation:
+    """Table 2 of the paper (with Figure 1's spellings for t2)."""
+    rows = [
+        ["Granita", "Malibu", "310/456-0488", "Californian", 6],
+        ["Chinos Main", "LA", "310-932-9025", "French", 5],
+        ["Citrus", "Los Angeles", "213/857-0034", "Californian", 6],
+        ["Citrus", "Los Angeles", MISSING, "Californian", 6],
+        ["Fenix", "Hollywood", "213/848-6677", MISSING, 5],
+        ["Fenix Argyle", MISSING, "213/848-6677", "French (new)", 5],
+        ["C. Main", "Los Angeles", MISSING, "French", 5],
+    ]
+    return Relation.from_rows(
+        ["Name", "City", "Phone", "Type", "Class"],
+        rows,
+        name="restaurant-sample",
+    )
+
+
+@pytest.fixture()
+def paper_rfds() -> list[RFD]:
+    """The RFD set of Figure 1 (phi_1 .. phi_7)."""
+    return [
+        parse_rfd(text)
+        for text in [
+            "Name(<=8), Phone(<=0), Class(<=1) -> Type(<=0)",  # phi1 (key)
+            "Class(<=0) -> Type(<=5)",                          # phi2
+            "City(<=2) -> Phone(<=2)",                          # phi3
+            "Name(<=4) -> Phone(<=1)",                          # phi4
+            "Name(<=8), Phone(<=0) -> City(<=9)",               # phi5
+            "Name(<=6), City(<=9) -> Phone(<=0)",               # phi6
+            "Phone(<=1) -> Class(<=0)",                         # phi7
+        ]
+    ]
+
+
+@pytest.fixture()
+def zip_city_relation() -> Relation:
+    """A tiny relation with a crisp Zip -> City dependency."""
+    rows = [
+        ["alice", "90001", "Los Angeles", 34],
+        ["bob", "90001", "Los Angeles", 41],
+        ["carol", "94101", "San Francisco", 29],
+        ["dave", "94101", "San Francisco", 55],
+        ["erin", "10001", "New York", 47],
+        ["frank", "10001", "New York", 38],
+    ]
+    return Relation.from_rows(
+        ["Name", "Zip", "City", "Age"], rows, name="zip-city"
+    )

@@ -1,0 +1,124 @@
+"""Tests for candidate tuple generation (Algorithm 3)."""
+
+import pytest
+
+from repro.core.candidates import Candidate, find_candidate_tuples
+from repro.core.selection import cluster_by_rhs_threshold
+from repro.distance.pattern import PatternCalculator
+from repro.rfd import make_rfd
+
+
+@pytest.fixture()
+def phone_cluster0(paper_rfds):
+    """rho_Phone^0 = {phi6: Name(<=6), City(<=9) -> Phone(<=0)}."""
+    selected = [r for r in paper_rfds if r.rhs_attribute == "Phone"]
+    return cluster_by_rhs_threshold(selected, "Phone")[0]
+
+
+class TestPaperExample58:
+    def test_candidates_for_t7_phone(self, restaurant_sample,
+                                     phone_cluster0):
+        # Example 5.8: candidates for t7[Phone] via phi6 are t2 (7.5 in
+        # the paper's spelling) and t3 (3.0), ordered t3 first.
+        calculator = PatternCalculator(restaurant_sample)
+        candidates = find_candidate_tuples(
+            calculator, 6, "Phone", phone_cluster0
+        )
+        assert [candidate.row for candidate in candidates] == [2, 1]
+        assert candidates[0].distance == 3.0
+        assert candidates[0].value == "213/857-0034"
+        assert candidates[1].row == 1
+
+    def test_example_4_6_city_candidate(self, restaurant_sample):
+        # Example 4.6: the only candidate for t6[City] via
+        # Phone(<=0) -> City(<=10) is t5.
+        phi0 = make_rfd({"Phone": 0}, ("City", 10))
+        cluster = cluster_by_rhs_threshold([phi0], "City")[0]
+        calculator = PatternCalculator(restaurant_sample)
+        candidates = find_candidate_tuples(calculator, 5, "City", cluster)
+        assert [candidate.row for candidate in candidates] == [4]
+        assert candidates[0].value == "Hollywood"
+
+
+class TestMechanics:
+    def test_excludes_donors_with_missing_target(self, restaurant_sample,
+                                                 phone_cluster0):
+        calculator = PatternCalculator(restaurant_sample)
+        candidates = find_candidate_tuples(
+            calculator, 3, "Phone", phone_cluster0
+        )
+        donor_rows = {candidate.row for candidate in candidates}
+        assert 6 not in donor_rows  # t7[Phone] is missing
+        assert 3 not in donor_rows  # never the target itself
+
+    def test_min_distance_across_rfds_in_cluster(self, zip_city_relation):
+        # Two RFDs in the same cluster: the candidate keeps the minimum.
+        zip_city_relation.set_value(0, "City", None)
+        rfds = [
+            make_rfd({"Zip": 0}, ("City", 1)),
+            make_rfd({"Zip": 0, "Age": 100}, ("City", 1)),
+        ]
+        cluster = cluster_by_rhs_threshold(rfds, "City")[0]
+        calculator = PatternCalculator(zip_city_relation)
+        candidates = find_candidate_tuples(calculator, 0, "City", cluster)
+        donor = next(c for c in candidates if c.row == 1)
+        # Zip-only RFD gives distance 0; the Zip+Age one gives
+        # (0 + |34-41|)/2 = 3.5; min wins.
+        assert donor.distance == 0.0
+        assert donor.rfd.lhs_attributes == ("Zip",)
+
+    def test_sorted_ascending_with_row_tie_break(self, zip_city_relation):
+        zip_city_relation.set_value(0, "City", None)
+        rfd = make_rfd({"Zip": 1}, ("City", 1))
+        cluster = cluster_by_rhs_threshold([rfd], "City")[0]
+        calculator = PatternCalculator(zip_city_relation)
+        candidates = find_candidate_tuples(calculator, 0, "City", cluster)
+        keys = [candidate.sort_key() for candidate in candidates]
+        assert keys == sorted(keys)
+
+    def test_max_candidates_truncates(self, zip_city_relation):
+        zip_city_relation.set_value(0, "City", None)
+        rfd = make_rfd({"Age": 100}, ("City", 100))
+        cluster = cluster_by_rhs_threshold([rfd], "City")[0]
+        calculator = PatternCalculator(zip_city_relation)
+        all_candidates = find_candidate_tuples(
+            calculator, 0, "City", cluster
+        )
+        top2 = find_candidate_tuples(
+            calculator, 0, "City", cluster, max_candidates=2
+        )
+        assert len(all_candidates) == 5
+        assert top2 == all_candidates[:2]
+
+    def test_wrong_cluster_attribute_raises(self, restaurant_sample,
+                                            phone_cluster0):
+        calculator = PatternCalculator(restaurant_sample)
+        with pytest.raises(ValueError):
+            find_candidate_tuples(calculator, 5, "City", phone_cluster0)
+
+    def test_no_matching_donors(self, restaurant_sample):
+        strict = make_rfd({"Name": 0}, ("City", 0))
+        cluster = cluster_by_rhs_threshold([strict], "City")[0]
+        calculator = PatternCalculator(restaurant_sample)
+        assert find_candidate_tuples(calculator, 5, "City", cluster) == []
+
+    def test_pattern_provider_is_used(self, restaurant_sample,
+                                      phone_cluster0):
+        calculator = PatternCalculator(restaurant_sample)
+        calls: list[int] = []
+
+        def provider(row):
+            calls.append(row)
+            return calculator.pattern(6, row, ("Name", "City"))
+
+        candidates = find_candidate_tuples(
+            calculator, 6, "Phone", phone_cluster0, pattern_for=provider
+        )
+        assert calls  # provider consulted
+        assert [candidate.row for candidate in candidates] == [2, 1]
+
+
+class TestCandidateObject:
+    def test_sort_key(self):
+        rfd = make_rfd({"A": 1}, ("B", 1))
+        assert Candidate(3, "x", 1.5, rfd).sort_key() == (1.5, 3)

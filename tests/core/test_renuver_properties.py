@@ -1,0 +1,110 @@
+"""Property-based tests of RENUVER's core invariants.
+
+Random small relations and injections, discovered RFDs, then:
+
+* imputation never crashes and never touches non-missing cells,
+* every imputed value is donated (exists in the original column),
+* the report covers exactly the missing cells,
+* runs are deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DiscoveryConfig,
+    Renuver,
+    RenuverConfig,
+    discover_rfds,
+    inject_missing,
+)
+from repro.dataset import Relation, is_missing
+
+_keys = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+_values = st.sampled_from(["red", "blue", "green"])
+_numbers = st.integers(min_value=0, max_value=9)
+
+relations = st.lists(
+    st.tuples(_keys, _values, _numbers), min_size=4, max_size=14
+).map(
+    lambda rows: Relation.from_rows(["K", "V", "N"], rows, name="prop")
+)
+
+
+def _engine_for(relation: Relation) -> Renuver | None:
+    discovery = discover_rfds(
+        relation, DiscoveryConfig(threshold_limit=4, grid_size=3)
+    )
+    if not discovery.all_rfds:
+        return None
+    return Renuver(discovery.all_rfds)
+
+
+class TestImputationInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(relations, st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=100))
+    def test_only_missing_cells_change(self, relation, count, seed):
+        engine = _engine_for(relation)
+        if engine is None:
+            return
+        injection = inject_missing(relation, count=count, seed=seed)
+        result = engine.impute(injection.relation)
+        changed = result.relation.diff_cells(injection.relation)
+        assert set(changed) <= set(injection.cells)
+
+    @settings(max_examples=25, deadline=None)
+    @given(relations, st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=100))
+    def test_imputed_values_are_donated(self, relation, count, seed):
+        engine = _engine_for(relation)
+        if engine is None:
+            return
+        injection = inject_missing(relation, count=count, seed=seed)
+        result = engine.impute(injection.relation)
+        for outcome in result.report.imputed_cells():
+            column = injection.relation.column(outcome.attribute)
+            donations = [v for v in column if not is_missing(v)]
+            assert outcome.value in donations
+
+    @settings(max_examples=20, deadline=None)
+    @given(relations, st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=100))
+    def test_report_covers_exactly_missing_cells(self, relation, count,
+                                                 seed):
+        engine = _engine_for(relation)
+        if engine is None:
+            return
+        injection = inject_missing(relation, count=count, seed=seed)
+        result = engine.impute(injection.relation)
+        reported = {(o.row, o.attribute) for o in result.report}
+        assert reported == set(injection.relation.missing_cells())
+
+    @settings(max_examples=10, deadline=None)
+    @given(relations, st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=50))
+    def test_deterministic(self, relation, count, seed):
+        engine = _engine_for(relation)
+        if engine is None:
+            return
+        injection = inject_missing(relation, count=count, seed=seed)
+        first = engine.impute(injection.relation)
+        second = engine.impute(injection.relation)
+        assert first.relation.equals(second.relation)
+
+    @settings(max_examples=10, deadline=None)
+    @given(relations, st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=50))
+    def test_verify_only_reduces_fill(self, relation, count, seed):
+        engine = _engine_for(relation)
+        if engine is None:
+            return
+        injection = inject_missing(relation, count=count, seed=seed)
+        verified = engine.impute(injection.relation)
+        unverified = Renuver(
+            engine.rfds, RenuverConfig(verify=False)
+        ).impute(injection.relation)
+        assert (
+            verified.report.imputed_count
+            <= unverified.report.imputed_count
+        )

@@ -1,0 +1,88 @@
+"""Tests for imputation reports and cell outcomes."""
+
+from repro.core.report import CellOutcome, ImputationReport, OutcomeStatus
+from repro.rfd import make_rfd
+
+
+def _imputed(row, attribute="A", value="x"):
+    return CellOutcome(
+        row,
+        attribute,
+        OutcomeStatus.IMPUTED,
+        value=value,
+        source_row=0,
+        rfd=make_rfd({"Lhs": 1}, (attribute, 1)),
+        distance=0.5,
+        cluster_threshold=1.0,
+        candidates_tried=1,
+    )
+
+
+def _skipped(row, attribute="A", status=OutcomeStatus.NO_CANDIDATES):
+    return CellOutcome(row, attribute, status)
+
+
+class TestCellOutcome:
+    def test_imputed_flag(self):
+        assert _imputed(1).imputed
+        assert not _skipped(1).imputed
+
+    def test_str_imputed(self):
+        text = str(_imputed(1))
+        assert "from tuple 0" in text and "'x'" in text
+
+    def test_str_skipped(self):
+        assert "no_candidates" in str(_skipped(2))
+
+
+class TestImputationReport:
+    def test_counts(self):
+        report = ImputationReport()
+        report.add(_imputed(0))
+        report.add(_imputed(1))
+        report.add(_skipped(2))
+        assert report.missing_count == 3
+        assert report.imputed_count == 2
+        assert report.unimputed_count == 1
+        assert report.fill_rate == 2 / 3
+        assert len(report) == 3
+
+    def test_empty_report(self):
+        report = ImputationReport()
+        assert report.fill_rate == 0.0
+        assert report.imputed_count == 0
+
+    def test_outcome_for(self):
+        report = ImputationReport()
+        report.add(_imputed(4, "B"))
+        assert report.outcome_for(4, "B") is not None
+        assert report.outcome_for(4, "C") is None
+
+    def test_imputed_cells_order(self):
+        report = ImputationReport()
+        report.add(_skipped(0))
+        report.add(_imputed(1))
+        report.add(_imputed(2))
+        assert [outcome.row for outcome in report.imputed_cells()] == [1, 2]
+
+    def test_status_counts(self):
+        report = ImputationReport()
+        report.add(_imputed(0))
+        report.add(_skipped(1))
+        report.add(_skipped(2, status=OutcomeStatus.ALL_REJECTED))
+        counts = report.status_counts()
+        assert counts == {
+            "imputed": 1,
+            "no_candidates": 1,
+            "all_rejected": 1,
+        }
+
+    def test_summary_mentions_fill_rate(self):
+        report = ImputationReport()
+        report.add(_imputed(0))
+        assert "fill rate" in report.summary()
+
+    def test_iteration(self):
+        report = ImputationReport()
+        report.add(_imputed(0))
+        assert list(report)[0].row == 0

@@ -1,0 +1,84 @@
+"""Tests for RFD selection and RHS-threshold clustering."""
+
+import pytest
+
+from repro.core.selection import (
+    Cluster,
+    build_cluster_plan,
+    cluster_by_rhs_threshold,
+    select_rfds_for_attribute,
+)
+from repro.rfd import make_rfd
+
+
+class TestSelect:
+    def test_selects_by_rhs(self, paper_rfds):
+        selected = select_rfds_for_attribute(paper_rfds, "Phone")
+        assert {str(rfd) for rfd in selected} == {
+            "City(<=2) -> Phone(<=2)",
+            "Name(<=4) -> Phone(<=1)",
+            "City(<=9), Name(<=6) -> Phone(<=0)",
+        }
+
+    def test_no_match_is_empty(self, paper_rfds):
+        assert select_rfds_for_attribute(paper_rfds, "Address") == []
+
+
+class TestCluster:
+    def test_paper_phone_clusters(self, paper_rfds):
+        # Figure 1: rho_Phone^0 = {phi6}, rho^1 = {phi4}, rho^2 = {phi3}.
+        selected = select_rfds_for_attribute(paper_rfds, "Phone")
+        clusters = cluster_by_rhs_threshold(selected, "Phone")
+        assert [cluster.rhs_threshold for cluster in clusters] == [0, 1, 2]
+        assert len(clusters[0]) == 1
+        assert clusters[0].rfds[0].lhs_attributes == ("City", "Name")
+
+    def test_descending_order(self, paper_rfds):
+        selected = select_rfds_for_attribute(paper_rfds, "Phone")
+        clusters = cluster_by_rhs_threshold(
+            selected, "Phone", order="descending"
+        )
+        assert [cluster.rhs_threshold for cluster in clusters] == [2, 1, 0]
+
+    def test_groups_equal_thresholds(self):
+        rfds = [
+            make_rfd({"A": 1}, ("C", 5)),
+            make_rfd({"B": 1}, ("C", 5)),
+            make_rfd({"A": 2}, ("C", 3)),
+        ]
+        clusters = cluster_by_rhs_threshold(rfds, "C")
+        assert [len(cluster) for cluster in clusters] == [1, 2]
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            cluster_by_rhs_threshold([], "A", order="sideways")
+
+    def test_wrong_rhs_raises(self):
+        with pytest.raises(ValueError):
+            cluster_by_rhs_threshold(
+                [make_rfd({"A": 1}, ("B", 1))], "C"
+            )
+
+    def test_empty_input(self):
+        assert cluster_by_rhs_threshold([], "A") == []
+
+
+class TestClusterObject:
+    def test_validates_membership(self):
+        rfd = make_rfd({"A": 1}, ("B", 2))
+        with pytest.raises(ValueError):
+            Cluster("B", 3, (rfd,))  # wrong threshold
+        with pytest.raises(ValueError):
+            Cluster("C", 2, (rfd,))  # wrong attribute
+
+    def test_str(self):
+        rfd = make_rfd({"A": 1}, ("B", 2))
+        assert "rho_B^2" in str(Cluster("B", 2, (rfd,)))
+
+
+class TestPlan:
+    def test_plan_covers_requested_attributes(self, paper_rfds):
+        plan = build_cluster_plan(paper_rfds, ["Phone", "City", "Address"])
+        assert len(plan["Phone"]) == 3
+        assert len(plan["City"]) == 1
+        assert plan["Address"] == []

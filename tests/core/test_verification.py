@@ -1,0 +1,69 @@
+"""Tests for IS_FAULTLESS (Algorithm 4)."""
+
+from repro.core.verification import first_fault, is_faultless
+from repro.distance.pattern import PatternCalculator
+from repro.rfd import make_rfd
+
+
+class TestPaperExample59:
+    def test_t3_phone_rejected_for_t7(self, restaurant_sample, paper_rfds):
+        # Imputing t7[Phone] with t3's phone violates
+        # Phone(<=1) -> Class(<=0) through the pair (t3, t7).  The check
+        # runs against Sigma' = phi2..phi7, as in the paper (phi1 is
+        # filtered as a key there).
+        sigma_prime = paper_rfds[1:]
+        restaurant_sample.set_value(6, "Phone", "213/857-0034")
+        calculator = PatternCalculator(restaurant_sample)
+        assert not is_faultless(calculator, 6, "Phone", sigma_prime)
+        fault = first_fault(calculator, 6, "Phone", sigma_prime)
+        assert fault is not None
+        assert fault.rfd.rhs_attribute == "Class"
+        assert (fault.row_a, fault.row_b) == (2, 6)
+
+    def test_t2_phone_accepted_for_t7(self, restaurant_sample, paper_rfds):
+        restaurant_sample.set_value(6, "Phone", "310-932-9025")
+        calculator = PatternCalculator(restaurant_sample)
+        assert is_faultless(calculator, 6, "Phone", paper_rfds[1:])
+
+
+class TestMechanics:
+    def test_only_lhs_rfds_checked_by_default(self, zip_city_relation):
+        # Imputed attribute = City; an RFD with City only on the RHS is
+        # ignored by the paper's Algorithm 4.
+        zip_city_relation.set_value(0, "City", "WRONG")
+        rhs_only = make_rfd({"Zip": 0}, ("City", 0))
+        calculator = PatternCalculator(zip_city_relation)
+        assert is_faultless(calculator, 0, "City", [rhs_only])
+
+    def test_check_rhs_rfds_extension(self, zip_city_relation):
+        zip_city_relation.set_value(0, "City", "WRONG")
+        rhs_only = make_rfd({"Zip": 0}, ("City", 0))
+        calculator = PatternCalculator(zip_city_relation)
+        assert not is_faultless(
+            calculator, 0, "City", [rhs_only], check_rhs_rfds=True
+        )
+
+    def test_lhs_rfd_violation_detected(self, zip_city_relation):
+        # City -> Zip: writing t0[City] = t2[City] while keeping t0's
+        # zip makes the pair (t0, t2) violate.
+        city_zip = make_rfd({"City": 0}, ("Zip", 0))
+        zip_city_relation.set_value(0, "City", "San Francisco")
+        calculator = PatternCalculator(zip_city_relation)
+        fault = first_fault(calculator, 0, "City", [city_zip])
+        assert fault is not None
+        assert fault.rfd is city_zip
+
+    def test_no_relevant_rfds_is_faultless(self, zip_city_relation):
+        calculator = PatternCalculator(zip_city_relation)
+        unrelated = make_rfd({"Age": 0}, ("Name", 0))
+        assert is_faultless(calculator, 0, "City", [unrelated])
+
+    def test_missing_partner_values_do_not_fault(self, zip_city_relation):
+        city_zip = make_rfd({"City": 0}, ("Zip", 0))
+        zip_city_relation.set_value(2, "Zip", None)
+        zip_city_relation.set_value(0, "City", "San Francisco")
+        calculator = PatternCalculator(zip_city_relation)
+        # t2's zip is gone; the only other SF tuple is t3.
+        fault = first_fault(calculator, 0, "City", [city_zip])
+        assert fault is not None
+        assert {fault.row_a, fault.row_b} == {0, 3}

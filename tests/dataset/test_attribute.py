@@ -1,0 +1,110 @@
+"""Tests for attributes, types and inference/coercion."""
+
+import pytest
+
+from repro.dataset.attribute import (
+    Attribute,
+    AttributeType,
+    coerce_value,
+    infer_type,
+)
+from repro.dataset.missing import MISSING
+from repro.exceptions import DataError, SchemaError
+
+
+class TestAttribute:
+    def test_defaults_to_string(self):
+        assert Attribute("Name").type is AttributeType.STRING
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_is_hashable_value_object(self):
+        assert Attribute("A") == Attribute("A")
+        assert len({Attribute("A"), Attribute("A")}) == 1
+
+    def test_str_is_name(self):
+        assert str(Attribute("Phone")) == "Phone"
+
+
+class TestAttributeType:
+    def test_numeric_flags(self):
+        assert AttributeType.INTEGER.is_numeric
+        assert AttributeType.FLOAT.is_numeric
+        assert not AttributeType.STRING.is_numeric
+        assert not AttributeType.BOOLEAN.is_numeric
+
+
+class TestInferType:
+    def test_integers(self):
+        assert infer_type([1, 2, 3]) is AttributeType.INTEGER
+
+    def test_integer_strings(self):
+        assert infer_type(["1", "42", "-7"]) is AttributeType.INTEGER
+
+    def test_floats(self):
+        assert infer_type([1.5, 2.0]) is AttributeType.FLOAT
+
+    def test_float_strings(self):
+        assert infer_type(["1.5", "2"]) is AttributeType.FLOAT
+
+    def test_mixed_int_float_is_float(self):
+        assert infer_type([1, 2.5]) is AttributeType.FLOAT
+
+    def test_strings(self):
+        assert infer_type(["a", "b"]) is AttributeType.STRING
+
+    def test_booleans(self):
+        assert infer_type([True, False]) is AttributeType.BOOLEAN
+
+    def test_boolean_literals(self):
+        assert infer_type(["true", "False", "yes"]) is AttributeType.BOOLEAN
+
+    def test_numeric_01_stays_integer(self):
+        # 0/1 columns are integers unless true/false literals appear.
+        assert infer_type([0, 1, 1, 0]) is AttributeType.INTEGER
+
+    def test_missing_values_ignored(self):
+        assert infer_type([MISSING, 3, None]) is AttributeType.INTEGER
+
+    def test_all_missing_defaults_to_string(self):
+        assert infer_type([MISSING, None]) is AttributeType.STRING
+
+    def test_empty_defaults_to_string(self):
+        assert infer_type([]) is AttributeType.STRING
+
+    def test_mixed_types_fall_back_to_string(self):
+        assert infer_type(["1", "x"]) is AttributeType.STRING
+
+    def test_inf_literals_are_strings(self):
+        assert infer_type(["inf", "nan"]) is AttributeType.STRING
+
+
+class TestCoerceValue:
+    def test_missing_passes_through(self):
+        assert coerce_value(MISSING, AttributeType.INTEGER) is MISSING
+
+    def test_int_from_string(self):
+        assert coerce_value(" 42 ", AttributeType.INTEGER) == 42
+
+    def test_float_from_string(self):
+        assert coerce_value("2.5", AttributeType.FLOAT) == 2.5
+
+    def test_string_from_number(self):
+        assert coerce_value(7, AttributeType.STRING) == "7"
+
+    @pytest.mark.parametrize(
+        ("literal", "expected"),
+        [("true", True), ("no", False), ("Y", True), (False, False)],
+    )
+    def test_boolean_literals(self, literal, expected):
+        assert coerce_value(literal, AttributeType.BOOLEAN) is expected
+
+    def test_bad_int_raises(self):
+        with pytest.raises(DataError):
+            coerce_value("abc", AttributeType.INTEGER)
+
+    def test_bad_boolean_raises(self):
+        with pytest.raises(DataError):
+            coerce_value("maybe", AttributeType.BOOLEAN)

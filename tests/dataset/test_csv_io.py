@@ -1,0 +1,87 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.dataset import (
+    AttributeType,
+    MISSING,
+    read_csv,
+    read_csv_text,
+    to_csv_text,
+    write_csv,
+)
+from repro.exceptions import CSVFormatError
+
+
+class TestReadCsvText:
+    def test_basic_parse_and_inference(self):
+        relation = read_csv_text("A,B\n1,x\n2,y\n")
+        assert relation.n_tuples == 2
+        assert relation.attribute("A").type is AttributeType.INTEGER
+        assert relation.value(1, "B") == "y"
+
+    def test_empty_cell_is_missing(self):
+        relation = read_csv_text("A,B\n1,\n,y\n")
+        assert relation.value(0, "B") is MISSING
+        assert relation.value(1, "A") is MISSING
+
+    @pytest.mark.parametrize("literal", ["_", "?", "NA", "null", "None"])
+    def test_null_literals(self, literal):
+        relation = read_csv_text(f"A\n{literal}\n")
+        assert relation.value(0, "A") is MISSING
+
+    def test_custom_null_literals(self):
+        relation = read_csv_text("A\nmissing\n", null_literals=["missing"])
+        assert relation.value(0, "A") is MISSING
+
+    def test_declared_types_override_inference(self):
+        relation = read_csv_text(
+            "A\n1\n2\n", types={"A": AttributeType.STRING}
+        )
+        assert relation.value(0, "A") == "1"
+
+    def test_whitespace_stripped(self):
+        relation = read_csv_text("A,B\n 1 , x \n")
+        assert relation.value(0, "A") == 1
+        assert relation.value(0, "B") == "x"
+
+    def test_semicolon_delimiter(self):
+        relation = read_csv_text("A;B\n1;2\n", delimiter=";")
+        assert relation.value(0, "B") == 2
+
+    def test_empty_input_raises(self):
+        with pytest.raises(CSVFormatError):
+            read_csv_text("")
+
+    def test_duplicate_header_raises(self):
+        with pytest.raises(CSVFormatError):
+            read_csv_text("A,A\n1,2\n")
+
+    def test_blank_header_raises(self):
+        with pytest.raises(CSVFormatError):
+            read_csv_text("A,\n1,2\n")
+
+    def test_field_count_mismatch_raises(self):
+        with pytest.raises(CSVFormatError) as excinfo:
+            read_csv_text("A,B\n1\n")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        relation = read_csv_text("Name,Age\nalice,34\nbob,\n")
+        path = tmp_path / "out.csv"
+        write_csv(relation, path)
+        back = read_csv(path)
+        assert back.equals(relation)
+        assert back.name == "out"
+
+    def test_to_csv_text_renders_missing(self):
+        relation = read_csv_text("A,B\n1,\n")
+        text = to_csv_text(relation, null_literal="_")
+        assert text == "A,B\n1,_\n"
+
+    def test_read_csv_uses_stem_as_name(self, tmp_path):
+        path = tmp_path / "mydata.csv"
+        path.write_text("A\n1\n")
+        assert read_csv(path).name == "mydata"

@@ -1,0 +1,93 @@
+"""Property-based tests of Relation invariants and CSV round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import (
+    MISSING,
+    Relation,
+    read_csv_text,
+    to_csv_text,
+)
+
+_cell = st.one_of(
+    st.just(MISSING),
+    st.integers(min_value=-999, max_value=999),
+    st.text(
+        alphabet=st.characters(codec="ascii", categories=("L", "N")),
+        min_size=1,
+        max_size=8,
+    ),
+)
+
+_rows = st.lists(
+    st.tuples(_cell, _cell, _cell), min_size=1, max_size=12
+)
+
+
+class TestRelationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(_rows)
+    def test_copy_round_trip(self, rows):
+        relation = Relation.from_rows(["A", "B", "C"], rows)
+        assert relation.copy().equals(relation)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_rows)
+    def test_missing_accounting(self, rows):
+        relation = Relation.from_rows(["A", "B", "C"], rows)
+        cells = relation.missing_cells()
+        assert len(cells) == relation.count_missing()
+        assert {row for row, _ in cells} == set(
+            relation.incomplete_rows()
+        )
+        for row, attribute in cells:
+            assert relation.is_missing_cell(row, attribute)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_rows)
+    def test_completeness_bounds(self, rows):
+        relation = Relation.from_rows(["A", "B", "C"], rows)
+        assert 0.0 <= relation.completeness() <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(_rows)
+    def test_take_then_project_preserves_cells(self, rows):
+        relation = Relation.from_rows(["A", "B", "C"], rows)
+        indices = list(range(relation.n_tuples))[::-1]
+        derived = relation.take(indices).project(["B", "A"])
+        for position, original_row in enumerate(indices):
+            assert derived.value(position, "A") == relation.value(
+                original_row, "A"
+            )
+            assert derived.value(position, "B") == relation.value(
+                original_row, "B"
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(_rows)
+    def test_diff_cells_of_identical_is_empty(self, rows):
+        relation = Relation.from_rows(["A", "B", "C"], rows)
+        assert relation.diff_cells(relation.copy()) == []
+
+
+class TestCsvRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(_rows)
+    def test_text_round_trip(self, rows):
+        # Read back with the same single null literal the writer used:
+        # under the *default* literals a string cell "NONE" would
+        # legitimately come back as MISSING (documented lossiness).
+        relation = Relation.from_rows(["A", "B", "C"], rows)
+        text = to_csv_text(relation, null_literal="_")
+        back = read_csv_text(text, null_literals=["_"])
+        assert back.n_tuples == relation.n_tuples
+        for row in range(relation.n_tuples):
+            for name in relation.attribute_names:
+                original = relation.value(row, name)
+                restored = back.value(row, name)
+                if original is MISSING:
+                    assert restored is MISSING
+                else:
+                    # CSV stringifies; compare canonical renderings.
+                    assert str(restored).strip() == str(original).strip()

@@ -1,0 +1,215 @@
+"""Tests for the synthetic dataset generators and registry."""
+
+import pytest
+
+from repro.dataset import AttributeType, is_missing
+from repro.datasets import (
+    dataset_info,
+    dataset_names,
+    dataset_validator,
+    generate_bridges,
+    generate_cars,
+    generate_glass,
+    generate_physician,
+    generate_restaurant,
+    load_dataset,
+)
+from repro.exceptions import DataError
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == [
+            "bridges", "cars", "glass", "physician", "restaurant"
+        ]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DataError):
+            load_dataset("nope")
+
+    def test_paper_dimensions(self):
+        # Table 3 / Table 5 of the paper.
+        expectations = {
+            "restaurant": (864, 6),
+            "cars": (406, 9),
+            "glass": (214, 11),
+            "bridges": (108, 13),
+            "physician": (2072, 18),
+        }
+        for name, (tuples, attributes) in expectations.items():
+            info = dataset_info(name)
+            assert (info.paper_tuples, info.paper_attributes) == (
+                tuples, attributes
+            )
+            relation = load_dataset(name)
+            assert relation.n_tuples == tuples
+            assert relation.n_attributes == attributes
+
+    def test_custom_size(self):
+        assert load_dataset("physician", n_tuples=104).n_tuples == 104
+
+    def test_validators_exist(self):
+        for name in dataset_names():
+            validator = dataset_validator(name)
+            assert validator.attributes()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "name", ["restaurant", "cars", "glass", "bridges", "physician"]
+    )
+    def test_same_seed_same_data(self, name):
+        first = load_dataset(name, seed=5)
+        second = load_dataset(name, seed=5)
+        assert first.equals(second)
+
+    def test_different_seed_different_data(self):
+        assert not load_dataset("cars", seed=1).equals(
+            load_dataset("cars", seed=2)
+        )
+
+
+class TestRestaurant:
+    def test_no_missing_values(self):
+        assert generate_restaurant(200).count_missing() == 0
+
+    def test_phone_area_code_function_of_city(self):
+        from repro.datasets.vocab import CITY_ALIASES, CITY_AREA_CODES
+
+        relation = generate_restaurant(300, seed=1)
+        alias_to_canonical = {
+            alias: canonical
+            for canonical, aliases in CITY_ALIASES.items()
+            for alias in aliases
+        }
+        for row in range(relation.n_tuples):
+            city = alias_to_canonical[relation.value(row, "City")]
+            assert relation.value(row, "Phone").startswith(
+                CITY_AREA_CODES[city]
+            )
+
+    def test_type_determines_class(self):
+        from repro.datasets.vocab import CUISINE_CLASSES
+
+        relation = generate_restaurant(300, seed=2)
+        for row in range(relation.n_tuples):
+            cuisine = relation.value(row, "Type")
+            assert relation.value(row, "Class") == CUISINE_CLASSES[cuisine]
+
+    def test_contains_duplicates(self):
+        relation = generate_restaurant(400, seed=0)
+        phones = [
+            relation.value(row, "Phone").replace("/", "-").replace(" ", "-")
+            for row in range(relation.n_tuples)
+        ]
+        assert len(set(phones)) < len(phones)
+
+
+class TestCars:
+    def test_types(self):
+        relation = generate_cars(100)
+        assert relation.attribute("Mpg").type is AttributeType.FLOAT
+        assert relation.attribute("Origin").type is AttributeType.INTEGER
+
+    def test_brand_determines_origin(self):
+        from repro.datasets.vocab import CAR_BRANDS
+
+        relation = generate_cars(200, seed=3)
+        for row in range(relation.n_tuples):
+            brand = relation.value(row, "Name").split(" ")[0]
+            assert relation.value(row, "Origin") == CAR_BRANDS[brand][0]
+
+    def test_physical_plausibility(self):
+        relation = generate_cars(200, seed=4)
+        for row in range(relation.n_tuples):
+            assert 5 < relation.value(row, "Mpg") < 60
+            assert relation.value(row, "Weight") > 1000
+            assert relation.value(row, "Cylinders") in (3, 4, 5, 6, 8)
+
+
+class TestGlass:
+    def test_id_is_key(self):
+        relation = generate_glass()
+        ids = relation.column("Id")
+        assert len(set(ids)) == len(ids)
+
+    def test_types_in_original_range(self):
+        relation = generate_glass()
+        assert set(relation.column("Type")) <= {1, 2, 3, 5, 6, 7}
+
+    def test_oxides_non_negative(self):
+        relation = generate_glass(seed=2)
+        for oxide in ("Na", "Mg", "Al", "Si", "K", "Ca", "Ba", "Fe"):
+            assert all(value >= 0 for value in relation.column(oxide))
+
+    def test_ri_near_physical_value(self):
+        relation = generate_glass(seed=3)
+        assert all(1.50 < value < 1.54 for value in relation.column("RI"))
+
+
+class TestBridges:
+    def test_material_matches_type_vocab(self):
+        from repro.datasets.vocab import BRIDGE_TYPES_BY_MATERIAL
+
+        relation = generate_bridges(seed=1)
+        for row in range(relation.n_tuples):
+            material = relation.value(row, "Material")
+            assert relation.value(row, "Type") in (
+                BRIDGE_TYPES_BY_MATERIAL[material]
+            )
+
+    def test_span_length_consistent(self):
+        relation = generate_bridges(seed=2)
+        for row in range(relation.n_tuples):
+            span = relation.value(row, "Span")
+            length = relation.value(row, "Length")
+            if span == "SHORT":
+                assert length <= 1400
+            elif span == "LONG":
+                assert length >= 2000
+
+    def test_identifiers_unique(self):
+        relation = generate_bridges()
+        identifiers = relation.column("Identif")
+        assert len(set(identifiers)) == len(identifiers)
+
+
+class TestPhysician:
+    def test_zip_determines_city_and_state(self):
+        relation = generate_physician(500, seed=1)
+        zip_to_location: dict = {}
+        for row in range(relation.n_tuples):
+            zip_code = relation.value(row, "Zip")
+            location = (
+                relation.value(row, "City"), relation.value(row, "State")
+            )
+            assert zip_to_location.setdefault(zip_code, location) == location
+
+    def test_specialty_determines_credential(self):
+        from repro.datasets.vocab import PHYSICIAN_SPECIALTIES
+
+        relation = generate_physician(300, seed=2)
+        for row in range(relation.n_tuples):
+            specialty = relation.value(row, "Specialty")
+            assert relation.value(row, "Credential") == (
+                PHYSICIAN_SPECIALTIES[specialty]
+            )
+
+    def test_npi_is_key(self):
+        relation = generate_physician(300)
+        npis = relation.column("Npi")
+        assert len(set(npis)) == len(npis)
+
+    def test_boolean_attribute(self):
+        relation = generate_physician(100)
+        assert relation.attribute("AcceptsMedicare").type is (
+            AttributeType.BOOLEAN
+        )
+        assert not any(
+            is_missing(value)
+            for value in relation.column("AcceptsMedicare")
+        )
+
+    def test_scales_to_paper_sizes(self):
+        for size in (104, 208, 1036):
+            assert generate_physician(size).n_tuples == size

@@ -1,0 +1,57 @@
+"""The shipped rule files (rules/*.json) stay in sync with the built-in
+validators and actually validate the datasets' value variations."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import dataset_names, dataset_validator
+from repro.evaluation import load_rule_file, validator_to_dict
+
+RULES_DIR = Path(__file__).resolve().parents[2] / "rules"
+
+
+@pytest.mark.parametrize("name", dataset_names())
+class TestShippedRuleFiles:
+    def test_file_exists_and_loads(self, name):
+        path = RULES_DIR / f"{name}.json"
+        assert path.exists(), f"missing rule file {path}"
+        validator = load_rule_file(path)
+        assert validator.attributes()
+
+    def test_matches_builtin_validator(self, name):
+        shipped = load_rule_file(RULES_DIR / f"{name}.json")
+        builtin = dataset_validator(name)
+        assert validator_to_dict(shipped) == validator_to_dict(builtin)
+
+
+class TestRuleSemantics:
+    def test_restaurant_phone_separators(self):
+        validator = load_rule_file(RULES_DIR / "restaurant.json")
+        assert validator.is_correct(
+            "Phone", "310/456-0488", "310-456-0488"
+        )
+        assert not validator.is_correct(
+            "Phone", "310/456-0488", "310-456-0489"
+        )
+
+    def test_restaurant_city_aliases(self):
+        validator = load_rule_file(RULES_DIR / "restaurant.json")
+        assert validator.is_correct("City", "LA", "Los Angeles")
+        assert not validator.is_correct("City", "LA", "Malibu")
+
+    def test_cars_horsepower_delta_from_paper(self):
+        validator = load_rule_file(RULES_DIR / "cars.json")
+        assert validator.is_correct("Horsepower", 150, 170)
+        assert not validator.is_correct("Horsepower", 150, 180)
+
+    def test_glass_ri_tight_delta(self):
+        validator = load_rule_file(RULES_DIR / "glass.json")
+        assert validator.is_correct("RI", 1.5180, 1.5195)
+        assert not validator.is_correct("RI", 1.5180, 1.5250)
+
+    def test_physician_phone_regex(self):
+        validator = load_rule_file(RULES_DIR / "physician.json")
+        assert validator.is_correct(
+            "Phone", "412-624-4141", "412.624.4141"
+        )

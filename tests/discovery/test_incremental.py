@@ -1,0 +1,138 @@
+"""Tests for incremental RFD maintenance under insertions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import Relation
+from repro.discovery import DiscoveryConfig, discover_rfds
+from repro.discovery.incremental import IncrementalDiscovery
+from repro.distance.pattern import PatternCalculator
+from repro.exceptions import DiscoveryError
+from repro.rfd import holds
+
+
+def _base() -> Relation:
+    return Relation.from_rows(
+        ["Zip", "City"],
+        [
+            ["90001", "Los Angeles"],
+            ["90001", "Los Angeles"],
+            ["94101", "San Francisco"],
+            ["94101", "San Francisco"],
+        ],
+        name="inc",
+    )
+
+
+@pytest.fixture()
+def tracker() -> IncrementalDiscovery:
+    return IncrementalDiscovery(
+        _base(), DiscoveryConfig(threshold_limit=3, grid_size=3)
+    )
+
+
+class TestInvariant:
+    def test_initial_set_matches_batch(self, tracker):
+        batch = discover_rfds(
+            _base(), DiscoveryConfig(threshold_limit=3, grid_size=3)
+        )
+        assert set(tracker.rfds) == set(batch.rfds)
+
+    def test_maintained_rfds_hold_after_inserts(self, tracker):
+        tracker.insert([["90001", "Los Angles"]])   # typo, distance 1
+        tracker.insert([["10001", "New York"]])
+        calculator = PatternCalculator(tracker.relation)
+        for rfd in tracker.rfds:
+            assert holds(rfd, calculator), str(rfd)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["90001", "94101", "10001"]),
+                st.sampled_from(
+                    ["Los Angeles", "San Francisco", "New York", "LA"]
+                ),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_property_holding_invariant(self, rows):
+        tracker = IncrementalDiscovery(
+            _base(), DiscoveryConfig(threshold_limit=4, grid_size=3)
+        )
+        tracker.insert(list(map(list, rows)))
+        calculator = PatternCalculator(tracker.relation)
+        assert all(holds(rfd, calculator) for rfd in tracker.rfds)
+
+
+class TestMaintenance:
+    def test_clean_insert_keeps_everything(self, tracker):
+        before = set(tracker.rfds)
+        report = tracker.insert([["90001", "Los Angeles"]])
+        assert report.unchanged == len(before)
+        assert not report.dropped and not report.loosened
+
+    def test_violating_insert_loosens_within_limit(self, tracker):
+        zip_city = [
+            rfd for rfd in tracker.rfds
+            if rfd.lhs_attributes == ("Zip",)
+            and rfd.rhs_attribute == "City"
+        ]
+        assert zip_city
+        tightest = min(rfd.rhs_threshold for rfd in zip_city)
+        # A same-zip tuple whose city differs by a small edit distance.
+        report = tracker.insert([["90001", "Los Angelas"]])
+        loosened_pairs = [
+            (old, new) for old, new in report.loosened
+            if old.rhs_attribute == "City"
+        ]
+        if tightest < 1:
+            assert loosened_pairs, report.summary()
+            for old, new in loosened_pairs:
+                assert new.rhs_threshold > old.rhs_threshold
+
+    def test_violating_insert_beyond_limit_drops(self, tracker):
+        report = tracker.insert([["90001", "A Completely Different Town"]])
+        dropped_city = [
+            rfd for rfd in report.dropped if rfd.rhs_attribute == "City"
+        ]
+        assert dropped_city
+        calculator = PatternCalculator(tracker.relation)
+        assert all(holds(rfd, calculator) for rfd in tracker.rfds)
+
+    def test_key_becomes_usable(self):
+        relation = Relation.from_rows(
+            ["K", "V"],
+            [["aaaa", "x"], ["zzzz", "y"]],
+        )
+        tracker = IncrementalDiscovery(
+            relation, DiscoveryConfig(threshold_limit=2, grid_size=3)
+        )
+        keyish = [
+            rfd for rfd in tracker.key_rfds
+            if rfd.lhs_attributes == ("K",)
+        ]
+        assert keyish  # K(<=0)-style dependency starts as a key
+        report = tracker.insert([["aaaa", "x"]])
+        assert report.dekeyed
+        calculator = PatternCalculator(tracker.relation)
+        assert all(holds(rfd, calculator) for rfd in tracker.rfds)
+
+    def test_report_summary(self, tracker):
+        report = tracker.insert([["90001", "Los Angeles"]])
+        assert "+1 tuples" in report.summary()
+
+    def test_bad_row_width(self, tracker):
+        with pytest.raises(DiscoveryError):
+            tracker.insert([["only-one"]])
+
+    def test_original_relation_untouched(self):
+        base = _base()
+        tracker = IncrementalDiscovery(
+            base, DiscoveryConfig(threshold_limit=3)
+        )
+        tracker.insert([["10001", "New York"]])
+        assert base.n_tuples == 4

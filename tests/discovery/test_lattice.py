@@ -1,0 +1,31 @@
+"""Tests for lattice enumeration."""
+
+from repro.discovery.lattice import count_lhs_sets, iter_lhs_sets
+
+
+class TestIterLhsSets:
+    def test_excludes_rhs(self):
+        sets = list(iter_lhs_sets(["A", "B", "C"], "B", 2))
+        assert ("B",) not in sets
+        assert all("B" not in lhs for lhs in sets)
+
+    def test_size_order_and_sorting(self):
+        sets = list(iter_lhs_sets(["C", "A", "B"], "X", 2))
+        assert sets == [
+            ("A",), ("B",), ("C",),
+            ("A", "B"), ("A", "C"), ("B", "C"),
+        ]
+
+    def test_max_size_one(self):
+        sets = list(iter_lhs_sets(["A", "B", "C"], "C", 1))
+        assert sets == [("A",), ("B",)]
+
+    def test_max_size_clamped_to_pool(self):
+        sets = list(iter_lhs_sets(["A", "B"], "B", 10))
+        assert sets == [("A",)]
+
+    def test_count_matches_enumeration(self):
+        names = ["A", "B", "C", "D", "E"]
+        for max_size in range(1, 5):
+            expected = len(list(iter_lhs_sets(names, "A", max_size)))
+            assert count_lhs_sets(len(names), max_size) == expected

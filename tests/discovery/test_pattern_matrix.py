@@ -1,0 +1,91 @@
+"""Tests for the all-pairs distance matrices."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import MISSING, Relation
+from repro.discovery.pattern_matrix import PairDistanceMatrix
+from repro.exceptions import DiscoveryError
+
+
+@pytest.fixture()
+def mixed() -> Relation:
+    return Relation.from_rows(
+        ["S", "N", "B"],
+        [
+            ["abc", 1.5, True],
+            ["abd", 2.5, False],
+            [MISSING, 4.0, True],
+        ],
+    )
+
+
+class TestShape:
+    def test_pair_enumeration(self, mixed):
+        matrix = PairDistanceMatrix(mixed)
+        assert matrix.n_pairs == 3
+        assert matrix.pairs.tolist() == [[0, 1], [0, 2], [1, 2]]
+
+    def test_single_tuple_has_no_pairs(self):
+        relation = Relation.from_rows(["A"], [["x"]])
+        matrix = PairDistanceMatrix(relation)
+        assert matrix.n_pairs == 0
+
+
+class TestDistances:
+    def test_numeric(self, mixed):
+        matrix = PairDistanceMatrix(mixed)
+        assert matrix.distances("N").tolist() == [1.0, 2.5, 1.5]
+
+    def test_string_with_missing(self, mixed):
+        matrix = PairDistanceMatrix(mixed)
+        distances = matrix.distances("S")
+        assert distances[0] == 1.0
+        assert np.isnan(distances[1]) and np.isnan(distances[2])
+
+    def test_boolean(self, mixed):
+        matrix = PairDistanceMatrix(mixed)
+        assert matrix.distances("B").tolist() == [1.0, 0.0, 1.0]
+
+    def test_string_clamped_at_limit(self):
+        relation = Relation.from_rows(
+            ["S"], [["aaaaaaaaaa"], ["zzzzzzzzzz"]]
+        )
+        matrix = PairDistanceMatrix(relation, string_limit=3)
+        assert matrix.distances("S")[0] == 4.0  # limit + 1
+
+    def test_defined_mask(self, mixed):
+        matrix = PairDistanceMatrix(mixed)
+        assert matrix.defined_mask("S").tolist() == [True, False, False]
+        assert matrix.defined_mask("N").all()
+
+    def test_unknown_attribute_raises(self, mixed):
+        matrix = PairDistanceMatrix(mixed)
+        with pytest.raises(DiscoveryError):
+            matrix.distances("Nope")
+
+    def test_negative_limit_raises(self, mixed):
+        with pytest.raises(DiscoveryError):
+            PairDistanceMatrix(mixed, string_limit=-1)
+
+
+class TestSampling:
+    def test_sampling_caps_pairs(self):
+        relation = Relation.from_rows(
+            ["A"], [[i] for i in range(30)]
+        )
+        matrix = PairDistanceMatrix(relation, max_pairs=50, seed=1)
+        assert matrix.n_pairs == 50
+        assert not matrix.exact
+
+    def test_sampling_deterministic(self):
+        relation = Relation.from_rows(["A"], [[i] for i in range(30)])
+        first = PairDistanceMatrix(relation, max_pairs=50, seed=1)
+        second = PairDistanceMatrix(relation, max_pairs=50, seed=1)
+        assert first.pairs.tolist() == second.pairs.tolist()
+
+    def test_no_sampling_when_under_cap(self):
+        relation = Relation.from_rows(["A"], [[i] for i in range(5)])
+        matrix = PairDistanceMatrix(relation, max_pairs=100)
+        assert matrix.exact
+        assert matrix.n_pairs == 10

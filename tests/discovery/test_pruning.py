@@ -1,0 +1,73 @@
+"""Tests for dominance pruning."""
+
+from repro.discovery.pruning import dominates, remove_dominated
+from repro.rfd import make_rfd
+
+
+class TestDominates:
+    def test_looser_lhs_tighter_rhs_dominates(self):
+        strong = make_rfd({"A": 5}, ("C", 1))
+        weak = make_rfd({"A": 3}, ("C", 2))
+        assert dominates(strong, weak)
+        assert not dominates(weak, strong)
+
+    def test_subset_lhs_dominates(self):
+        small = make_rfd({"A": 3}, ("C", 1))
+        big = make_rfd({"A": 3, "B": 2}, ("C", 1))
+        assert dominates(small, big)
+        assert not dominates(big, small)
+
+    def test_different_rhs_never_dominates(self):
+        first = make_rfd({"A": 3}, ("C", 1))
+        second = make_rfd({"A": 3}, ("D", 1))
+        assert not dominates(first, second)
+
+    def test_incomparable_thresholds(self):
+        first = make_rfd({"A": 5, "B": 1}, ("C", 1))
+        second = make_rfd({"A": 1, "B": 5}, ("C", 1))
+        assert not dominates(first, second)
+        assert not dominates(second, first)
+
+    def test_equal_rfds_dominate_each_other(self):
+        first = make_rfd({"A": 3}, ("C", 1))
+        second = make_rfd({"A": 3}, ("C", 1))
+        assert dominates(first, second)
+        assert dominates(second, first)
+
+    def test_tighter_rhs_wins_same_lhs(self):
+        tight = make_rfd({"A": 3}, ("C", 0))
+        loose = make_rfd({"A": 3}, ("C", 2))
+        assert dominates(tight, loose)
+
+
+class TestRemoveDominated:
+    def test_drops_dominated(self):
+        strong = make_rfd({"A": 5}, ("C", 1))
+        weak = make_rfd({"A": 3}, ("C", 2))
+        assert remove_dominated([weak, strong]) == [strong]
+
+    def test_keeps_incomparable(self):
+        first = make_rfd({"A": 5}, ("C", 1))
+        second = make_rfd({"B": 5}, ("C", 1))
+        kept = remove_dominated([first, second])
+        assert set(map(str, kept)) == {str(first), str(second)}
+
+    def test_dedupes_equal(self):
+        rfd = make_rfd({"A": 3}, ("C", 1))
+        clone = make_rfd({"A": 3}, ("C", 1))
+        assert remove_dominated([rfd, clone]) == [rfd]
+
+    def test_chain_keeps_only_top(self):
+        top = make_rfd({"A": 9}, ("C", 0))
+        middle = make_rfd({"A": 5}, ("C", 1))
+        bottom = make_rfd({"A": 1}, ("C", 2))
+        assert remove_dominated([bottom, middle, top]) == [top]
+
+    def test_groups_by_rhs(self):
+        c_rfd = make_rfd({"A": 1}, ("C", 2))
+        d_rfd = make_rfd({"A": 9}, ("D", 0))
+        kept = remove_dominated([c_rfd, d_rfd])
+        assert len(kept) == 2
+
+    def test_empty(self):
+        assert remove_dominated([]) == []

@@ -1,0 +1,98 @@
+"""Tests for DistanceFunction and the per-type registry."""
+
+import pytest
+
+from repro.dataset.attribute import AttributeType
+from repro.dataset.missing import MISSING
+from repro.distance.base import (
+    DistanceFunction,
+    absolute_difference,
+    boolean_equality,
+    distance_for_type,
+    string_edit_distance,
+)
+from repro.exceptions import DataError
+
+
+class TestPrimitives:
+    def test_absolute_difference(self):
+        assert absolute_difference(3, 7.5) == 4.5
+        assert absolute_difference(-2, 2) == 4.0
+
+    def test_boolean_equality(self):
+        assert boolean_equality(True, True) == 0.0
+        assert boolean_equality(True, False) == 1.0
+
+    def test_string_edit_distance_stringifies(self):
+        assert string_edit_distance(123, "123") == 0.0
+        assert string_edit_distance("abc", "abd") == 1.0
+
+
+class TestDistanceFunction:
+    def test_rejects_missing_operands(self):
+        function = DistanceFunction("d", absolute_difference)
+        with pytest.raises(DataError):
+            function(MISSING, 3)
+        with pytest.raises(DataError):
+            function(3, None)
+
+    def test_memoization_counts(self):
+        calls = []
+
+        def spy(a, b):
+            calls.append((a, b))
+            return abs(a - b)
+
+        function = DistanceFunction("spy", spy, cached=True)
+        assert function(1, 5) == 4
+        assert function(5, 1) == 4  # symmetric key: served from cache
+        assert len(calls) == 1
+        hits, misses, size = function.cache_info
+        assert (hits, misses, size) == (1, 1, 1)
+
+    def test_uncached_calls_every_time(self):
+        calls = []
+
+        def spy(a, b):
+            calls.append(1)
+            return 0.0
+
+        function = DistanceFunction("spy", spy, cached=False)
+        function(1, 2)
+        function(1, 2)
+        assert len(calls) == 2
+        assert function.cache_info == (0, 0, 0)
+
+    def test_clear_cache(self):
+        function = DistanceFunction("d", absolute_difference, cached=True)
+        function(1, 2)
+        function.clear_cache()
+        assert function.cache_info == (0, 0, 0)
+
+    def test_mixed_type_keys_fall_back_gracefully(self):
+        function = DistanceFunction("d", string_edit_distance, cached=True)
+        assert function("1", 1) == 0.0
+        assert function(1, "1") == 0.0  # cache hit through fallback key
+        assert function.cache_info[0] == 1
+
+
+class TestRegistry:
+    def test_numeric_types_get_absolute_difference(self):
+        for attr_type in (AttributeType.INTEGER, AttributeType.FLOAT):
+            function = distance_for_type(attr_type)
+            assert function(10, 4) == 6.0
+
+    def test_numeric_functions_are_uncached(self):
+        function = distance_for_type(AttributeType.FLOAT)
+        function(1.0, 2.0)
+        assert function.cache_info == (0, 0, 0)
+
+    def test_boolean_gets_equality(self):
+        function = distance_for_type(AttributeType.BOOLEAN)
+        assert function(True, False) == 1.0
+
+    def test_string_gets_edit_distance_cached(self):
+        function = distance_for_type(AttributeType.STRING)
+        assert function("abc", "abd") == 1.0
+        function("abc", "abd")
+        assert function.cache_info[0] == 1

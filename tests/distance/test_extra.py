@@ -1,0 +1,155 @@
+"""Tests for the additional distance functions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.extra import (
+    jaro_similarity,
+    jaro_winkler_distance,
+    jaro_winkler_function,
+    jaro_winkler_similarity,
+    relative_difference,
+    relative_difference_function,
+    token_jaccard_distance,
+    token_jaccard_function,
+)
+
+short_text = st.text(
+    alphabet=st.characters(codec="ascii", categories=("L", "N", "Z")),
+    max_size=16,
+)
+
+
+class TestJaro:
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            ("MARTHA", "MARHTA", 0.944),
+            ("DIXON", "DICKSONX", 0.767),
+            ("JELLYFISH", "SMELLYFISH", 0.896),
+        ],
+    )
+    def test_classic_values(self, a, b, expected):
+        assert jaro_similarity(a, b) == pytest.approx(expected, abs=1e-3)
+
+    def test_equal_and_empty(self):
+        assert jaro_similarity("abc", "abc") == 1.0
+        assert jaro_similarity("", "abc") == 0.0
+        assert jaro_similarity("abc", "") == 0.0
+
+    def test_disjoint(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    @given(short_text, short_text)
+    def test_symmetry_and_range(self, a, b):
+        value = jaro_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaro_similarity(b, a))
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        plain = jaro_similarity("PREFIXES", "PREFIXED")
+        boosted = jaro_winkler_similarity("PREFIXES", "PREFIXED")
+        assert boosted > plain
+
+    def test_classic_value(self):
+        assert jaro_winkler_similarity("MARTHA", "MARHTA") == (
+            pytest.approx(0.961, abs=1e-3)
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_scale=0.5)
+
+    @given(short_text, short_text)
+    def test_distance_range(self, a, b):
+        assert 0.0 <= jaro_winkler_distance(a, b) <= 1.0
+
+    def test_distance_zero_for_equal(self):
+        assert jaro_winkler_distance("same", "same") == 0.0
+
+
+class TestTokenJaccard:
+    def test_word_reordering_is_free(self):
+        assert token_jaccard_distance(
+            "Chinois Main", "Main Chinois"
+        ) == 0.0
+
+    def test_case_insensitive(self):
+        assert token_jaccard_distance("Los Angeles", "los angeles") == 0.0
+
+    def test_partial_overlap(self):
+        assert token_jaccard_distance("a b", "b c") == pytest.approx(
+            1 - 1 / 3
+        )
+
+    def test_empty_values(self):
+        assert token_jaccard_distance("", "") == 0.0
+        assert token_jaccard_distance("", "word") == 1.0
+
+    @given(short_text, short_text)
+    def test_range_and_symmetry(self, a, b):
+        value = token_jaccard_distance(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == token_jaccard_distance(b, a)
+
+
+class TestRelativeDifference:
+    def test_scale_free(self):
+        assert relative_difference(1000, 900) == pytest.approx(
+            relative_difference(0.01, 0.009)
+        )
+
+    def test_zero_pair(self):
+        assert relative_difference(0, 0) == 0.0
+
+    def test_sign_handling(self):
+        assert relative_difference(-5, 5) == pytest.approx(2.0)
+
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+    )
+    def test_symmetry_and_nonnegative(self, a, b):
+        value = relative_difference(a, b)
+        assert value >= 0.0
+        assert value == pytest.approx(relative_difference(b, a))
+
+
+class TestFactoriesIntegration:
+    def test_overrides_in_pattern_calculator(self, restaurant_sample):
+        from repro.distance.pattern import PatternCalculator
+
+        calculator = PatternCalculator(
+            restaurant_sample,
+            overrides={
+                "Name": jaro_winkler_function(),
+                "City": token_jaccard_function(),
+            },
+        )
+        pattern = calculator.pattern(2, 3, ("Name", "City"))
+        assert pattern["Name"] == 0.0
+        assert pattern["City"] == 0.0
+
+    def test_renuver_with_custom_distances(self, restaurant_sample):
+        from repro import Renuver, make_rfd
+
+        rfd = make_rfd({"Name": 0.15}, ("Phone", 2))
+        engine = Renuver(
+            [rfd],
+            distance_overrides={"Name": jaro_winkler_function()},
+        )
+        result = engine.impute(restaurant_sample)
+        # t4 ("Citrus") matches t3 exactly under Jaro-Winkler.
+        outcome = result.report.outcome_for(3, "Phone")
+        assert outcome.imputed
+        assert outcome.source_row == 2
+
+    def test_relative_difference_function_uncached(self):
+        function = relative_difference_function()
+        assert function(10, 5) == 0.5
+        assert function.cache_info == (0, 0, 0)

@@ -1,0 +1,116 @@
+"""Tests for the Levenshtein implementations, incl. metric properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.levenshtein import (
+    levenshtein,
+    levenshtein_bounded,
+    normalized_levenshtein,
+)
+
+short_text = st.text(
+    alphabet=st.characters(codec="ascii", categories=("L", "N", "P", "Z")),
+    max_size=24,
+)
+
+
+class TestExact:
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("Los Angeles", "LA", 9),
+            ("213/848-6677", "213-848-6677", 1),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_paper_example_name_distance(self):
+        # Example 5.5: Name("Fenix", "Fenix Argyle") = 7
+        assert levenshtein("Fenix", "Fenix Argyle") == 7
+
+
+class TestExactProperties:
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        distance = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+    @given(short_text, short_text)
+    def test_positivity(self, a, b):
+        if a != b:
+            assert levenshtein(a, b) >= 1
+
+    @settings(max_examples=50)
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text)
+    def test_single_char_append(self, a, b):
+        assert levenshtein(a + "x", a) == 1
+
+
+class TestBounded:
+    @given(short_text, short_text, st.integers(min_value=0, max_value=30))
+    def test_agrees_with_exact_up_to_limit(self, a, b, limit):
+        exact = levenshtein(a, b)
+        bounded = levenshtein_bounded(a, b, limit)
+        if exact <= limit:
+            assert bounded == exact
+        else:
+            assert bounded == limit + 1
+
+    def test_zero_limit(self):
+        assert levenshtein_bounded("same", "same", 0) == 0
+        assert levenshtein_bounded("same", "Same", 0) == 1
+
+    def test_length_gap_short_circuit(self):
+        assert levenshtein_bounded("a" * 30, "a", 5) == 6
+
+    def test_negative_limit_raises(self):
+        with pytest.raises(ValueError):
+            levenshtein_bounded("a", "b", -1)
+
+    def test_empty_strings(self):
+        assert levenshtein_bounded("", "", 3) == 0
+        assert levenshtein_bounded("", "ab", 3) == 2
+        assert levenshtein_bounded("", "abcd", 3) == 4
+
+
+class TestNormalized:
+    def test_identical(self):
+        assert normalized_levenshtein("abc", "abc") == 0.0
+
+    def test_empty_pair(self):
+        assert normalized_levenshtein("", "") == 0.0
+
+    def test_disjoint(self):
+        assert normalized_levenshtein("abc", "xyz") == pytest.approx(
+            6 / 9
+        )
+
+    @given(short_text, short_text)
+    def test_range(self, a, b):
+        assert 0.0 <= normalized_levenshtein(a, b) <= 1.0
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert normalized_levenshtein(a, b) == normalized_levenshtein(b, a)

@@ -1,0 +1,122 @@
+"""Tests for distance patterns (Definition 5.4) and the calculator."""
+
+import pytest
+
+from repro.dataset import MISSING, Relation
+from repro.distance.base import DistanceFunction
+from repro.distance.pattern import DistancePattern, PatternCalculator
+from repro.exceptions import SchemaError
+
+
+class TestDistancePattern:
+    def test_mapping_interface(self):
+        pattern = DistancePattern({"A": 2.0, "B": MISSING})
+        assert pattern["A"] == 2.0
+        assert len(pattern) == 2
+        assert set(pattern) == {"A", "B"}
+
+    def test_is_missing_on(self):
+        pattern = DistancePattern({"A": 2.0, "B": MISSING})
+        assert pattern.is_missing_on("B")
+        assert not pattern.is_missing_on("A")
+
+    def test_within(self):
+        pattern = DistancePattern({"A": 2.0, "B": MISSING})
+        assert pattern.within("A", 2.0)
+        assert not pattern.within("A", 1.9)
+        assert not pattern.within("B", 100)  # missing never satisfies
+
+    def test_mean_over(self):
+        pattern = DistancePattern({"A": 2.0, "B": 4.0})
+        assert pattern.mean_over(["A", "B"]) == 3.0
+        assert pattern.mean_over(["A"]) == 2.0
+
+    def test_mean_over_missing_raises(self):
+        pattern = DistancePattern({"A": MISSING})
+        with pytest.raises(ValueError):
+            pattern.mean_over(["A"])
+
+    def test_mean_over_empty_raises(self):
+        with pytest.raises(ValueError):
+            DistancePattern({"A": 1.0}).mean_over([])
+
+    def test_as_vector_paper_form(self):
+        pattern = DistancePattern({"Name": 7.0, "City": MISSING,
+                                   "Phone": 0.0})
+        assert pattern.as_vector(["Name", "City", "Phone"]) == (
+            7.0, MISSING, 0.0
+        )
+
+    def test_unrequested_attribute_raises(self):
+        with pytest.raises(KeyError):
+            DistancePattern({"A": 1.0})["B"]
+
+
+class TestPatternCalculator:
+    def test_paper_example_5_5(self, restaurant_sample):
+        # Pattern between t5 and t6 is [7, _, 0, _, 0].
+        calculator = PatternCalculator(restaurant_sample)
+        pattern = calculator.pattern(4, 5)
+        assert pattern.as_vector(
+            ["Name", "City", "Phone", "Type", "Class"]
+        ) == (7.0, MISSING, 0.0, MISSING, 0.0)
+
+    def test_partial_pattern(self, restaurant_sample):
+        calculator = PatternCalculator(restaurant_sample)
+        pattern = calculator.pattern(0, 1, ["Class"])
+        assert pattern["Class"] == 1.0
+        with pytest.raises(KeyError):
+            pattern["Name"]
+
+    def test_distance_single_attribute(self, restaurant_sample):
+        calculator = PatternCalculator(restaurant_sample)
+        assert calculator.distance(2, 3, "Name") == 0.0
+        assert calculator.distance(2, 3, "Phone") is MISSING
+
+    def test_value_distance(self, restaurant_sample):
+        calculator = PatternCalculator(restaurant_sample)
+        assert calculator.value_distance("Class", 6, 5) == 1.0
+        assert calculator.value_distance("Class", MISSING, 5) is MISSING
+
+    def test_unknown_attribute_raises(self, restaurant_sample):
+        calculator = PatternCalculator(restaurant_sample)
+        with pytest.raises(SchemaError):
+            calculator.distance(0, 1, "Nope")
+        with pytest.raises(SchemaError):
+            calculator.pattern(0, 1, ["Nope"])
+
+    def test_unknown_override_raises(self, restaurant_sample):
+        with pytest.raises(SchemaError):
+            PatternCalculator(
+                restaurant_sample,
+                overrides={"Nope": DistanceFunction("x", lambda a, b: 0.0)},
+            )
+
+    def test_override_replaces_default(self, restaurant_sample):
+        constant = DistanceFunction("zero", lambda a, b: 0.0, cached=False)
+        calculator = PatternCalculator(
+            restaurant_sample, overrides={"Name": constant}
+        )
+        assert calculator.distance(0, 1, "Name") == 0.0
+
+    def test_patterns_are_live_after_mutation(self, restaurant_sample):
+        calculator = PatternCalculator(restaurant_sample)
+        assert calculator.distance(2, 3, "Phone") is MISSING
+        restaurant_sample.set_value(3, "Phone", "213/857-0034")
+        assert calculator.distance(2, 3, "Phone") == 0.0
+
+    def test_cache_report_and_clear(self, restaurant_sample):
+        calculator = PatternCalculator(restaurant_sample)
+        calculator.distance(0, 1, "Name")
+        calculator.distance(0, 1, "Name")
+        report = calculator.cache_report()
+        assert report["Name"][0] >= 1  # at least one hit
+        calculator.clear_caches()
+        assert calculator.cache_report()["Name"] == (0, 0, 0)
+
+    def test_symmetry(self, restaurant_sample):
+        calculator = PatternCalculator(restaurant_sample)
+        for name in restaurant_sample.attribute_names:
+            assert calculator.distance(0, 1, name) == calculator.distance(
+                1, 0, name
+            )

@@ -1,0 +1,74 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.evaluation.ascii_chart import render_chart, render_metric_charts
+from repro.evaluation.metrics import Scores
+from repro.exceptions import EvaluationError
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        chart = render_chart(
+            {"renuver": [0.2, 0.8], "derand": [0.5, 0.4]},
+            ["1%", "5%"],
+            title="recall",
+            height=5,
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "recall"
+        assert "A=renuver" in lines[-1] and "B=derand" in lines[-1]
+        assert any("+" in line for line in lines)
+        assert "1%" in chart and "5%" in chart
+
+    def test_extreme_values_on_border_rows(self):
+        chart = render_chart(
+            {"s": [1.0, 0.0]}, ["lo", "hi"], height=4
+        )
+        lines = chart.splitlines()
+        assert "A" in lines[0]      # y = 1.0 -> top row
+        assert "A" in lines[3]      # y = 0.0 -> bottom row
+
+    def test_values_clamped(self):
+        chart = render_chart({"s": [2.0, -1.0]}, ["a", "b"], height=4)
+        plot_area = "\n".join(chart.splitlines()[:-2])  # drop axis/legend
+        assert plot_area.count("A") == 2
+
+    def test_marker_order(self):
+        chart = render_chart(
+            {"first": [0.5], "second": [0.9]}, ["x"]
+        )
+        assert "A=first" in chart and "B=second" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(EvaluationError):
+            render_chart({"s": [0.1]}, ["a", "b"])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(EvaluationError):
+            render_chart({}, ["a"])
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(EvaluationError):
+            render_chart({"s": [0.5]}, ["a"], height=1)
+        with pytest.raises(EvaluationError):
+            render_chart({"s": [0.5]}, ["a"], y_min=1, y_max=0)
+
+
+class TestRenderMetricCharts:
+    def test_scores_table(self):
+        table = {
+            "renuver": {
+                0.01: Scores(missing=10, imputed=8, correct=8),
+                0.05: Scores(missing=10, imputed=9, correct=7),
+            },
+            "knn": {
+                0.01: Scores(missing=10, imputed=10, correct=6),
+                0.05: Scores(missing=10, imputed=10, correct=5),
+            },
+        }
+        output = render_metric_charts(table, [0.01, 0.05])
+        assert "precision vs missing rate" in output
+        assert "recall vs missing rate" in output
+        assert "f1 vs missing rate" in output
+        assert "A=renuver" in output

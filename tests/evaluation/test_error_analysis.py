@@ -1,0 +1,130 @@
+"""Tests for the imputation error analysis."""
+
+import pytest
+
+from repro.dataset import MISSING, Relation
+from repro.evaluation.error_analysis import (
+    CellVerdict,
+    analyze_errors,
+)
+from repro.evaluation.injection import inject_missing
+from repro.evaluation.metrics import score_imputation
+from repro.evaluation.rules import DatasetValidator, RegexRule
+
+
+@pytest.fixture()
+def scenario():
+    """An injection with one of each verdict, hand-assembled.
+
+    All four injected cells sit on the Phone column (deterministic via
+    ``attributes=["Phone"]``), so each verdict can be forced exactly.
+    """
+    relation = Relation.from_rows(
+        ["Phone", "City"],
+        [
+            ["213-848-6677", "LA"],
+            ["310-456-0488", "SF"],
+            ["412-624-4141", "NY"],
+            ["617-555-0000", "BO"],
+        ],
+    )
+    injection = inject_missing(
+        relation, count=4, seed=3, attributes=["Phone"]
+    )
+    imputed = injection.relation.copy()
+    cells = injection.cells
+    truths = injection.ground_truth
+    # exact / rule-accepted / wrong / leave one blank.
+    imputed.set_value(*cells[0], truths[cells[0]])
+    imputed.set_value(
+        *cells[1], str(truths[cells[1]]).replace("-", "/")
+    )
+    imputed.set_value(*cells[2], "000-000-0000")
+    validator = DatasetValidator(
+        {"Phone": [RegexRule(r"(\d{3})\D*(\d{3})\D*(\d{4})")]}
+    )
+    return imputed, injection, validator, cells
+
+
+class TestVerdicts:
+    def test_all_four_verdicts(self, scenario):
+        imputed, injection, validator, cells = scenario
+        analysis = analyze_errors(imputed, injection, validator)
+        verdicts = {
+            (cell.row, cell.attribute): cell.verdict
+            for cell in analysis.cells
+        }
+        assert verdicts[cells[0]] is CellVerdict.EXACT
+        assert verdicts[cells[1]] is CellVerdict.RULE
+        assert verdicts[cells[2]] is CellVerdict.WRONG
+        assert verdicts[cells[3]] is CellVerdict.UNIMPUTED
+
+    def test_counts_and_accessors(self, scenario):
+        imputed, injection, validator, _ = scenario
+        analysis = analyze_errors(imputed, injection, validator)
+        assert len(analysis.cells) == 4
+        assert analysis.count(CellVerdict.UNIMPUTED) == 1
+        wrong = analysis.cells_with(CellVerdict.WRONG)
+        assert all(c.verdict is CellVerdict.WRONG for c in wrong)
+
+    def test_agreement_with_scores(self, scenario):
+        imputed, injection, validator, _ = scenario
+        analysis = analyze_errors(imputed, injection, validator)
+        scores = score_imputation(imputed, injection, validator)
+        correct = analysis.count(CellVerdict.EXACT) + analysis.count(
+            CellVerdict.RULE
+        )
+        assert correct == scores.correct
+        filled = correct + analysis.count(CellVerdict.WRONG)
+        assert filled == scores.imputed
+
+    def test_numeric_exactness_across_types(self):
+        relation = Relation.from_rows(["N"], [[5], [7]])
+        injection = inject_missing(relation, count=1, seed=0)
+        imputed = injection.relation.copy()
+        (row, attr), truth = next(iter(injection.ground_truth.items()))
+        imputed.set_value(row, attr, float(truth))
+        analysis = analyze_errors(imputed, injection)
+        assert analysis.cells[0].verdict is CellVerdict.EXACT
+
+
+class TestBreakdown:
+    def test_per_attribute_metrics(self, scenario):
+        imputed, injection, validator, _ = scenario
+        analysis = analyze_errors(imputed, injection, validator)
+        breakdowns = analysis.by_attribute()
+        total = sum(b.total for b in breakdowns.values())
+        assert total == 4
+        for breakdown in breakdowns.values():
+            assert 0 <= breakdown.precision <= 1
+            assert 0 <= breakdown.recall <= 1
+            assert breakdown.correct <= breakdown.total
+
+    def test_summary_renders(self, scenario):
+        imputed, injection, validator, _ = scenario
+        analysis = analyze_errors(imputed, injection, validator)
+        text = analysis.summary()
+        assert "attribute" in text
+        assert "totals:" in text
+
+    def test_cell_error_str(self, scenario):
+        imputed, injection, validator, _ = scenario
+        analysis = analyze_errors(imputed, injection, validator)
+        assert "imputed=" in str(analysis.cells[0])
+
+
+class TestEndToEnd:
+    def test_renuver_run_analysis(self, zip_city_relation):
+        from repro import Renuver, make_rfd
+
+        injection = inject_missing(zip_city_relation, count=3, seed=2)
+        result = Renuver(
+            [make_rfd({"Zip": 0}, ("City", 0)),
+             make_rfd({"City": 0}, ("Zip", 0))]
+        ).impute(injection.relation)
+        analysis = analyze_errors(result.relation, injection)
+        assert len(analysis.cells) == 3
+        # Every verdict is one of the four categories.
+        assert all(
+            cell.verdict in CellVerdict for cell in analysis.cells
+        )

@@ -1,0 +1,137 @@
+"""Tests for missing-value injection (Section 6.1 protocol)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import MISSING, Relation
+from repro.evaluation.injection import (
+    build_injection_suite,
+    inject_missing,
+    missing_count_for_rate,
+)
+from repro.exceptions import EvaluationError
+
+
+def _relation(n=20):
+    return Relation.from_rows(
+        ["A", "B", "C"],
+        [[f"a{i}", i, i * 1.5] for i in range(n)],
+        name="inj",
+    )
+
+
+class TestCounts:
+    def test_paper_table3_restaurant_count(self):
+        # 1% of 864 x 6 cells = 51.84 -> 52, exactly Table 3's value.
+        relation = Relation.from_rows(
+            [f"A{i}" for i in range(6)],
+            [[str(j)] * 6 for j in range(864)],
+        )
+        assert missing_count_for_rate(relation, 0.01) == 52
+
+    def test_minimum_one(self):
+        assert missing_count_for_rate(_relation(1), 0.001) == 1
+
+    def test_invalid_rate(self):
+        with pytest.raises(EvaluationError):
+            missing_count_for_rate(_relation(), 0.0)
+        with pytest.raises(EvaluationError):
+            missing_count_for_rate(_relation(), 1.0)
+
+
+class TestInjectMissing:
+    def test_count_blanked(self):
+        injection = inject_missing(_relation(), count=7, seed=1)
+        assert injection.count == 7
+        assert injection.relation.count_missing() == 7
+
+    def test_ground_truth_matches_original(self):
+        relation = _relation()
+        injection = inject_missing(relation, count=5, seed=2)
+        for (row, attribute), value in injection.ground_truth.items():
+            assert relation.value(row, attribute) == value
+            assert injection.relation.value(row, attribute) is MISSING
+
+    def test_restore_round_trips(self):
+        relation = _relation()
+        injection = inject_missing(relation, rate=0.1, seed=3)
+        assert injection.restore().equals(relation)
+
+    def test_deterministic_per_seed_and_variant(self):
+        relation = _relation()
+        first = inject_missing(relation, count=5, seed=4, variant=0)
+        second = inject_missing(relation, count=5, seed=4, variant=0)
+        assert first.cells == second.cells
+
+    def test_variants_differ(self):
+        relation = _relation()
+        cells = {
+            tuple(inject_missing(relation, count=5, seed=4,
+                                 variant=v).cells)
+            for v in range(5)
+        }
+        assert len(cells) > 1
+
+    def test_attribute_restriction(self):
+        injection = inject_missing(
+            _relation(), count=5, seed=0, attributes=["B"]
+        )
+        assert all(attribute == "B" for _, attribute in injection.cells)
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(EvaluationError):
+            inject_missing(_relation(), count=1, attributes=["Nope"])
+
+    def test_rate_and_count_mutually_exclusive(self):
+        with pytest.raises(EvaluationError):
+            inject_missing(_relation(), rate=0.1, count=3)
+        with pytest.raises(EvaluationError):
+            inject_missing(_relation())
+
+    def test_never_blanks_already_missing(self):
+        relation = _relation(4)
+        relation.set_value(0, "A", MISSING)
+        injection = inject_missing(relation, count=11, seed=0)
+        assert (0, "A") not in injection.ground_truth
+        assert injection.relation.count_missing() == 12
+
+    def test_too_many_cells_rejected(self):
+        with pytest.raises(EvaluationError):
+            inject_missing(_relation(2), count=7)
+
+    def test_original_untouched(self):
+        relation = _relation()
+        inject_missing(relation, count=5, seed=0)
+        assert relation.count_missing() == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_property_exact_count_and_truth(self, count, seed):
+        relation = _relation(10)
+        injection = inject_missing(relation, count=count, seed=seed)
+        assert injection.relation.count_missing() == count
+        assert len(injection.ground_truth) == count
+        assert injection.restore().equals(relation)
+
+
+class TestSuite:
+    def test_shape(self):
+        suite = build_injection_suite(
+            _relation(), rates=[0.01, 0.05], variants=3, seed=1
+        )
+        assert suite.rates() == [0.01, 0.05]
+        assert len(suite.variants(0.01)) == 3
+        assert len(list(suite)) == 6
+
+    def test_unknown_rate_raises(self):
+        suite = build_injection_suite(_relation(), rates=[0.01])
+        with pytest.raises(EvaluationError):
+            suite.variants(0.5)
+
+    def test_variants_must_be_positive(self):
+        with pytest.raises(EvaluationError):
+            build_injection_suite(_relation(), rates=[0.01], variants=0)

@@ -1,0 +1,108 @@
+"""Tests for precision/recall/F1 scoring."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataset import MISSING, Relation
+from repro.evaluation.injection import inject_missing
+from repro.evaluation.metrics import Scores, mean_scores, score_imputation
+from repro.evaluation.rules import DatasetValidator, DeltaRule
+from repro.exceptions import EvaluationError
+
+
+class TestScores:
+    def test_paper_definitions(self):
+        scores = Scores(missing=10, imputed=8, correct=6)
+        assert scores.precision == 0.75
+        assert scores.recall == 0.6
+        assert scores.f1 == pytest.approx(
+            2 * 0.75 * 0.6 / (0.75 + 0.6)
+        )
+        assert scores.fill_rate == 0.8
+
+    def test_zero_imputed(self):
+        scores = Scores(missing=5, imputed=0, correct=0)
+        assert scores.precision == 0.0
+        assert scores.recall == 0.0
+        assert scores.f1 == 0.0
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            Scores(missing=1, imputed=1, correct=2)
+        with pytest.raises(EvaluationError):
+            Scores(missing=-1, imputed=0, correct=0)
+
+    @given(
+        missing=st.integers(min_value=0, max_value=100),
+        imputed=st.integers(min_value=0, max_value=100),
+        correct=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_metric_bounds(self, missing, imputed, correct):
+        correct = min(correct, imputed)
+        scores = Scores(missing=missing, imputed=imputed, correct=correct)
+        assert 0.0 <= scores.precision <= 1.0
+        assert scores.recall >= 0.0
+        assert scores.f1 <= 1.0 or scores.recall > 1.0
+        # F1 is bounded by both components when recall is a true rate.
+        if missing >= correct:
+            assert scores.f1 <= 1.0
+
+    def test_str(self):
+        assert "P=0.750" in str(Scores(missing=10, imputed=8, correct=6))
+
+
+class TestScoreImputation:
+    def test_counts_correct_and_wrong(self):
+        relation = Relation.from_rows(
+            ["A", "B"], [["x", 1], ["y", 2], ["z", 3]]
+        )
+        injection = inject_missing(relation, count=3, seed=1)
+        imputed = injection.relation.copy()
+        cells = injection.cells
+        # Fill the first correctly, the second wrongly, leave the third.
+        row0, attr0 = cells[0]
+        imputed.set_value(row0, attr0, injection.ground_truth[cells[0]])
+        row1, attr1 = cells[1]
+        wrong = "WRONG" if attr1 == "A" else 999
+        imputed.set_value(row1, attr1, wrong)
+        scores = score_imputation(imputed, injection)
+        assert scores.missing == 3
+        assert scores.imputed == 2
+        assert scores.correct == 1
+
+    def test_validator_changes_verdict(self):
+        relation = Relation.from_rows(["N"], [[100], [200], [300]])
+        injection = inject_missing(relation, count=1, seed=0)
+        imputed = injection.relation.copy()
+        (row, attribute), truth = next(iter(injection.ground_truth.items()))
+        imputed.set_value(row, attribute, truth + 20)
+        strict = score_imputation(imputed, injection)
+        lenient = score_imputation(
+            imputed, injection, DatasetValidator({"N": [DeltaRule(25)]})
+        )
+        assert strict.correct == 0
+        assert lenient.correct == 1
+
+    def test_unimputed_cells_not_counted(self):
+        relation = Relation.from_rows(["A"], [["x"], ["y"]])
+        injection = inject_missing(relation, count=2, seed=0)
+        scores = score_imputation(injection.relation, injection)
+        assert scores.imputed == 0
+        assert scores.missing == 2
+
+
+class TestMeanScores:
+    def test_weighted_aggregation(self):
+        combined = mean_scores(
+            [
+                Scores(missing=10, imputed=10, correct=10),
+                Scores(missing=10, imputed=0, correct=0),
+            ]
+        )
+        assert combined.missing == 20
+        assert combined.recall == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            mean_scores([])

@@ -1,0 +1,105 @@
+"""Tests for experiment-result serialization."""
+
+import pytest
+
+from repro.evaluation.metrics import Scores
+from repro.evaluation.reporting import (
+    load_results,
+    markdown_comparison,
+    markdown_resource_table,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.evaluation.runner import ExperimentResult, RunRecord
+from repro.exceptions import EvaluationError
+
+
+def _result(approach="renuver") -> ExperimentResult:
+    result = ExperimentResult(approach=approach)
+    result.records.append(
+        RunRecord(
+            rate=0.01,
+            variant=0,
+            scores=Scores(missing=10, imputed=8, correct=7),
+            elapsed_seconds=1.25,
+            peak_bytes=2048,
+        )
+    )
+    result.records.append(
+        RunRecord(
+            rate=0.05,
+            variant=0,
+            scores=None,
+            elapsed_seconds=60.0,
+            peak_bytes=0,
+            status="TL",
+            error="budget",
+        )
+    )
+    return result
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self):
+        original = _result()
+        clone = result_from_dict(result_to_dict(original))
+        assert clone.approach == original.approach
+        assert len(clone.records) == 2
+        assert clone.records[0].scores == original.records[0].scores
+        assert clone.records[1].status == "TL"
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_results({"renuver": _result()}, path)
+        loaded = load_results(path)
+        assert set(loaded) == {"renuver"}
+        assert loaded["renuver"].mean_scores(0.01).precision == (
+            pytest.approx(7 / 8)
+        )
+
+    def test_malformed_data_rejected(self):
+        with pytest.raises(EvaluationError):
+            result_from_dict({"approach": "x"})  # no records
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(EvaluationError):
+            load_results(path)
+
+    def test_non_object_top_level(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[]")
+        with pytest.raises(EvaluationError):
+            load_results(path)
+
+
+class TestMarkdown:
+    def test_comparison_table(self):
+        table = markdown_comparison(
+            {"renuver": _result()}, rates=[0.01, 0.05]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("| approach | P@1% | R@1% | F@1%")
+        assert "0.875" in table   # precision at 1%
+        assert "TL" in table      # budget-limited rate renders as status
+
+    def test_comparison_needs_results(self):
+        with pytest.raises(EvaluationError):
+            markdown_comparison({}, rates=[0.01])
+
+    def test_resource_table(self):
+        table = markdown_resource_table(
+            {"renuver": _result()}, rates=[0.01, 0.05]
+        )
+        assert "| renuver | 1% |" in table
+        assert "2.00 KB" in table
+        assert "| renuver | 5% | TL |" in table
+
+    def test_custom_metrics(self):
+        table = markdown_comparison(
+            {"renuver": _result()}, rates=[0.01], metrics=["f1"]
+        )
+        assert "F@1%" in table
+        assert "P@1%" not in table

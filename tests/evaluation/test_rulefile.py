@@ -1,0 +1,91 @@
+"""Tests for rule-file persistence."""
+
+import json
+
+import pytest
+
+from repro.evaluation.rulefile import (
+    load_rule_file,
+    save_rule_file,
+    validator_from_dict,
+    validator_to_dict,
+)
+from repro.evaluation.rules import DatasetValidator, DeltaRule, RegexRule
+from repro.exceptions import RuleFileError
+
+SAMPLE = {
+    "dataset": "restaurant",
+    "attributes": {
+        "Phone": {
+            "rules": [
+                {"type": "regex",
+                 "pattern": r"(\d{3})\D*(\d{3})\D*(\d{4})"}
+            ]
+        },
+        "City": {
+            "rules": [
+                {"type": "value_set", "sets": [["la", "los angeles"]]}
+            ]
+        },
+        "Horsepower": {"rules": [{"type": "delta", "delta": 25}]},
+    },
+}
+
+
+class TestFromDict:
+    def test_builds_working_validator(self):
+        validator = validator_from_dict(SAMPLE)
+        assert validator.is_correct("Phone", "213/848-6677", "213-848-6677")
+        assert validator.is_correct("City", "LA", "Los Angeles")
+        assert validator.is_correct("Horsepower", 150, 170)
+
+    def test_missing_attributes_key(self):
+        with pytest.raises(RuleFileError):
+            validator_from_dict({})
+
+    def test_bad_section_type(self):
+        with pytest.raises(RuleFileError):
+            validator_from_dict({"attributes": {"A": ["not-a-mapping"]}})
+
+    def test_bad_rules_type(self):
+        with pytest.raises(RuleFileError):
+            validator_from_dict({"attributes": {"A": {"rules": "nope"}}})
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        validator = validator_from_dict(SAMPLE)
+        data = validator_to_dict(validator, dataset="restaurant")
+        clone = validator_from_dict(data)
+        assert clone.is_correct("Phone", "2138486677", "213/848-6677")
+        assert data["dataset"] == "restaurant"
+
+    def test_file_round_trip(self, tmp_path):
+        validator = DatasetValidator(
+            {"HP": [DeltaRule(25)], "Phone": [RegexRule(r"(\d+)")]}
+        )
+        path = tmp_path / "rules.json"
+        save_rule_file(validator, path, dataset="cars")
+        loaded = load_rule_file(path)
+        assert loaded.is_correct("HP", 100, 120)
+        assert loaded.attributes() == ["HP", "Phone"]
+
+    def test_saved_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "rules.json"
+        save_rule_file(DatasetValidator({"A": [DeltaRule(1)]}), path)
+        data = json.loads(path.read_text())
+        assert "attributes" in data
+
+
+class TestLoadErrors:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(RuleFileError):
+            load_rule_file(path)
+
+    def test_non_object_top_level(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(RuleFileError):
+            load_rule_file(path)

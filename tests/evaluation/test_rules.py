@@ -1,0 +1,148 @@
+"""Tests for the rule-based validation framework (Section 6.1)."""
+
+import pytest
+
+from repro.dataset import MISSING
+from repro.evaluation.rules import (
+    DatasetValidator,
+    DeltaRule,
+    RegexRule,
+    ValueSetRule,
+    rule_from_spec,
+)
+from repro.exceptions import RuleFileError
+
+
+class TestValueSetRule:
+    def test_paper_new_york_example(self):
+        rule = ValueSetRule([["new york", "new york city", "ny"]])
+        assert rule.accepts("NY", "New York")
+        assert rule.accepts("new york city", "ny")
+
+    def test_rejects_outside_set(self):
+        rule = ValueSetRule([["la", "los angeles"]])
+        assert not rule.accepts("la", "san francisco")
+        assert not rule.accepts("boston", "la")
+
+    def test_multiple_sets(self):
+        rule = ValueSetRule([["la", "los angeles"], ["sf", "san francisco"]])
+        assert rule.accepts("sf", "San Francisco")
+        assert not rule.accepts("la", "sf")
+
+    def test_needs_two_aliases(self):
+        with pytest.raises(RuleFileError):
+            ValueSetRule([["only-one"]])
+        with pytest.raises(RuleFileError):
+            ValueSetRule([])
+
+    def test_spec_round_trip(self):
+        rule = ValueSetRule([["a", "b"]])
+        assert rule_from_spec(rule.to_spec()).accepts("a", "b")
+
+
+class TestRegexRule:
+    PHONE = r"(\d{3})\D*(\d{3})\D*(\d{4})"
+
+    def test_paper_phone_example(self):
+        rule = RegexRule(self.PHONE)
+        assert rule.accepts("213/848-6677", "213-848-6677")
+        assert rule.accepts("2138486677", "213 848 6677")
+
+    def test_different_digits_rejected(self):
+        rule = RegexRule(self.PHONE)
+        assert not rule.accepts("213/848-6677", "213/848-6678")
+
+    def test_non_matching_value_rejected(self):
+        rule = RegexRule(self.PHONE)
+        assert not rule.accepts("call me", "213/848-6677")
+        assert not rule.accepts("213/848-6677", "call me")
+
+    def test_requires_capture_group(self):
+        with pytest.raises(RuleFileError):
+            RegexRule(r"\d+")
+
+    def test_invalid_regex(self):
+        with pytest.raises(RuleFileError):
+            RegexRule(r"([unclosed")
+
+    def test_spec_round_trip(self):
+        rule = RegexRule(self.PHONE)
+        clone = rule_from_spec(rule.to_spec())
+        assert clone.accepts("213/848-6677", "213.848.6677")
+
+
+class TestDeltaRule:
+    def test_paper_horsepower_example(self):
+        rule = DeltaRule(25)
+        assert rule.accepts(150, 170)
+        assert rule.accepts(170, 150)
+        assert not rule.accepts(150, 176)
+
+    def test_boundary_inclusive(self):
+        assert DeltaRule(25).accepts(100, 125)
+
+    def test_string_numbers(self):
+        assert DeltaRule(1.5).accepts("2.0", "3.4")
+
+    def test_non_numeric_rejected(self):
+        assert not DeltaRule(5).accepts("abc", 3)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(RuleFileError):
+            DeltaRule(-1)
+
+    def test_spec_round_trip(self):
+        assert rule_from_spec(DeltaRule(2.5).to_spec()).accepts(1, 3)
+
+
+class TestRuleFromSpec:
+    def test_unknown_type(self):
+        with pytest.raises(RuleFileError):
+            rule_from_spec({"type": "magic"})
+
+    def test_missing_field(self):
+        with pytest.raises(RuleFileError):
+            rule_from_spec({"type": "delta"})
+
+
+class TestDatasetValidator:
+    def test_exact_match_without_rules(self):
+        validator = DatasetValidator()
+        assert validator.is_correct("A", "x", "x")
+        assert not validator.is_correct("A", "x", "y")
+
+    def test_case_insensitive_fallback(self):
+        validator = DatasetValidator()
+        assert validator.is_correct("A", "Los Angeles", "los angeles")
+
+    def test_numeric_equality_across_types(self):
+        validator = DatasetValidator()
+        assert validator.is_correct("A", 5, 5.0)
+        assert validator.is_correct("A", "5", 5)
+
+    def test_missing_never_correct(self):
+        validator = DatasetValidator()
+        assert not validator.is_correct("A", MISSING, "x")
+        assert not validator.is_correct("A", "x", MISSING)
+
+    def test_rules_consulted_per_attribute(self):
+        validator = DatasetValidator({"HP": [DeltaRule(25)]})
+        assert validator.is_correct("HP", 150, 170)
+        assert not validator.is_correct("Other", 150, 170)
+
+    def test_add_rule(self):
+        validator = DatasetValidator()
+        validator.add_rule("City", ValueSetRule([["la", "los angeles"]]))
+        assert validator.is_correct("City", "LA", "Los Angeles")
+        assert validator.attributes() == ["City"]
+
+    def test_any_rule_suffices(self):
+        validator = DatasetValidator(
+            {"X": [DeltaRule(0), ValueSetRule([["a", "b"]])]}
+        )
+        assert validator.is_correct("X", "a", "b")
+
+    def test_rules_for_returns_copy(self):
+        validator = DatasetValidator({"X": [DeltaRule(1)]})
+        validator.rules_for("X").clear()
+        assert len(validator.rules_for("X")) == 1

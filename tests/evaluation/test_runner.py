@@ -1,0 +1,104 @@
+"""Tests for the experiment runner."""
+
+import time
+
+import pytest
+
+from repro.baselines import MeanModeImputer
+from repro.core.renuver import ImputationResult
+from repro.core.report import ImputationReport
+from repro.dataset import Relation
+from repro.evaluation.injection import build_injection_suite
+from repro.evaluation.runner import compare_approaches, run_experiment
+from repro.exceptions import EvaluationError
+
+
+def _relation():
+    return Relation.from_rows(
+        ["K", "V"],
+        [[f"k{i % 3}", f"v{i % 3}"] for i in range(30)],
+        name="runner",
+    )
+
+
+def _suite(variants=2):
+    return build_injection_suite(
+        _relation(), rates=[0.05, 0.1], variants=variants, seed=0
+    )
+
+
+class _SlowImputer(MeanModeImputer):
+    def impute(self, relation, *, inplace=False):
+        time.sleep(0.05)
+        return super().impute(relation, inplace=inplace)
+
+
+class _BrokenImputer:
+    def impute(self, relation):
+        raise RuntimeError("boom")
+
+
+class _LazyImputer:
+    """Imputes nothing — exercises the zero-imputed path."""
+
+    def impute(self, relation):
+        return ImputationResult(relation.copy(), ImputationReport())
+
+
+class TestRunExperiment:
+    def test_runs_every_variant(self):
+        result = run_experiment("mean", MeanModeImputer, _suite())
+        assert len(result.records) == 4
+        assert result.rates() == [0.05, 0.1]
+        assert all(record.ok for record in result.records)
+
+    def test_mean_scores_aggregates(self):
+        result = run_experiment("mean", MeanModeImputer, _suite())
+        scores = result.mean_scores(0.05)
+        assert scores.missing == sum(
+            record.scores.missing for record in result.records_for(0.05)
+        )
+
+    def test_time_budget_marks_tl(self):
+        result = run_experiment(
+            "slow", _SlowImputer, _suite(variants=1),
+            time_budget_seconds=0.001,
+        )
+        assert all(record.status == "TL" for record in result.records)
+        assert result.status_at(0.05) == "TL"
+        with pytest.raises(EvaluationError):
+            result.mean_scores(0.05)
+
+    def test_errors_are_contained(self):
+        result = run_experiment("broken", _BrokenImputer, _suite(variants=1))
+        assert all(record.status == "error" for record in result.records)
+        assert "boom" in result.records[0].error
+
+    def test_zero_imputations_allowed(self):
+        result = run_experiment("lazy", _LazyImputer, _suite(variants=1))
+        scores = result.mean_scores(0.05)
+        assert scores.imputed == 0
+        assert scores.recall == 0.0
+
+    def test_track_memory_records_peak(self):
+        result = run_experiment(
+            "mean", MeanModeImputer, _suite(variants=1), track_memory=True
+        )
+        assert all(record.peak_bytes > 0 for record in result.records)
+
+    def test_mean_elapsed_and_peak_helpers(self):
+        result = run_experiment("mean", MeanModeImputer, _suite())
+        assert result.mean_elapsed(0.05) >= 0
+        assert result.max_peak_bytes(0.05) == 0  # memory not tracked
+
+
+class TestCompareApproaches:
+    def test_same_suite_for_all(self):
+        outcomes = compare_approaches(
+            {"mean": MeanModeImputer, "lazy": _LazyImputer}, _suite()
+        )
+        assert set(outcomes) == {"mean", "lazy"}
+        mean_missing = outcomes["mean"].mean_scores(0.05).missing
+        # lazy imputes nothing but sees the same injected cells
+        lazy_records = outcomes["lazy"].records_for(0.05)
+        assert sum(r.scores.missing for r in lazy_records) == mean_missing

@@ -1,0 +1,96 @@
+"""Tests for data-driven threshold bounds (future work #1)."""
+
+import pytest
+
+from repro import DiscoveryConfig, Relation, discover_rfds
+from repro.exceptions import DiscoveryError
+from repro.extensions import (
+    config_with_suggested_limits,
+    suggest_threshold_limits,
+)
+
+
+@pytest.fixture()
+def mixed_scales() -> Relation:
+    # Weight spans thousands; RI spans hundredths.
+    rows = [
+        [2000 + 100 * i, 1.51 + 0.001 * i, f"name{i}"] for i in range(12)
+    ]
+    return Relation.from_rows(["Weight", "RI", "Name"], rows)
+
+
+class TestSuggestLimits:
+    def test_limits_track_attribute_scale(self, mixed_scales):
+        limits = suggest_threshold_limits(mixed_scales, quantile=0.25)
+        assert limits["Weight"] > 10 * limits["RI"]
+        assert limits["RI"] < 0.02
+
+    def test_quantile_monotonicity(self, mixed_scales):
+        low = suggest_threshold_limits(mixed_scales, quantile=0.1)
+        high = suggest_threshold_limits(mixed_scales, quantile=0.9)
+        for name in mixed_scales.attribute_names:
+            assert low[name] <= high[name]
+
+    def test_all_missing_attribute_gets_zero(self):
+        from repro.dataset import MISSING
+
+        relation = Relation.from_rows(
+            ["A", "B"], [[MISSING, 1], [MISSING, 2]]
+        )
+        limits = suggest_threshold_limits(relation)
+        assert limits["A"] == 0.0
+
+    def test_invalid_quantile(self, mixed_scales):
+        with pytest.raises(DiscoveryError):
+            suggest_threshold_limits(mixed_scales, quantile=0)
+        with pytest.raises(DiscoveryError):
+            suggest_threshold_limits(mixed_scales, quantile=1)
+
+    def test_deterministic(self, mixed_scales):
+        assert suggest_threshold_limits(
+            mixed_scales, seed=1
+        ) == suggest_threshold_limits(mixed_scales, seed=1)
+
+
+class TestConfigIntegration:
+    def test_config_with_limits_discovers_on_small_scales(self,
+                                                          mixed_scales):
+        # A global limit of 3 sees RI as "everything equal"; the
+        # per-attribute cap keeps RI thresholds in domain scale.
+        config = config_with_suggested_limits(
+            mixed_scales, DiscoveryConfig(threshold_limit=3, grid_size=3)
+        )
+        assert config.attribute_limits is not None
+        assert config.lhs_limit_for("RI") < 1
+        result = discover_rfds(mixed_scales, config)
+        ri_rfds = [r for r in result.rfds if "RI" in r.lhs_attributes]
+        for rfd in ri_rfds:
+            assert rfd.lhs_constraint("RI").threshold <= (
+                config.lhs_limit_for("RI")
+            )
+
+    def test_per_attribute_limits_respected_in_output(self, mixed_scales):
+        config = DiscoveryConfig(
+            threshold_limit=100,
+            grid_size=3,
+            attribute_limits={"Weight": 150.0},
+        )
+        result = discover_rfds(mixed_scales, config)
+        for rfd in result.rfds:
+            if rfd.rhs_attribute == "Weight":
+                assert rfd.rhs_threshold <= 150.0
+            if rfd.has_lhs_attribute("Weight"):
+                assert rfd.lhs_constraint("Weight").threshold <= 150.0
+
+    def test_negative_attribute_limit_rejected(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryConfig(attribute_limits={"A": -1})
+
+    def test_limit_lookup_falls_back_to_global(self):
+        config = DiscoveryConfig(
+            threshold_limit=5, attribute_limits={"A": 2}
+        )
+        assert config.lhs_limit_for("A") == 2
+        assert config.lhs_limit_for("B") == 5
+        assert config.rhs_limit_for("A") == 2
+        assert config.rhs_limit_for("B") == 5

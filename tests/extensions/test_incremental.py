@@ -1,0 +1,107 @@
+"""Tests for incremental imputation sessions (future work #3)."""
+
+import pytest
+
+from repro import MISSING, Relation, make_rfd
+from repro.exceptions import ImputationError
+from repro.extensions import ImputationSession
+
+
+def _seed_relation() -> Relation:
+    return Relation.from_rows(
+        ["K", "V"],
+        [["a", "v-a"], ["b", "v-b"]],
+        name="stream",
+    )
+
+
+@pytest.fixture()
+def rfd():
+    return make_rfd({"K": 0}, ("V", 0))
+
+
+class TestSession:
+    def test_appended_missing_cells_become_pending(self, rfd):
+        session = ImputationSession(_seed_relation(), [rfd])
+        rows = session.append([["a", MISSING], ["c", MISSING]])
+        assert rows == [2, 3]
+        assert session.pending_cells == [(2, "V"), (3, "V")]
+
+    def test_impute_pending_fills_what_it_can(self, rfd):
+        session = ImputationSession(_seed_relation(), [rfd])
+        session.append([["a", MISSING], ["c", MISSING]])
+        result = session.impute_pending()
+        assert session.relation.value(2, "V") == "v-a"
+        assert session.relation.value(3, "V") is MISSING  # no donor yet
+        assert result.report.imputed_count == 1
+        assert session.unimputed_cells() == [(3, "V")]
+
+    def test_late_donor_enables_retry(self, rfd):
+        session = ImputationSession(_seed_relation(), [rfd])
+        session.append([["c", MISSING]])
+        session.impute_pending()
+        assert session.relation.value(2, "V") is MISSING
+        # The donor for key "c" arrives later.
+        session.append([["c", "v-c"]])
+        result = session.impute_pending()
+        assert session.relation.value(2, "V") == "v-c"
+        assert result.report.imputed_count == 1
+
+    def test_no_retry_mode_drops_failures(self, rfd):
+        session = ImputationSession(
+            _seed_relation(), [rfd], retry_unimputed=False
+        )
+        session.append([["c", MISSING]])
+        session.impute_pending()
+        session.append([["c", "v-c"]])
+        # Failed cell was dropped; only fresh cells are pending.
+        assert (2, "V") not in session.pending_cells
+        session.impute_pending()
+        assert session.relation.value(2, "V") is MISSING
+
+    def test_imputed_rows_become_donors(self, rfd):
+        session = ImputationSession(_seed_relation(), [rfd])
+        session.append([["a", MISSING]])
+        session.impute_pending()
+        # Row 2 now holds "v-a" and can donate within the same round.
+        session.append([["a", MISSING]])
+        result = session.impute_pending()
+        assert result.report.imputed_count == 1
+        assert session.relation.value(3, "V") == "v-a"
+
+    def test_round_report_scoped_to_new_cells(self, rfd):
+        seed = _seed_relation()
+        seed.set_value(0, "V", MISSING)  # pre-existing missing cell
+        session = ImputationSession(seed, [rfd])
+        first = session.impute_pending()
+        assert {(o.row, o.attribute) for o in first.report} == {(0, "V")}
+        session.append([["b", MISSING]])
+        second = session.impute_pending()
+        reported = {(o.row, o.attribute) for o in second.report}
+        assert (2, "V") in reported
+
+    def test_empty_round_is_cheap(self, rfd):
+        session = ImputationSession(_seed_relation(), [rfd])
+        result = session.impute_pending()
+        assert len(result.report) == 0
+        assert session.rounds == 1
+
+    def test_bad_row_width_rejected(self, rfd):
+        session = ImputationSession(_seed_relation(), [rfd])
+        with pytest.raises(ImputationError):
+            session.append([["only-one-value"]])
+
+    def test_values_coerced_on_append(self, rfd):
+        relation = Relation.from_rows(["K", "N"], [["a", 1]])
+        session = ImputationSession(
+            relation, [make_rfd({"K": 0}, ("N", 0))]
+        )
+        session.append([["b", "7"]])
+        assert session.relation.value(1, "N") == 7
+
+    def test_seed_relation_not_mutated(self, rfd):
+        seed = _seed_relation()
+        session = ImputationSession(seed, [rfd])
+        session.append([["a", MISSING]])
+        session.impute_pending()
+        assert seed.n_tuples == 2

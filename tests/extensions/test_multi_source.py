@@ -1,0 +1,124 @@
+"""Tests for multi-dataset candidate selection (future work #2)."""
+
+import pytest
+
+from repro import MISSING, Relation, RenuverConfig, make_rfd
+from repro.exceptions import ImputationError
+from repro.extensions import MultiSourceRenuver
+
+
+def _target() -> Relation:
+    return Relation.from_rows(
+        ["Zip", "City"],
+        [
+            ["90001", "Los Angeles"],
+            ["94101", MISSING],   # no local donor knows 94101
+            ["90001", MISSING],   # local donor exists
+        ],
+        name="target",
+    )
+
+
+def _source() -> Relation:
+    return Relation.from_rows(
+        ["Zip", "City"],
+        [
+            ["94101", "San Francisco"],
+            ["94101", "San Francisco"],
+        ],
+        name="aux",
+    )
+
+
+@pytest.fixture()
+def rfd():
+    return make_rfd({"Zip": 0}, ("City", 1))
+
+
+class TestMultiSource:
+    def test_source_supplies_missing_donor(self, rfd):
+        engine = MultiSourceRenuver([rfd], [_source()])
+        result = engine.impute(_target())
+        assert result.relation.value(1, "City") == "San Francisco"
+        assert result.relation.value(2, "City") == "Los Angeles"
+
+    def test_without_source_cell_stays_missing(self, rfd):
+        from repro import Renuver
+
+        result = Renuver([rfd]).impute(_target())
+        assert result.relation.value(1, "City") is MISSING
+
+    def test_result_projected_to_target_rows(self, rfd):
+        engine = MultiSourceRenuver([rfd], [_source()])
+        result = engine.impute(_target())
+        assert result.relation.n_tuples == 3
+        assert all(outcome.row < 3 for outcome in result.report)
+
+    def test_source_cells_never_imputed(self, rfd):
+        source = _source()
+        source.set_value(0, "City", MISSING)
+        engine = MultiSourceRenuver([rfd], [source])
+        result = engine.impute(_target())
+        # The source's own missing cell is not part of the report.
+        assert all(outcome.row < 3 for outcome in result.report)
+
+    def test_donor_origin_attribution(self, rfd):
+        target = _target()
+        engine = MultiSourceRenuver([rfd], [_source()])
+        result = engine.impute(target)
+        outcome_sf = result.report.outcome_for(1, "City")
+        outcome_la = result.report.outcome_for(2, "City")
+        assert engine.donor_origin(outcome_sf, target) == "aux"
+        assert engine.donor_origin(outcome_la, target) == "target"
+
+    def test_verification_spans_sources(self):
+        # The candidate from the target would clash with source
+        # evidence under City -> Zip; verification must catch it.
+        sigma = [
+            make_rfd({"Zip": 2}, ("City", 100)),  # loose generator
+            make_rfd({"City": 0}, ("Zip", 0)),     # cross-source verifier
+        ]
+        target = Relation.from_rows(
+            ["Zip", "City"],
+            [["90001", "Springfield"], ["90099", MISSING]],
+            name="target",
+        )
+        source = Relation.from_rows(
+            ["Zip", "City"],
+            [["11111", "Springfield"]],
+            name="aux",
+        )
+        engine = MultiSourceRenuver(
+            sigma, [source], RenuverConfig()
+        )
+        result = engine.impute(target)
+        # "Springfield" via the loose RFD would violate City -> Zip
+        # against both the target row and the source row.
+        assert result.relation.value(1, "City") is MISSING
+
+    def test_schema_mismatch_rejected(self, rfd):
+        bad_source = Relation.from_rows(["Zip"], [["1"]])
+        engine = MultiSourceRenuver([rfd], [bad_source])
+        with pytest.raises(ImputationError):
+            engine.impute(_target())
+
+    def test_needs_sources(self, rfd):
+        with pytest.raises(ImputationError):
+            MultiSourceRenuver([rfd], [])
+
+    def test_multiple_sources_in_order(self, rfd):
+        first = Relation.from_rows(
+            ["Zip", "City"], [["94101", "SF-a"]], name="first"
+        )
+        second = Relation.from_rows(
+            ["Zip", "City"], [["94101", "SF-b"]], name="second"
+        )
+        engine = MultiSourceRenuver(
+            [rfd], [first, second], RenuverConfig(verify=False)
+        )
+        target = _target()
+        result = engine.impute(target)
+        outcome = result.report.outcome_for(1, "City")
+        assert engine.donor_origin(outcome, target) in (
+            "first", "second"
+        )

@@ -1,0 +1,61 @@
+"""Tests for per-attribute constraints."""
+
+import pytest
+
+from repro.dataset.missing import MISSING
+from repro.exceptions import RFDValidationError
+from repro.rfd.constraint import Constraint
+
+
+class TestConstruction:
+    def test_basic(self):
+        constraint = Constraint("Name", 4)
+        assert constraint.attribute == "Name"
+        assert constraint.threshold == 4.0
+
+    def test_threshold_coerced_to_float(self):
+        assert isinstance(Constraint("A", 1).threshold, float)
+
+    def test_rejects_empty_attribute(self):
+        with pytest.raises(RFDValidationError):
+            Constraint("", 1)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(RFDValidationError):
+            Constraint("A", -0.5)
+
+    def test_rejects_non_numeric_threshold(self):
+        with pytest.raises(RFDValidationError):
+            Constraint("A", "big")
+
+    def test_zero_threshold_is_equality(self):
+        constraint = Constraint("A", 0)
+        assert constraint.is_satisfied_by(0.0)
+        assert not constraint.is_satisfied_by(0.5)
+
+
+class TestSatisfaction:
+    def test_boundary_inclusive(self):
+        constraint = Constraint("A", 2)
+        assert constraint.is_satisfied_by(2.0)
+        assert not constraint.is_satisfied_by(2.0001)
+
+    def test_missing_never_satisfies(self):
+        assert not Constraint("A", 100).is_satisfied_by(MISSING)
+        assert not Constraint("A", 100).is_satisfied_by(None)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Constraint("A", 2) == Constraint("A", 2.0)
+        assert len({Constraint("A", 2), Constraint("A", 2.0)}) == 1
+
+    def test_ordering_by_attribute_then_threshold(self):
+        assert Constraint("A", 2) < Constraint("B", 1)
+        assert Constraint("A", 1) < Constraint("A", 2)
+
+    def test_str_integral_threshold(self):
+        assert str(Constraint("Name", 4)) == "Name(<=4)"
+
+    def test_str_fractional_threshold(self):
+        assert str(Constraint("RI", 0.5)) == "RI(<=0.5)"

@@ -1,0 +1,159 @@
+"""Tests for RFD implication, transitive composition and covers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.pattern import PatternCalculator
+from repro.rfd import holds, make_rfd
+from repro.rfd.inference import (
+    closure,
+    implied_by_set,
+    implies,
+    minimal_cover,
+    transitive_consequence,
+)
+
+
+class TestImplies:
+    def test_dominance_implication(self):
+        strong = make_rfd({"A": 5}, ("C", 1))
+        weak = make_rfd({"A": 3}, ("C", 2))
+        assert implies(strong, weak)
+        assert not implies(weak, strong)
+
+    def test_implied_by_set_excludes_self(self):
+        rfd = make_rfd({"A": 3}, ("C", 2))
+        assert not implied_by_set([rfd], rfd)
+
+    def test_implied_by_set(self):
+        strong = make_rfd({"A": 5}, ("C", 1))
+        weak = make_rfd({"A": 3}, ("C", 2))
+        unrelated = make_rfd({"B": 1}, ("D", 1))
+        assert implied_by_set([strong, unrelated], weak)
+        assert not implied_by_set([unrelated], weak)
+
+
+class TestTransitivity:
+    def test_simple_chain(self):
+        first = make_rfd({"X": 2}, ("B", 1))
+        second = make_rfd({"B": 1}, ("A", 3))
+        composed = transitive_consequence(first, second)
+        assert composed == make_rfd({"X": 2}, ("A", 3))
+
+    def test_threshold_gap_blocks(self):
+        first = make_rfd({"X": 2}, ("B", 5))   # guarantees only <=5
+        second = make_rfd({"B": 1}, ("A", 3))  # needs <=1
+        assert transitive_consequence(first, second) is None
+
+    def test_extra_lhs_attributes_carried(self):
+        first = make_rfd({"X": 2}, ("B", 1))
+        second = make_rfd({"B": 2, "Y": 4}, ("A", 3))
+        composed = transitive_consequence(first, second)
+        assert composed is not None
+        assert composed.lhs_attributes == ("X", "Y")
+        assert composed.lhs_constraint("Y").threshold == 4
+
+    def test_shared_lhs_attribute_takes_tighter_threshold(self):
+        first = make_rfd({"X": 2}, ("B", 1))
+        second = make_rfd({"B": 1, "X": 1}, ("A", 3))
+        composed = transitive_consequence(first, second)
+        assert composed.lhs_constraint("X").threshold == 1
+
+    def test_no_b_on_second_lhs(self):
+        first = make_rfd({"X": 2}, ("B", 1))
+        second = make_rfd({"Y": 1}, ("A", 3))
+        assert transitive_consequence(first, second) is None
+
+    def test_cyclic_conclusion_blocked(self):
+        first = make_rfd({"A": 2}, ("B", 1))
+        second = make_rfd({"B": 1}, ("A", 3))
+        assert transitive_consequence(first, second) is None
+
+    def test_soundness_on_instance(self, zip_city_relation):
+        # Zip -> City and City -> Zip hold; compositions must hold too.
+        calculator = PatternCalculator(zip_city_relation)
+        first = make_rfd({"Zip": 0}, ("City", 0))
+        second = make_rfd({"City": 0}, ("Zip", 0))
+        assert holds(first, calculator) and holds(second, calculator)
+        for premise, conclusion in ((first, second), (second, first)):
+            composed = transitive_consequence(premise, conclusion)
+            if composed is not None:
+                assert holds(composed, calculator), str(composed)
+
+
+class TestClosure:
+    def test_adds_derivable_dependency(self):
+        chain = [
+            make_rfd({"X": 2}, ("B", 1)),
+            make_rfd({"B": 1}, ("A", 3)),
+        ]
+        closed = closure(chain)
+        assert make_rfd({"X": 2}, ("A", 3)) in closed
+
+    def test_idempotent_inputs(self):
+        rfds = [make_rfd({"X": 2}, ("B", 1))]
+        assert closure(rfds) == rfds
+
+    def test_max_new_bounds_runaway(self):
+        chain = [
+            make_rfd({"A": 1}, ("B", 1)),
+            make_rfd({"B": 1}, ("C", 1)),
+            make_rfd({"C": 1}, ("D", 1)),
+        ]
+        closed = closure(chain, max_new=1)
+        assert len(closed) == 4
+
+
+class TestMinimalCover:
+    def test_removes_dominated(self):
+        strong = make_rfd({"A": 5}, ("C", 1))
+        weak = make_rfd({"A": 3}, ("C", 2))
+        assert minimal_cover([weak, strong]) == [strong]
+
+    def test_keeps_incomparable(self):
+        first = make_rfd({"A": 5}, ("C", 1))
+        second = make_rfd({"B": 5}, ("C", 1))
+        cover = minimal_cover([first, second])
+        assert len(cover) == 2
+
+    def test_equivalent_duplicates_collapse(self):
+        rfd = make_rfd({"A": 3}, ("C", 2))
+        clone = make_rfd({"A": 3.0}, ("C", 2.0))
+        assert minimal_cover([rfd, clone]) == [rfd]
+
+    def test_cover_implies_everything(self):
+        rfds = [
+            make_rfd({"A": 5}, ("C", 1)),
+            make_rfd({"A": 3}, ("C", 2)),
+            make_rfd({"A": 3, "B": 1}, ("C", 3)),
+            make_rfd({"B": 5}, ("D", 0)),
+        ]
+        cover = minimal_cover(rfds)
+        for rfd in rfds:
+            assert rfd in cover or implied_by_set(cover, rfd)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["A", "B"]),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_property_cover_is_sound_and_complete(self, specs):
+        rfds = [
+            make_rfd({lhs: alpha}, ("C", beta))
+            for lhs, alpha, beta in specs
+        ]
+        cover = minimal_cover(rfds)
+        assert set(cover) <= set(rfds)
+        for rfd in rfds:
+            assert rfd in cover or implied_by_set(cover, rfd)
+        # No member of the cover is implied by the others.
+        for rfd in cover:
+            others = [other for other in cover if other != rfd]
+            assert not implied_by_set(others, rfd)

@@ -1,0 +1,125 @@
+"""Tests for key-RFD detection (Definition 3.4) under both scopes.
+
+The paper's Example 5.2 calls phi_1 a key on Table 2, but the incomplete
+pair (t5, t6) satisfies its LHS under the literal definition — see the
+module docstring of :mod:`repro.rfd.keyness`.  These tests pin down both
+behaviours.
+"""
+
+import pytest
+
+from repro.dataset import MISSING, Relation
+from repro.distance.pattern import PatternCalculator
+from repro.exceptions import RFDValidationError
+from repro.rfd import make_rfd
+from repro.rfd.keyness import (
+    is_key_rfd,
+    non_key_rfds,
+    pair_reactivates,
+    partition_key_rfds,
+)
+
+
+@pytest.fixture()
+def phi1():
+    return make_rfd({"Name": 8, "Phone": 0, "Class": 1}, ("Type", 0))
+
+
+class TestScopes:
+    def test_phi1_literal_definition(self, restaurant_sample, phi1):
+        # Under scope="all" the incomplete pair (t5, t6) satisfies the
+        # LHS (Name dist 7 <= 8, equal phones, equal classes).
+        calculator = PatternCalculator(restaurant_sample)
+        assert not is_key_rfd(phi1, calculator, scope="all")
+
+    def test_phi1_complete_scope_matches_example_5_2(
+        self, restaurant_sample, phi1
+    ):
+        calculator = PatternCalculator(restaurant_sample)
+        assert is_key_rfd(phi1, calculator, scope="complete")
+
+    def test_invalid_scope_rejected(self, restaurant_sample, phi1):
+        calculator = PatternCalculator(restaurant_sample)
+        with pytest.raises(RFDValidationError):
+            is_key_rfd(phi1, calculator, scope="partial")
+
+
+class TestIsKeyRfd:
+    def test_tight_thresholds_on_distinct_data_are_key(self):
+        relation = Relation.from_rows(
+            ["A", "B"], [["aaaa", 1], ["zzzz", 2], ["qqqq", 3]]
+        )
+        calculator = PatternCalculator(relation)
+        assert is_key_rfd(make_rfd({"A": 0}, ("B", 0)), calculator)
+
+    def test_loose_threshold_is_not_key(self, restaurant_sample):
+        calculator = PatternCalculator(restaurant_sample)
+        loose = make_rfd({"Name": 100}, ("City", 100))
+        assert not is_key_rfd(loose, calculator)
+
+    def test_missing_lhs_values_cannot_match(self):
+        relation = Relation.from_rows(
+            ["A", "B"], [[MISSING, 1], [MISSING, 2]]
+        )
+        calculator = PatternCalculator(relation)
+        assert is_key_rfd(make_rfd({"A": 100}, ("B", 100)), calculator)
+
+    def test_imputation_turns_key_into_non_key_complete_scope(
+        self, restaurant_sample, phi1
+    ):
+        # Example 5.1: imputing t4[Phone] from t3 completes t4; the
+        # complete pair (t3, t4) then satisfies phi1's LHS.
+        calculator = PatternCalculator(restaurant_sample)
+        assert is_key_rfd(phi1, calculator, scope="complete")
+        restaurant_sample.set_value(3, "Phone", "213/857-0034")
+        assert not is_key_rfd(phi1, calculator, scope="complete")
+
+
+class TestPairReactivates:
+    def test_detects_fresh_pair(self, restaurant_sample, phi1):
+        calculator = PatternCalculator(restaurant_sample)
+        restaurant_sample.set_value(3, "Phone", "213/857-0034")
+        assert pair_reactivates(
+            phi1, calculator, 3, scope="complete"
+        )
+
+    def test_incomplete_target_never_reactivates_complete_scope(
+        self, restaurant_sample, phi1
+    ):
+        calculator = PatternCalculator(restaurant_sample)
+        # t6 (row 5) is missing City even after imputing nothing.
+        assert not pair_reactivates(
+            phi1, calculator, 5, scope="complete"
+        )
+
+    def test_all_scope_sees_incomplete_pairs(self, restaurant_sample, phi1):
+        calculator = PatternCalculator(restaurant_sample)
+        assert pair_reactivates(phi1, calculator, 5, scope="all")
+
+
+class TestPartition:
+    def test_partition_all_scope(self, restaurant_sample, paper_rfds):
+        calculator = PatternCalculator(restaurant_sample)
+        keys, non_keys = partition_key_rfds(
+            paper_rfds, calculator, scope="all"
+        )
+        # Under the literal definition even phi1 is non-key here.
+        assert keys == []
+        assert non_keys == paper_rfds
+
+    def test_partition_complete_scope_contains_phi1(
+        self, restaurant_sample, paper_rfds
+    ):
+        calculator = PatternCalculator(restaurant_sample)
+        keys, _ = partition_key_rfds(
+            paper_rfds, calculator, scope="complete"
+        )
+        assert paper_rfds[0] in keys  # phi1
+
+    def test_non_key_rfds_helper(self, restaurant_sample, paper_rfds):
+        calculator = PatternCalculator(restaurant_sample)
+        assert non_key_rfds(paper_rfds, calculator) == paper_rfds
+
+    def test_empty_input(self, restaurant_sample):
+        calculator = PatternCalculator(restaurant_sample)
+        assert partition_key_rfds([], calculator) == ([], [])

@@ -1,0 +1,121 @@
+"""Tests for RFD text (de)serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import RFDParseError
+from repro.rfd.constraint import Constraint
+from repro.rfd.parser import (
+    format_rfd,
+    load_rfds,
+    parse_constraint,
+    parse_rfd,
+    save_rfds,
+)
+from repro.rfd.rfd import RFD, make_rfd
+
+attribute_names = st.text(
+    alphabet=st.characters(codec="ascii", categories=("L", "N")),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestParseConstraint:
+    def test_basic(self):
+        assert parse_constraint("Name(<=4)") == Constraint("Name", 4)
+
+    def test_whitespace_tolerant(self):
+        assert parse_constraint("  Name ( <= 4.5 ) ") == Constraint(
+            "Name", 4.5
+        )
+
+    def test_name_with_spaces(self):
+        assert parse_constraint("Model Year(<=1)") == Constraint(
+            "Model Year", 1
+        )
+
+    @pytest.mark.parametrize(
+        "bad", ["Name", "Name(<4)", "Name(<=x)", "(<=1)", "Name(<=-1)"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(RFDParseError):
+            parse_constraint(bad)
+
+
+class TestParseRfd:
+    def test_single_lhs(self):
+        rfd = parse_rfd("Class(<=0) -> Type(<=5)")
+        assert rfd == make_rfd({"Class": 0}, ("Type", 5))
+
+    def test_multi_lhs(self):
+        rfd = parse_rfd("Name(<=8), Phone(<=0) -> City(<=9)")
+        assert rfd.lhs_attributes == ("Name", "Phone")
+        assert rfd.rhs_threshold == 9.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "Name(<=1)",                       # no arrow
+            "-> Type(<=1)",                    # empty LHS
+            "A(<=1) -> B(<=1) -> C(<=1)",      # two arrows
+            "A(<=1) -> B(<=1), C(<=1)",        # two RHS constraints
+            "A(<=1 -> B(<=1)",                 # unbalanced parens
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(RFDParseError):
+            parse_rfd(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Class(<=0) -> Type(<=5)",
+            "City(<=2), Name(<=4) -> Phone(<=1)",
+            "RI(<=0.002) -> Type(<=1)",
+        ],
+    )
+    def test_format_parse_identity(self, text):
+        assert format_rfd(parse_rfd(text)) == text
+
+    @given(
+        st.lists(
+            st.tuples(attribute_names,
+                      st.integers(min_value=0, max_value=99)),
+            min_size=1,
+            max_size=4,
+            unique_by=lambda pair: pair[0],
+        ),
+        attribute_names,
+        st.integers(min_value=0, max_value=99),
+    )
+    def test_property_round_trip(self, lhs_pairs, rhs_name, rhs_threshold):
+        if rhs_name in {name for name, _ in lhs_pairs}:
+            return  # invalid RFD by construction
+        rfd = make_rfd(lhs_pairs, (rhs_name, rhs_threshold))
+        assert parse_rfd(format_rfd(rfd)) == rfd
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, paper_rfds):
+        path = tmp_path / "rfds.txt"
+        save_rfds(paper_rfds, path)
+        assert load_rfds(path) == paper_rfds
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "rfds.txt"
+        path.write_text(
+            "# a comment\n\nA(<=1) -> B(<=2)  # trailing comment\n"
+        )
+        loaded = load_rfds(path)
+        assert loaded == [make_rfd({"A": 1}, ("B", 2))]
+
+    def test_load_reports_line_number(self, tmp_path):
+        path = tmp_path / "rfds.txt"
+        path.write_text("A(<=1) -> B(<=2)\nbroken line\n")
+        with pytest.raises(RFDParseError) as excinfo:
+            load_rfds(path)
+        assert ":2:" in str(excinfo.value)

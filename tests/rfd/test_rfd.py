@@ -1,0 +1,123 @@
+"""Tests for the RFD object."""
+
+import pytest
+
+from repro.dataset.missing import MISSING
+from repro.distance.pattern import DistancePattern
+from repro.exceptions import RFDValidationError
+from repro.rfd.constraint import Constraint
+from repro.rfd.rfd import RFD, make_rfd
+
+
+@pytest.fixture()
+def phi6() -> RFD:
+    """phi6 of the paper: Name(<=6), City(<=9) -> Phone(<=0)."""
+    return make_rfd({"Name": 6, "City": 9}, ("Phone", 0))
+
+
+class TestConstruction:
+    def test_lhs_sorted_by_attribute(self):
+        rfd = RFD(
+            (Constraint("Zed", 1), Constraint("Alpha", 2)),
+            Constraint("Target", 0),
+        )
+        assert rfd.lhs_attributes == ("Alpha", "Zed")
+
+    def test_equality_ignores_declaration_order(self):
+        first = make_rfd([("A", 1), ("B", 2)], ("C", 0))
+        second = make_rfd([("B", 2), ("A", 1)], ("C", 0))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_rejects_empty_lhs(self):
+        with pytest.raises(RFDValidationError):
+            RFD((), Constraint("A", 0))
+
+    def test_rejects_duplicate_lhs_attributes(self):
+        with pytest.raises(RFDValidationError):
+            RFD(
+                (Constraint("A", 1), Constraint("A", 2)),
+                Constraint("B", 0),
+            )
+
+    def test_rejects_rhs_on_lhs(self):
+        with pytest.raises(RFDValidationError):
+            make_rfd({"A": 1}, ("A", 0))
+
+
+class TestAccessors:
+    def test_paper_accessors(self, phi6):
+        assert phi6.lhs_attributes == ("City", "Name")
+        assert phi6.rhs_attribute == "Phone"
+        assert phi6.rhs_threshold == 0.0
+        assert phi6.attributes == ("City", "Name", "Phone")
+
+    def test_lhs_constraint_lookup(self, phi6):
+        assert phi6.lhs_constraint("Name").threshold == 6.0
+        with pytest.raises(RFDValidationError):
+            phi6.lhs_constraint("Phone")
+
+    def test_has_lhs_attribute(self, phi6):
+        assert phi6.has_lhs_attribute("City")
+        assert not phi6.has_lhs_attribute("Phone")
+
+    def test_str_rendering(self, phi6):
+        assert str(phi6) == "City(<=9), Name(<=6) -> Phone(<=0)"
+
+
+class TestSatisfaction:
+    def test_lhs_satisfied(self, phi6):
+        pattern = DistancePattern({"Name": 6.0, "City": 0.0, "Phone": 1.0})
+        assert phi6.lhs_satisfied(pattern)
+
+    def test_lhs_boundary_exceeded(self, phi6):
+        pattern = DistancePattern({"Name": 6.5, "City": 0.0, "Phone": 0.0})
+        assert not phi6.lhs_satisfied(pattern)
+
+    def test_lhs_missing_never_satisfies(self, phi6):
+        pattern = DistancePattern(
+            {"Name": 1.0, "City": MISSING, "Phone": 0.0}
+        )
+        assert not phi6.lhs_satisfied(pattern)
+
+    def test_rhs_satisfied_and_comparable(self, phi6):
+        pattern = DistancePattern({"Name": 0.0, "City": 0.0, "Phone": 0.0})
+        assert phi6.rhs_satisfied(pattern)
+        assert phi6.rhs_comparable(pattern)
+
+    def test_rhs_missing_not_comparable(self, phi6):
+        pattern = DistancePattern(
+            {"Name": 0.0, "City": 0.0, "Phone": MISSING}
+        )
+        assert not phi6.rhs_comparable(pattern)
+
+
+class TestViolation:
+    def test_violated_when_lhs_holds_rhs_exceeds(self, phi6):
+        pattern = DistancePattern({"Name": 1.0, "City": 1.0, "Phone": 3.0})
+        assert phi6.violated_by(pattern)
+
+    def test_not_violated_when_lhs_fails(self, phi6):
+        pattern = DistancePattern({"Name": 99.0, "City": 1.0, "Phone": 3.0})
+        assert not phi6.violated_by(pattern)
+
+    def test_not_violated_when_rhs_missing(self, phi6):
+        pattern = DistancePattern(
+            {"Name": 1.0, "City": 1.0, "Phone": MISSING}
+        )
+        assert not phi6.violated_by(pattern)
+
+    def test_not_violated_when_rhs_within(self, phi6):
+        pattern = DistancePattern({"Name": 1.0, "City": 1.0, "Phone": 0.0})
+        assert not phi6.violated_by(pattern)
+
+
+class TestMakeRfd:
+    def test_from_dict(self):
+        rfd = make_rfd({"A": 1}, ("B", 2))
+        assert rfd.lhs_constraint("A").threshold == 1.0
+        assert rfd.rhs_threshold == 2.0
+
+    def test_from_pairs(self):
+        rfd = make_rfd([("A", 1), ("B", 2)], ("C", 3))
+        assert rfd.lhs_attributes == ("A", "B")

@@ -1,0 +1,102 @@
+"""Tests for per-RFD statistics."""
+
+import pytest
+
+from repro.dataset import MISSING, Relation
+from repro.distance.pattern import PatternCalculator
+from repro.rfd import make_rfd
+from repro.rfd.stats import rank_by_support, rfd_statistics
+
+
+class TestRfdStatistics:
+    def test_crisp_fd_full_confidence(self, zip_city_relation):
+        calculator = PatternCalculator(zip_city_relation)
+        stats = rfd_statistics(
+            make_rfd({"Zip": 0}, ("City", 0)), calculator
+        )
+        # Three zip groups of two tuples each: 3 witness pairs of 15.
+        assert stats.total_pairs == 15
+        assert stats.lhs_matches == 3
+        assert stats.witnesses == 3
+        assert stats.violations == 0
+        assert stats.support == pytest.approx(3 / 15)
+        assert stats.confidence == 1.0
+        assert stats.holds
+        assert not stats.is_key
+
+    def test_violations_counted(self, zip_city_relation):
+        zip_city_relation.set_value(1, "City", "Pasadena")
+        calculator = PatternCalculator(zip_city_relation)
+        stats = rfd_statistics(
+            make_rfd({"Zip": 0}, ("City", 0)), calculator
+        )
+        assert stats.violations == 1
+        assert not stats.holds
+        assert stats.confidence == pytest.approx(2 / 3)
+        assert stats.rhs_margin < 0
+
+    def test_key_rfd(self, zip_city_relation):
+        calculator = PatternCalculator(zip_city_relation)
+        stats = rfd_statistics(
+            make_rfd({"Name": 0}, ("City", 0)), calculator
+        )
+        assert stats.is_key
+        assert stats.support == 0.0
+        assert stats.confidence == 1.0  # vacuous
+        assert stats.rhs_margin is None
+
+    def test_missing_rhs_counts_as_match_not_witness(self):
+        relation = Relation.from_rows(
+            ["K", "V"], [["a", "x"], ["a", MISSING]]
+        )
+        calculator = PatternCalculator(relation)
+        stats = rfd_statistics(make_rfd({"K": 0}, ("V", 0)), calculator)
+        assert stats.lhs_matches == 1
+        assert stats.witnesses == 0
+        assert stats.confidence == 1.0
+
+    def test_rhs_margin_measures_slack(self, zip_city_relation):
+        zip_city_relation.set_value(1, "City", "Los Angles")  # dist 1
+        calculator = PatternCalculator(zip_city_relation)
+        stats = rfd_statistics(
+            make_rfd({"Zip": 0}, ("City", 3)), calculator
+        )
+        assert stats.rhs_margin == pytest.approx(2.0)
+
+    def test_str(self, zip_city_relation):
+        calculator = PatternCalculator(zip_city_relation)
+        stats = rfd_statistics(
+            make_rfd({"Zip": 0}, ("City", 0)), calculator
+        )
+        assert "support=" in str(stats)
+
+
+class TestRankBySupport:
+    def test_orders_by_evidence(self, zip_city_relation):
+        calculator = PatternCalculator(zip_city_relation)
+        loose = make_rfd({"Age": 100}, ("City", 100))     # every pair
+        tight = make_rfd({"Zip": 0}, ("City", 0))          # 3 pairs
+        ranked = rank_by_support([tight, loose], calculator)
+        assert ranked[0].rfd is loose
+        assert ranked[1].rfd is tight
+
+    def test_holding_only_filter(self, zip_city_relation):
+        zip_city_relation.set_value(1, "City", "Pasadena")
+        calculator = PatternCalculator(zip_city_relation)
+        violated = make_rfd({"Zip": 0}, ("City", 0))
+        vacuous = make_rfd({"Name": 0}, ("City", 0))
+        ranked = rank_by_support(
+            [violated, vacuous], calculator, holding_only=True
+        )
+        assert [entry.rfd for entry in ranked] == [vacuous]
+
+    def test_discovered_rfds_all_hold(self, zip_city_relation):
+        from repro import DiscoveryConfig, discover_rfds
+
+        result = discover_rfds(
+            zip_city_relation, DiscoveryConfig(threshold_limit=3)
+        )
+        calculator = PatternCalculator(zip_city_relation)
+        ranked = rank_by_support(result.rfds, calculator)
+        assert all(entry.holds for entry in ranked)
+        assert all(entry.support > 0 for entry in ranked)

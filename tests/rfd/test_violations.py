@@ -1,0 +1,85 @@
+"""Tests for instance-level RFD satisfaction and violations."""
+
+from repro.dataset import MISSING, Relation
+from repro.distance.pattern import PatternCalculator
+from repro.rfd import make_rfd
+from repro.rfd.violations import (
+    count_violations,
+    find_violations,
+    holds,
+    holds_all,
+)
+
+
+class TestHolds:
+    def test_crisp_fd_holds(self, zip_city_relation):
+        calculator = PatternCalculator(zip_city_relation)
+        assert holds(make_rfd({"Zip": 0}, ("City", 0)), calculator)
+
+    def test_violated_fd(self, zip_city_relation):
+        zip_city_relation.set_value(1, "City", "Pasadena")
+        calculator = PatternCalculator(zip_city_relation)
+        assert not holds(make_rfd({"Zip": 0}, ("City", 0)), calculator)
+
+    def test_relaxed_threshold_tolerates_typos(self, zip_city_relation):
+        zip_city_relation.set_value(1, "City", "Los Angles")  # typo, dist 1
+        calculator = PatternCalculator(zip_city_relation)
+        assert not holds(make_rfd({"Zip": 0}, ("City", 0)), calculator)
+        assert holds(make_rfd({"Zip": 0}, ("City", 1)), calculator)
+
+    def test_example_4_4_semantic_inconsistency(self, restaurant_sample):
+        # Imputing t7[Phone] with t1[Phone] violates
+        # Phone(<=0) -> City(<=10) via the pair (t1, t7).
+        restaurant_sample.set_value(6, "Phone", "310/456-0488")
+        calculator = PatternCalculator(restaurant_sample)
+        phi0 = make_rfd({"Phone": 0}, ("City", 10))
+        violations = find_violations(phi0, calculator)
+        assert any(v.row_a == 0 and v.row_b == 6 for v in violations)
+
+    def test_missing_rhs_is_not_a_violation(self):
+        relation = Relation.from_rows(
+            ["A", "B"], [["x", "u"], ["x", MISSING]]
+        )
+        calculator = PatternCalculator(relation)
+        assert holds(make_rfd({"A": 0}, ("B", 0)), calculator)
+
+    def test_missing_lhs_cannot_match(self):
+        relation = Relation.from_rows(
+            ["A", "B"], [[MISSING, "u"], [MISSING, "completely-different"]]
+        )
+        calculator = PatternCalculator(relation)
+        assert holds(make_rfd({"A": 100}, ("B", 0)), calculator)
+
+
+class TestFindViolations:
+    def test_counts_and_limits(self, zip_city_relation):
+        zip_city_relation.set_value(1, "City", "Pasadena")
+        zip_city_relation.set_value(3, "City", "Oakland")
+        calculator = PatternCalculator(zip_city_relation)
+        rfd = make_rfd({"Zip": 0}, ("City", 0))
+        assert count_violations(rfd, calculator) == 2
+        assert len(find_violations(rfd, calculator, limit=1)) == 1
+
+    def test_violation_str(self, zip_city_relation):
+        zip_city_relation.set_value(1, "City", "Pasadena")
+        calculator = PatternCalculator(zip_city_relation)
+        violation = find_violations(
+            make_rfd({"Zip": 0}, ("City", 0)), calculator
+        )[0]
+        assert "violates" in str(violation)
+
+
+class TestHoldsAll:
+    def test_consistency_definition_4_3(self, zip_city_relation):
+        calculator = PatternCalculator(zip_city_relation)
+        sigma = [
+            make_rfd({"Zip": 0}, ("City", 0)),
+            make_rfd({"City": 0}, ("Zip", 0)),
+        ]
+        assert holds_all(sigma, calculator)
+        zip_city_relation.set_value(0, "Zip", "99999")
+        assert not holds_all(sigma, calculator)
+
+    def test_empty_sigma_always_holds(self, zip_city_relation):
+        calculator = PatternCalculator(zip_city_relation)
+        assert holds_all([], calculator)

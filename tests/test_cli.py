@@ -1,0 +1,141 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.dataset import read_csv
+from repro.evaluation import save_rule_file
+from repro.evaluation.rules import DatasetValidator, DeltaRule
+
+CSV = (
+    "Zip,City,Age\n"
+    "90001,Los Angeles,34\n"
+    "90001,Los Angeles,41\n"
+    "94101,San Francisco,29\n"
+    "94101,San Francisco,55\n"
+    "10001,New York,47\n"
+    "10001,New York,38\n"
+)
+
+DIRTY_CSV = CSV.replace("94101,San Francisco,55", "94101,,55")
+
+
+@pytest.fixture()
+def clean_csv(tmp_path):
+    path = tmp_path / "clean.csv"
+    path.write_text(CSV)
+    return path
+
+
+@pytest.fixture()
+def dirty_csv(tmp_path):
+    path = tmp_path / "dirty.csv"
+    path.write_text(DIRTY_CSV)
+    return path
+
+
+class TestDiscover:
+    def test_discover_to_stdout(self, clean_csv, capsys):
+        assert main(["discover", str(clean_csv), "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+
+    def test_discover_to_file(self, clean_csv, tmp_path):
+        out = tmp_path / "rfds.txt"
+        code = main([
+            "discover", str(clean_csv), "--limit", "3",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "->" in out.read_text()
+
+    def test_max_per_rhs(self, clean_csv, capsys):
+        assert main([
+            "discover", str(clean_csv), "--limit", "6",
+            "--max-per-rhs", "1",
+        ]) == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line
+        ]
+        rhs = [line.rsplit("->", 1)[1].split("(")[0].strip()
+               for line in lines]
+        assert all(rhs.count(name) <= 2 for name in set(rhs))
+
+
+class TestImpute:
+    def test_impute_round_trip(self, dirty_csv, tmp_path):
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("Zip(<=0) -> City(<=1)\n")
+        out = tmp_path / "clean.csv"
+        code = main([
+            "impute", str(dirty_csv), "--rfds", str(rfds),
+            "--out", str(out),
+        ])
+        assert code == 0
+        imputed = read_csv(out)
+        assert imputed.value(3, "City") == "San Francisco"
+        assert imputed.count_missing() == 0
+
+    def test_impute_to_stdout(self, dirty_csv, tmp_path, capsys):
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("Zip(<=0) -> City(<=1)\n")
+        assert main([
+            "impute", str(dirty_csv), "--rfds", str(rfds), "--report",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "San Francisco" in captured.out
+        assert "from tuple" in captured.err
+
+    def test_missing_rfd_file(self, dirty_csv):
+        assert main([
+            "impute", str(dirty_csv), "--rfds", "/nonexistent.txt",
+        ]) == 1
+
+
+class TestEvaluate:
+    def test_evaluate_prints_scores(self, clean_csv, capsys):
+        code = main([
+            "evaluate", str(clean_csv), "--rate", "0.1",
+            "--limit", "3", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P=" in out and "R=" in out
+
+    def test_evaluate_with_rules(self, clean_csv, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        save_rule_file(
+            DatasetValidator({"Age": [DeltaRule(100)]}), rules
+        )
+        code = main([
+            "evaluate", str(clean_csv), "--rate", "0.1",
+            "--rules", str(rules),
+        ])
+        assert code == 0
+        assert "P=" in capsys.readouterr().out
+
+
+class TestDatasets:
+    def test_list(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "restaurant" in out and "physician" in out
+
+    def test_export(self, tmp_path):
+        out = tmp_path / "bridges.csv"
+        code = main([
+            "datasets", "--export", "bridges", "--tuples", "20",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert read_csv(out).n_tuples == 20
+
+    def test_export_unknown(self, capsys):
+        assert main(["datasets", "--export", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTopLevel:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out

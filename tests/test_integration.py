@@ -1,0 +1,137 @@
+"""Cross-module integration tests: the full paper pipeline at small scale.
+
+These run discover -> inject -> impute -> score end to end on scaled-down
+versions of the bundled datasets and assert the qualitative properties the
+paper reports (high precision, verification never hurting precision,
+threshold limits trading recall for precision).
+"""
+
+import pytest
+
+from repro import (
+    DiscoveryConfig,
+    GreyKNNImputer,
+    MeanModeImputer,
+    Renuver,
+    RenuverConfig,
+    build_injection_suite,
+    compare_approaches,
+    dataset_validator,
+    discover_rfds,
+    inject_missing,
+    load_dataset,
+    run_experiment,
+    score_imputation,
+)
+
+
+@pytest.fixture(scope="module")
+def bridges():
+    return load_dataset("bridges", seed=0)
+
+
+@pytest.fixture(scope="module")
+def bridges_rfds(bridges):
+    return discover_rfds(
+        bridges,
+        DiscoveryConfig(threshold_limit=6, grid_size=3, max_per_rhs=25),
+    )
+
+
+class TestFullPipeline:
+    def test_renuver_beats_nothing_and_fills_cells(
+        self, bridges, bridges_rfds
+    ):
+        dirty = inject_missing(bridges, rate=0.02, seed=11)
+        result = Renuver(bridges_rfds.all_rfds).impute(dirty.relation)
+        scores = score_imputation(
+            result.relation, dirty, dataset_validator("bridges")
+        )
+        assert scores.imputed > 0
+        assert scores.precision >= 0.5  # the paper's headline property
+
+    def test_imputed_cells_only_at_injected_coordinates(
+        self, bridges, bridges_rfds
+    ):
+        dirty = inject_missing(bridges, rate=0.02, seed=12)
+        result = Renuver(bridges_rfds.all_rfds).impute(dirty.relation)
+        changed = set(result.relation.diff_cells(dirty.relation))
+        assert changed <= set(dirty.cells)
+
+    def test_higher_threshold_limit_fills_at_least_as_much(self, bridges):
+        dirty = inject_missing(bridges, rate=0.03, seed=13)
+        filled = []
+        for limit in (1, 6):
+            rfds = discover_rfds(
+                bridges,
+                DiscoveryConfig(
+                    threshold_limit=limit, grid_size=3, max_per_rhs=25
+                ),
+            ).all_rfds
+            result = Renuver(rfds).impute(dirty.relation)
+            filled.append(result.report.imputed_count)
+        assert filled[0] <= filled[1]
+
+    def test_verification_never_lowers_precision(self, bridges,
+                                                 bridges_rfds):
+        dirty = inject_missing(bridges, rate=0.03, seed=14)
+        validator = dataset_validator("bridges")
+        verified = Renuver(bridges_rfds.all_rfds).impute(dirty.relation)
+        unverified = Renuver(
+            bridges_rfds.all_rfds, RenuverConfig(verify=False)
+        ).impute(dirty.relation)
+        precision_verified = score_imputation(
+            verified.relation, dirty, validator
+        ).precision
+        precision_unverified = score_imputation(
+            unverified.relation, dirty, validator
+        ).precision
+        assert precision_verified >= precision_unverified - 1e-9
+
+
+class TestComparativeHarness:
+    def test_compare_approaches_on_glass_slice(self):
+        glass = load_dataset("glass", seed=0).head(80)
+        suite = build_injection_suite(
+            glass, rates=[0.02], variants=2, seed=3
+        )
+        outcomes = compare_approaches(
+            {"knn": GreyKNNImputer, "mean": MeanModeImputer},
+            suite,
+            dataset_validator("glass"),
+        )
+        for result in outcomes.values():
+            assert all(record.ok for record in result.records)
+            scores = result.mean_scores(0.02)
+            assert 0 <= scores.f1 <= 1
+
+    def test_runner_with_renuver_factory(self, bridges, bridges_rfds):
+        suite = build_injection_suite(
+            bridges, rates=[0.01], variants=2, seed=5
+        )
+        result = run_experiment(
+            "renuver",
+            lambda: Renuver(bridges_rfds.all_rfds),
+            suite,
+            dataset_validator("bridges"),
+        )
+        assert result.status_at(0.01) == "ok"
+        assert result.mean_scores(0.01).missing == sum(
+            injection.count for injection in suite.variants(0.01)
+        )
+
+
+class TestCsvRoundTripPipeline:
+    def test_pipeline_from_csv(self, tmp_path, bridges):
+        from repro import read_csv, write_csv
+
+        path = tmp_path / "bridges.csv"
+        write_csv(bridges, path)
+        loaded = read_csv(path)
+        assert loaded.n_tuples == bridges.n_tuples
+        rfds = discover_rfds(
+            loaded, DiscoveryConfig(threshold_limit=3, max_per_rhs=10)
+        ).all_rfds
+        dirty = inject_missing(loaded, count=5, seed=1)
+        result = Renuver(rfds).impute(dirty.relation)
+        assert result.report.missing_count == 5

@@ -1,0 +1,39 @@
+"""The public API surface: everything in __all__ resolves and works."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_docstring_flow(self):
+        # The flow advertised in the package docstring, at tiny scale.
+        clean = repro.load_dataset("bridges", seed=0)
+        rfds = repro.discover_rfds(
+            clean,
+            repro.DiscoveryConfig(threshold_limit=3, max_per_rhs=10),
+        ).all_rfds
+        dirty = repro.inject_missing(clean, rate=0.01, seed=7)
+        result = repro.Renuver(rfds).impute(dirty.relation)
+        scores = repro.score_imputation(
+            result.relation, dirty, repro.dataset_validator("bridges")
+        )
+        assert 0.0 <= scores.f1 <= 1.0
+
+    def test_exceptions_derive_from_repro_error(self):
+        from repro import exceptions
+
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not exceptions.ReproError
+                and obj.__module__ == "repro.exceptions"
+            ):
+                assert issubclass(obj, exceptions.ReproError), name

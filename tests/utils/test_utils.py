@@ -1,0 +1,153 @@
+"""Tests for timers, memory tracking and seeded RNG helpers."""
+
+import time
+
+import pytest
+
+from repro.exceptions import BudgetExceededError
+from repro.utils.memory import MemoryTracker, format_bytes
+from repro.utils.rng import derive_seed, spawn_rng
+from repro.utils.timer import Timer, format_duration
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+        assert not timer.running
+
+    def test_live_elapsed(self):
+        timer = Timer()
+        timer.start()
+        assert timer.running
+        assert timer.elapsed >= 0
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_budget_expiry(self):
+        timer = Timer(budget_seconds=0.001)
+        timer.start()
+        time.sleep(0.01)
+        assert timer.expired
+        with pytest.raises(BudgetExceededError) as excinfo:
+            timer.check_budget("unit test")
+        assert excinfo.value.elapsed_seconds is not None
+
+    def test_no_budget_never_expires(self):
+        timer = Timer()
+        timer.start()
+        assert not timer.expired
+        timer.check_budget()  # no raise
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            Timer(budget_seconds=0)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        ("seconds", "expected"),
+        [
+            (0.47, "470ms"),
+            (14, "14s"),
+            (89, "1m 29s"),
+            (3600 + 600, "1h 10m"),
+            (48 * 3600, "48h 0m"),
+        ],
+    )
+    def test_paper_table_style(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestMemoryTracker:
+    @pytest.mark.parametrize("method", ["auto", "tracemalloc"])
+    def test_tracks_allocations(self, method):
+        with MemoryTracker(method=method) as tracker:
+            data = [0] * 300_000
+        assert tracker.peak_bytes > 100_000
+        del data
+
+    def test_nested_tracemalloc_trackers(self):
+        with MemoryTracker(method="tracemalloc") as outer:
+            with MemoryTracker(method="tracemalloc") as inner:
+                payload = [0] * 100_000
+            del payload
+        assert inner.peak_bytes > 0
+        assert outer.peak_bytes >= inner.peak_bytes * 0.5
+
+    def test_budget_check(self):
+        with MemoryTracker(budget_bytes=10) as tracker:
+            data = [0] * 100_000
+            assert tracker.expired
+            with pytest.raises(BudgetExceededError):
+                tracker.check_budget()
+        del data
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            MemoryTracker(budget_bytes=0)
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            MemoryTracker(method="psychic")
+
+    def test_rss_method_when_supported(self):
+        from repro.utils.memory import rss_tracking_supported
+
+        if not rss_tracking_supported():
+            pytest.skip("no /proc RSS interface on this platform")
+        with MemoryTracker(method="rss") as tracker:
+            data = [0] * 1_000_000
+        # RSS includes the whole interpreter: at least the list itself.
+        assert tracker.peak_bytes > 4_000_000
+        del data
+
+    def test_live_peak_inside_block(self):
+        with MemoryTracker() as tracker:
+            data = [0] * 300_000
+            assert tracker.peak_bytes > 0
+        del data
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        ("count", "expected"),
+        [
+            (512, "512 B"),
+            (1536, "1.50 KB"),
+            (1.38 * 1024**3, "1.38 GB"),
+            (30 * 1024**3, "30.00 GB"),
+        ],
+    )
+    def test_paper_table_style(self, count, expected):
+        assert format_bytes(count) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestRng:
+    def test_derive_seed_stable(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_derive_seed_sensitive_to_labels(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_spawn_rng_independent_streams(self):
+        first = spawn_rng(1, "x")
+        second = spawn_rng(1, "y")
+        assert [first.random() for _ in range(3)] != [
+            second.random() for _ in range(3)
+        ]
+
+    def test_spawn_rng_reproducible(self):
+        assert spawn_rng(1, "x").random() == spawn_rng(1, "x").random()
