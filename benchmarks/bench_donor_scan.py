@@ -1,0 +1,125 @@
+"""Donor-scan engine benchmark: scalar reference vs vectorized kernels.
+
+Times one full RENUVER run per engine on Restaurant and Physician with
+discovered RFDs and 3% injected missing values, checks that both engines
+produce bit-identical imputation outcomes, and writes a machine-readable
+summary to ``BENCH_donor_scan.json`` at the repository root (timings,
+speedups, kernel counters).  The pytest entry point below runs the same
+code path, so the bench cannot rot.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from harness import TableWriter, bench_dataset, bench_rfds, scale
+from repro import Renuver, RenuverConfig, inject_missing
+from repro.dataset.relation import Relation
+from repro.rfd.rfd import RFD
+
+DEFAULT_RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_donor_scan.json"
+)
+DATASETS = ("restaurant", "physician")
+THRESHOLD = 3
+RATE = 0.03
+SEED = 7
+
+Loader = Callable[[str], tuple[Relation, list[RFD]]]
+
+
+def default_loader(name: str) -> tuple[Relation, list[RFD]]:
+    """Scale-aware dataset + discovered RFDs from the shared harness."""
+    return bench_dataset(name), bench_rfds(name, THRESHOLD).all_rfds
+
+
+def run_bench(
+    datasets: Iterable[str] = DATASETS,
+    *,
+    result_path: Path = DEFAULT_RESULT_PATH,
+    repeats: int = 3,
+    loader: Loader = default_loader,
+) -> dict:
+    """Time both engines on each dataset and persist the JSON summary.
+
+    Timings are the minimum over ``repeats`` runs of
+    :meth:`Renuver.impute` (discovery and injection are outside the
+    clock); ``identical_outcomes`` compares the engines' full cell
+    outcome lists and imputed relations.
+    """
+    summary: dict = {
+        "bench": "donor_scan",
+        "scale": scale(),
+        "missing_rate": RATE,
+        "injection_seed": SEED,
+        "repeats": repeats,
+        "datasets": {},
+    }
+    for name in datasets:
+        relation, rfds = loader(name)
+        dirty = inject_missing(relation, rate=RATE, seed=SEED).relation
+        timings: dict[str, float] = {}
+        results: dict = {}
+        for engine in ("scalar", "vectorized"):
+            renuver = Renuver(rfds, RenuverConfig(engine=engine))
+            best = math.inf
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = renuver.impute(dirty)
+                best = min(best, time.perf_counter() - start)
+            timings[engine] = best
+            results[engine] = result
+        identical = (
+            results["scalar"].report.outcomes
+            == results["vectorized"].report.outcomes
+            and results["scalar"].relation.equals(
+                results["vectorized"].relation
+            )
+        )
+        summary["datasets"][name] = {
+            "n_tuples": relation.n_tuples,
+            "n_rfds": len(rfds),
+            "missing_cells": results["scalar"].report.missing_count,
+            "imputed_cells": results["scalar"].report.imputed_count,
+            "scalar_seconds": timings["scalar"],
+            "vectorized_seconds": timings["vectorized"],
+            "speedup": timings["scalar"] / timings["vectorized"],
+            "identical_outcomes": identical,
+            "kernel_counters": results[
+                "vectorized"
+            ].report.kernel_counters,
+        }
+    result_path.write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+    )
+    return summary
+
+
+def test_donor_scan_engines():
+    summary = run_bench()
+
+    writer = TableWriter("donor_scan")
+    writer.header("Donor-scan engines: scalar vs vectorized, full run")
+    writer.row(
+        f"{'dataset':<12}{'tuples':>8}{'rfds':>6}{'cells':>7}"
+        f"{'scalar':>10}{'vector':>10}{'speedup':>9}  identical"
+    )
+    for name, entry in summary["datasets"].items():
+        writer.row(
+            f"{name:<12}{entry['n_tuples']:>8}{entry['n_rfds']:>6}"
+            f"{entry['missing_cells']:>7}"
+            f"{entry['scalar_seconds'] * 1e3:>8.1f}ms"
+            f"{entry['vectorized_seconds'] * 1e3:>8.1f}ms"
+            f"{entry['speedup']:>8.2f}x  {entry['identical_outcomes']}"
+        )
+    writer.close()
+
+    for name, entry in summary["datasets"].items():
+        assert entry["identical_outcomes"], name
+        assert entry["missing_cells"] > 0, name
+    assert summary["datasets"]["restaurant"]["speedup"] >= 3.0
+    assert DEFAULT_RESULT_PATH.exists()

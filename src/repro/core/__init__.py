@@ -1,6 +1,11 @@
 """RENUVER core: the paper's Algorithms 1-4."""
 
 from repro.core.candidates import Candidate, find_candidate_tuples
+from repro.core.donor_scan import (
+    ScalarEngine,
+    VectorizedEngine,
+    string_clamp_limits,
+)
 from repro.core.renuver import (
     ImputationResult,
     Renuver,
@@ -13,7 +18,7 @@ from repro.core.selection import (
     cluster_by_rhs_threshold,
     select_rfds_for_attribute,
 )
-from repro.core.verification import first_fault, is_faultless
+from repro.core.verification import first_fault, is_faultless, relevant_rfds
 
 __all__ = [
     "Candidate",
@@ -24,10 +29,14 @@ __all__ = [
     "OutcomeStatus",
     "Renuver",
     "RenuverConfig",
+    "ScalarEngine",
+    "VectorizedEngine",
     "build_cluster_plan",
     "cluster_by_rhs_threshold",
     "find_candidate_tuples",
     "first_fault",
     "is_faultless",
+    "relevant_rfds",
     "select_rfds_for_attribute",
+    "string_clamp_limits",
 ]

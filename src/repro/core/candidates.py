@@ -62,10 +62,9 @@ def find_candidate_tuples(
         raise ValueError(
             f"cluster targets {cluster.attribute!r}, expected {attribute!r}"
         )
-    # The pattern only ever needs the union of LHS attributes.
-    needed: tuple[str, ...] = tuple(
-        sorted({name for rfd in cluster.rfds for name in rfd.lhs_attributes})
-    )
+    # The pattern only ever needs the union of LHS attributes, which the
+    # cluster precomputes once.
+    needed = cluster.lhs_union
     candidates: list[Candidate] = []
     for row in range(relation.n_tuples):
         if row == target_row:

@@ -1,0 +1,496 @@
+"""Donor-scan engines: the vectorized hot path and the scalar reference.
+
+RENUVER's cost is dominated by two per-missing-cell donor scans:
+candidate generation (Algorithm 3) and verification (Algorithm 4).  Both
+boil down to "compare the target tuple against every other tuple on a
+handful of attributes".  The engines here expose that scan behind one
+interface so the driver — and the ``explain`` diagnostics — run the same
+code path:
+
+* :class:`ScalarEngine` wraps the original pair-at-a-time functions
+  (``find_candidate_tuples`` / ``is_faultless``) with the per-cell donor
+  memo the driver used to build inline.  It is the reference
+  implementation for equivalence testing.
+* :class:`VectorizedEngine` evaluates both algorithms with mask
+  arithmetic over the one-vs-all vectors of
+  :class:`~repro.distance.kernels.DonorScanKernels`: LHS satisfaction is
+  the AND of per-attribute within-threshold masks, the Equation-2 score
+  is the sum of the LHS distance vectors over ``|X|``, and the per-donor
+  best RFD is an element-wise running minimum.  Verification orders the
+  relevant RFDs by measured selectivity (how often each one produced a
+  violation so far) and exits on the first violating mask.
+
+Both engines produce bit-identical :class:`~repro.core.candidates.Candidate`
+lists and accept/reject decisions: the float operations run in the same
+order (IEEE-754 addition is deterministic) and the clamped string
+distances only differ beyond every threshold in play.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.candidates import Candidate, find_candidate_tuples
+from repro.core.selection import Cluster
+from repro.core.verification import (
+    first_fault as _scalar_first_fault,
+    is_faultless as _scalar_is_faultless,
+    relevant_rfds,
+)
+from repro.distance.kernels import DonorScanKernels
+from repro.distance.pattern import DistancePattern, PatternCalculator
+from repro.rfd.keyness import (
+    _check_scope,  # noqa: SLF001 - shared scope validation
+    pair_reactivates as _scalar_pair_reactivates,
+    partition_key_rfds as _scalar_partition_key_rfds,
+)
+from repro.rfd.rfd import RFD
+from repro.rfd.violations import Violation
+
+
+def string_clamp_limits(rfds: Iterable[RFD]) -> dict[str, float]:
+    """Per-attribute clamp for the kernels: the largest threshold any
+    constraint (LHS or RHS) of ``rfds`` applies to the attribute.
+
+    Distances above the clamp never influence an engine decision — every
+    satisfaction test compares against a threshold at or below it — so
+    the kernels may stop the string DP there and length-block donors
+    beyond it.
+    """
+    limits: dict[str, float] = {}
+    for rfd in rfds:
+        for constraint in rfd.lhs + (rfd.rhs,):
+            current = limits.get(constraint.attribute)
+            if current is None or constraint.threshold > current:
+                limits[constraint.attribute] = constraint.threshold
+    return limits
+
+
+class ScalarEngine:
+    """Reference donor-scan engine: the paper's pair-at-a-time loops."""
+
+    name = "scalar"
+
+    def __init__(self, calculator: PatternCalculator) -> None:
+        self.calculator = calculator
+
+    def cell_scan(
+        self,
+        target_row: int,
+        attribute: str,
+        clusters: Sequence[Cluster],
+    ) -> "_ScalarCellScan":
+        """One scan context per missing cell.
+
+        Shares one distance pattern per donor tuple across all clusters
+        of the cell: tentative writes only touch ``attribute``, which by
+        construction never appears in these LHS attribute sets, so the
+        memo stays valid for the whole cell.
+        """
+        union: tuple[str, ...] = tuple(
+            sorted({
+                name for cluster in clusters for name in cluster.lhs_union
+            })
+        )
+        memo: dict[int, DistancePattern] = {}
+        calculator = self.calculator
+
+        def pattern_for(donor: int) -> DistancePattern:
+            pattern = memo.get(donor)
+            if pattern is None:
+                pattern = calculator.pattern(target_row, donor, union)
+                memo[donor] = pattern
+            return pattern
+
+        return _ScalarCellScan(self, target_row, attribute, pattern_for)
+
+    def is_faultless(
+        self,
+        target_row: int,
+        attribute: str,
+        rfds: list[RFD],
+        *,
+        check_rhs_rfds: bool = False,
+    ) -> bool:
+        return _scalar_is_faultless(
+            self.calculator,
+            target_row,
+            attribute,
+            rfds,
+            check_rhs_rfds=check_rhs_rfds,
+        )
+
+    def first_fault(
+        self,
+        target_row: int,
+        attribute: str,
+        rfds: list[RFD],
+        *,
+        check_rhs_rfds: bool = False,
+    ) -> Violation | None:
+        return _scalar_first_fault(
+            self.calculator,
+            target_row,
+            attribute,
+            rfds,
+            check_rhs_rfds=check_rhs_rfds,
+        )
+
+    def partition_key_rfds(
+        self, rfds: Iterable[RFD], *, scope: str = "all"
+    ) -> tuple[list[RFD], list[RFD]]:
+        """Definition 3.4 split, via the scalar all-pairs scan."""
+        return _scalar_partition_key_rfds(
+            rfds, self.calculator, scope=scope
+        )
+
+    def pair_reactivates(
+        self, rfd: RFD, target_row: int, *, scope: str = "all"
+    ) -> bool:
+        """Algorithm 1 line 14's incremental re-check, pair-at-a-time."""
+        return _scalar_pair_reactivates(
+            rfd, self.calculator, target_row, scope=scope
+        )
+
+    def counters(self) -> dict[str, int]:
+        """Kernel counters (none: this engine builds no vectors)."""
+        return {}
+
+    def cache_report(self) -> dict[str, tuple[int, int, int]]:
+        """Value-pair memo statistics of the underlying calculator."""
+        return self.calculator.cache_report()
+
+    def close(self) -> None:
+        """Nothing to detach."""
+
+
+class _ScalarCellScan:
+    __slots__ = ("_engine", "_target_row", "_attribute", "_pattern_for")
+
+    def __init__(
+        self,
+        engine: ScalarEngine,
+        target_row: int,
+        attribute: str,
+        pattern_for: Callable[[int], DistancePattern],
+    ) -> None:
+        self._engine = engine
+        self._target_row = target_row
+        self._attribute = attribute
+        self._pattern_for = pattern_for
+
+    def candidates(
+        self, cluster: Cluster, *, max_candidates: int | None = None
+    ) -> list[Candidate]:
+        return find_candidate_tuples(
+            self._engine.calculator,
+            self._target_row,
+            self._attribute,
+            cluster,
+            max_candidates=max_candidates,
+            pattern_for=self._pattern_for,
+        )
+
+
+class VectorizedEngine:
+    """Columnar donor-scan engine over one-vs-all distance vectors."""
+
+    name = "vectorized"
+
+    def __init__(
+        self,
+        calculator: PatternCalculator,
+        rfds: Iterable[RFD],
+        *,
+        override_names: Iterable[str] = (),
+    ) -> None:
+        self.calculator = calculator
+        overrides = {
+            name: calculator.function_for(name)
+            for name in override_names
+        }
+        self.kernels = DonorScanKernels(
+            calculator.relation,
+            string_limits=string_clamp_limits(rfds),
+            overrides=overrides,
+        )
+        self.kernels.attach()
+        # Violations observed per RFD so far: verification tries the
+        # historically most violating RFDs first and stops at the first
+        # hit.
+        self._fault_hits: dict[RFD, int] = {}
+
+    def cell_scan(
+        self,
+        target_row: int,
+        attribute: str,
+        clusters: Sequence[Cluster],
+    ) -> "_VectorizedCellScan":
+        """One scan context per missing cell.
+
+        Vectors are cached per (target row, attribute) for the lifetime
+        of the cell's imputation; the cache is cleared here so memory
+        stays bounded by one target row's vectors.
+        """
+        self.kernels.clear_target_vectors()
+        return _VectorizedCellScan(self, target_row, attribute)
+
+    # ------------------------------------------------------------------
+    # Algorithm 4 over masks
+    # ------------------------------------------------------------------
+    def is_faultless(
+        self,
+        target_row: int,
+        attribute: str,
+        rfds: list[RFD],
+        *,
+        check_rhs_rfds: bool = False,
+    ) -> bool:
+        relevant = relevant_rfds(
+            rfds, attribute, check_rhs_rfds=check_rhs_rfds
+        )
+        if not relevant:
+            return True
+        hits = self._fault_hits
+        ordered = sorted(
+            relevant, key=lambda rfd: -hits.get(rfd, 0)
+        )
+        with np.errstate(invalid="ignore"):
+            for rfd in ordered:
+                mask = self._violation_mask(target_row, rfd)
+                if mask is not None and mask.any():
+                    hits[rfd] = hits.get(rfd, 0) + 1
+                    return False
+        return True
+
+    def first_fault(
+        self,
+        target_row: int,
+        attribute: str,
+        rfds: list[RFD],
+        *,
+        check_rhs_rfds: bool = False,
+    ) -> Violation | None:
+        """Exact Algorithm 4 semantics: the violation with the smallest
+        partner row, ties broken by relevant-RFD order."""
+        relevant = relevant_rfds(
+            rfds, attribute, check_rhs_rfds=check_rhs_rfds
+        )
+        best_row: int | None = None
+        best_rfd: RFD | None = None
+        with np.errstate(invalid="ignore"):
+            for rfd in relevant:
+                mask = self._violation_mask(target_row, rfd)
+                if mask is None:
+                    continue
+                rows = np.nonzero(mask)[0]
+                if rows.size and (best_row is None or rows[0] < best_row):
+                    best_row = int(rows[0])
+                    best_rfd = rfd
+        if best_row is None or best_rfd is None:
+            return None
+        return Violation(
+            best_rfd,
+            min(target_row, best_row),
+            max(target_row, best_row),
+        )
+
+    def _violation_mask(
+        self, target_row: int, rfd: RFD
+    ) -> np.ndarray | None:
+        """Rows violating ``rfd`` against the target, or ``None`` once
+        the LHS mask empties (early exit)."""
+        kernels = self.kernels
+        mask: np.ndarray | None = None
+        for constraint in rfd.lhs:
+            vector = kernels.vector(target_row, constraint.attribute)
+            satisfied = vector <= constraint.threshold
+            mask = satisfied if mask is None else mask & satisfied
+            mask[target_row] = False
+            if not mask.any():
+                return None
+        rhs_vector = kernels.vector(target_row, rfd.rhs_attribute)
+        assert mask is not None  # RFDs have a non-empty LHS
+        mask &= ~np.isnan(rhs_vector)
+        mask &= rhs_vector > rfd.rhs_threshold
+        return mask
+
+    # ------------------------------------------------------------------
+    # Keyness (Definition 3.4) over masks
+    # ------------------------------------------------------------------
+    def partition_key_rfds(
+        self, rfds: Iterable[RFD], *, scope: str = "all"
+    ) -> tuple[list[RFD], list[RFD]]:
+        """Definition 3.4 split with one-vs-all vectors.
+
+        Row-major sweep: for each row the per-attribute distance vectors
+        are built once and shared by every still-undecided RFD; an RFD
+        leaves the undecided set as soon as some later row satisfies its
+        whole LHS (the same pair predicate as the scalar scan, so the
+        partition is identical).
+        """
+        _check_scope(scope)
+        rfds = list(rfds)
+        kernels = self.kernels
+        n = self.calculator.relation.n_tuples
+        in_scope = self._scope_mask(scope)
+        undecided = list(range(len(rfds)))
+        non_key = [False] * len(rfds)
+        with np.errstate(invalid="ignore"):
+            for row in range(n - 1):
+                if not undecided:
+                    break
+                if in_scope is not None and not in_scope[row]:
+                    continue
+                remaining: list[int] = []
+                for index in undecided:
+                    mask = self._lhs_pair_mask(row, rfds[index], in_scope)
+                    if mask is not None and mask[row + 1:].any():
+                        non_key[index] = True
+                    else:
+                        remaining.append(index)
+                undecided = remaining
+                kernels.clear_target_vectors()
+        keys = [rfd for rfd, usable in zip(rfds, non_key) if not usable]
+        non_keys = [rfd for rfd, usable in zip(rfds, non_key) if usable]
+        return keys, non_keys
+
+    def pair_reactivates(
+        self, rfd: RFD, target_row: int, *, scope: str = "all"
+    ) -> bool:
+        """Algorithm 1 line 14's incremental re-check over one mask."""
+        _check_scope(scope)
+        in_scope = self._scope_mask(scope)
+        if in_scope is not None and not in_scope[target_row]:
+            return False
+        with np.errstate(invalid="ignore"):
+            mask = self._lhs_pair_mask(target_row, rfd, in_scope)
+        return mask is not None and bool(mask.any())
+
+    def _lhs_pair_mask(
+        self,
+        target_row: int,
+        rfd: RFD,
+        in_scope: np.ndarray | None,
+    ) -> np.ndarray | None:
+        """Rows forming an LHS-satisfying pair with ``target_row``, or
+        ``None`` once the mask empties (early exit)."""
+        kernels = self.kernels
+        mask: np.ndarray | None = None
+        for constraint in rfd.lhs:
+            vector = kernels.vector(target_row, constraint.attribute)
+            satisfied = vector <= constraint.threshold
+            mask = satisfied if mask is None else mask & satisfied
+            mask[target_row] = False
+            if in_scope is not None:
+                mask &= in_scope
+            if not mask.any():
+                return None
+        return mask
+
+    def _scope_mask(self, scope: str) -> np.ndarray | None:
+        """Rows eligible for keyness pairs: all of them, or (under
+        ``scope="complete"``) the rows present on every attribute."""
+        if scope != "complete":
+            return None
+        mask: np.ndarray | None = None
+        for name in self.calculator.relation.attribute_names:
+            present = self.kernels.present_mask(name)
+            mask = present.copy() if mask is None else mask & present
+        return mask
+
+    # ------------------------------------------------------------------
+    # Reporting / lifecycle
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        """Kernel counters for the imputation report."""
+        return self.kernels.counters
+
+    def cache_report(self) -> dict[str, tuple[int, int, int]]:
+        """String-memo statistics of the kernel layer."""
+        return self.kernels.cache_report()
+
+    def close(self) -> None:
+        """Detach the dirty-cell hook from the relation."""
+        self.kernels.close()
+
+
+class _VectorizedCellScan:
+    __slots__ = ("_engine", "_target_row", "_attribute")
+
+    def __init__(
+        self, engine: VectorizedEngine, target_row: int, attribute: str
+    ) -> None:
+        self._engine = engine
+        self._target_row = target_row
+        self._attribute = attribute
+
+    def candidates(
+        self, cluster: Cluster, *, max_candidates: int | None = None
+    ) -> list[Candidate]:
+        """Algorithm 3 over mask arithmetic.
+
+        Mirrors the scalar scan exactly: LHS satisfaction per RFD, mean
+        LHS distance (summed in sorted-attribute order, the same float
+        operation order as ``DistancePattern.mean_over``), per-donor
+        minimum across the cluster's RFDs with first-RFD tie-breaks, and
+        an ascending (distance, row) sort.
+        """
+        target_row = self._target_row
+        attribute = self._attribute
+        if cluster.attribute != attribute:
+            raise ValueError(
+                f"cluster targets {cluster.attribute!r}, "
+                f"expected {attribute!r}"
+            )
+        engine = self._engine
+        kernels = engine.kernels
+        relation = engine.calculator.relation
+        donors = kernels.present_mask(attribute).copy()
+        donors[target_row] = False
+        if not donors.any():
+            return []
+        n = donors.shape[0]
+        best = np.full(n, np.inf)
+        best_rfd = np.full(n, -1, dtype=np.int64)
+        with np.errstate(invalid="ignore"):
+            for index, rfd in enumerate(cluster.rfds):
+                mask = donors
+                for constraint in rfd.lhs:
+                    vector = kernels.vector(
+                        target_row, constraint.attribute
+                    )
+                    mask = mask & (vector <= constraint.threshold)
+                    if not mask.any():
+                        break
+                else:
+                    total: np.ndarray | None = None
+                    for name in rfd.lhs_attributes:
+                        vector = kernels.vector(target_row, name)
+                        total = (
+                            vector.copy() if total is None
+                            else total + vector
+                        )
+                    score = np.where(
+                        mask, total / len(rfd.lhs), np.inf
+                    )
+                    better = score < best
+                    if better.any():
+                        best = np.where(better, score, best)
+                        best_rfd = np.where(better, index, best_rfd)
+        rows = np.nonzero(best_rfd >= 0)[0]
+        candidates = [
+            Candidate(
+                int(row),
+                relation.value(int(row), attribute),
+                float(best[row]),
+                cluster.rfds[int(best_rfd[row])],
+            )
+            for row in rows
+        ]
+        candidates.sort(key=Candidate.sort_key)
+        if max_candidates is not None:
+            candidates = candidates[:max_candidates]
+        return candidates

@@ -27,15 +27,14 @@ from repro.dataset.relation import Relation
 from repro.distance.base import DistanceFunction
 from repro.distance.pattern import PatternCalculator
 from repro.exceptions import ImputationError
-from repro.core.candidates import Candidate, find_candidate_tuples
+from repro.core.candidates import Candidate
+from repro.core.donor_scan import ScalarEngine, VectorizedEngine
 from repro.core.report import CellOutcome, ImputationReport, OutcomeStatus
 from repro.core.selection import (
     Cluster,
     cluster_by_rhs_threshold,
     select_rfds_for_attribute,
 )
-from repro.core.verification import is_faultless
-from repro.rfd.keyness import pair_reactivates, partition_key_rfds
 from repro.rfd.rfd import RFD
 from repro.utils.memory import MemoryTracker
 from repro.utils.timer import Timer
@@ -50,6 +49,13 @@ class RenuverConfig:
     cluster_order:
         ``"ascending"`` (default; the worked example's tightest-first
         order) or ``"descending"`` (Algorithm 2's literal wording).
+    engine:
+        Donor-scan engine: ``"vectorized"`` (default; columnar one-vs-all
+        distance kernels with length-blocked string DPs) or ``"scalar"``
+        (the original pair-at-a-time reference path).  Both produce
+        bit-identical imputation outcomes; the scalar engine is kept for
+        equivalence testing and as executable documentation of
+        Algorithms 3 and 4.
     verify:
         Run IS_FAULTLESS on every tentative imputation.  Disabling it is
         an ablation: faster, but consistency (Definition 4.3) is no
@@ -77,6 +83,7 @@ class RenuverConfig:
     """
 
     cluster_order: str = "ascending"
+    engine: str = "vectorized"
     verify: bool = True
     check_rhs_rfds: bool = False
     recheck_keys: bool = True
@@ -92,6 +99,11 @@ class RenuverConfig:
             raise ImputationError(
                 f"cluster_order must be 'ascending' or 'descending', "
                 f"got {self.cluster_order!r}"
+            )
+        if self.engine not in ("scalar", "vectorized"):
+            raise ImputationError(
+                f"engine must be 'scalar' or 'vectorized', "
+                f"got {self.engine!r}"
             )
         if self.keyness_scope not in ("complete", "all"):
             raise ImputationError(
@@ -115,6 +127,7 @@ class _RunState:
     """Mutable per-run state shared by the private helpers."""
 
     calculator: PatternCalculator
+    engine: ScalarEngine | VectorizedEngine
     active_rfds: list[RFD]
     key_rfds: list[RFD]
     report: ImputationReport
@@ -181,13 +194,17 @@ class Renuver:
             memory.__enter__()
         else:
             memory = None
+        state: _RunState | None = None
         try:
             state = self._preprocess(working, timer, memory)
             self._impute_all(state)
         finally:
+            if state is not None:
+                state.engine.close()
             if memory is not None:
                 memory.__exit__(None, None, None)
         state.report.elapsed_seconds = timer.stop()
+        state.report.kernel_counters = state.engine.counters()
         if memory is not None:
             state.report.peak_bytes = memory.peak_bytes
         return ImputationResult(working, state.report)
@@ -200,7 +217,9 @@ class Renuver:
         Diagnostic helper: runs selection + candidate generation for a
         single cell against a copy of ``relation`` without imputing
         anything.  Candidates from all clusters are concatenated in
-        cluster order.
+        cluster order.  Uses the configured donor-scan engine — the same
+        code path (and per-cell donor memoization) as the imputation
+        driver.
         """
         self._validate_schema(relation)
         if not relation.is_missing_cell(row, attribute):
@@ -209,19 +228,21 @@ class Renuver:
             )
         working = relation.copy()
         calculator = self._make_calculator(working)
-        _, active = partition_key_rfds(self.rfds, calculator)
-        candidates: list[Candidate] = []
-        for cluster in self._clusters_for(active, attribute):
-            candidates.extend(
-                find_candidate_tuples(
-                    calculator,
-                    row,
-                    attribute,
-                    cluster,
-                    max_candidates=self.config.max_candidates,
-                )
+        engine = self._make_engine(calculator)
+        try:
+            _, active = engine.partition_key_rfds(
+                self.rfds, scope=self.config.keyness_scope
             )
-        return candidates
+            clusters = self._clusters_for(active, attribute)
+            return [
+                candidate
+                for _, cluster_candidates in self._scan_clusters(
+                    engine, row, attribute, clusters
+                )
+                for candidate in cluster_candidates
+            ]
+        finally:
+            engine.close()
 
     # ------------------------------------------------------------------
     # Pipeline steps
@@ -234,12 +255,14 @@ class Renuver:
     ) -> _RunState:
         """Step (a): split keys from usable RFDs, set up shared state."""
         calculator = self._make_calculator(working)
-        key_rfds, active_rfds = partition_key_rfds(
-            self.rfds, calculator, scope=self.config.keyness_scope
+        engine = self._make_engine(calculator)
+        key_rfds, active_rfds = engine.partition_key_rfds(
+            self.rfds, scope=self.config.keyness_scope
         )
         report = ImputationReport(key_rfds_initial=len(key_rfds))
         return _RunState(
             calculator=calculator,
+            engine=engine,
             active_rfds=active_rfds,
             key_rfds=key_rfds,
             report=report,
@@ -270,39 +293,11 @@ class Renuver:
         clusters = cluster_by_rhs_threshold(
             selected, attribute, order=self.config.cluster_order
         )
-        # Share one distance pattern per donor tuple across all clusters
-        # of this cell: tentative writes only touch `attribute`, which by
-        # construction never appears in these LHS attribute sets, so the
-        # memo stays valid for the whole cell.
-        union: tuple[str, ...] = tuple(
-            sorted({
-                name
-                for cluster in clusters
-                for rfd in cluster.rfds
-                for name in rfd.lhs_attributes
-            })
-        )
-        memo: dict[int, object] = {}
-        calculator = state.calculator
-
-        def pattern_for(donor: int):
-            pattern = memo.get(donor)
-            if pattern is None:
-                pattern = calculator.pattern(row, donor, union)
-                memo[donor] = pattern
-            return pattern
-
         tried_total = 0
         saw_candidates = False
-        for cluster in clusters:
-            candidates = find_candidate_tuples(
-                state.calculator,
-                row,
-                attribute,
-                cluster,
-                max_candidates=self.config.max_candidates,
-                pattern_for=pattern_for,
-            )
+        for cluster, candidates in self._scan_clusters(
+            state.engine, row, attribute, clusters
+        ):
             if not candidates:
                 continue
             saw_candidates = True
@@ -339,13 +334,18 @@ class Renuver:
         attribute: str,
         candidate: Candidate,
     ) -> bool:
-        """Write the candidate value, verify, roll back on fault."""
+        """Write the candidate value, verify, roll back on fault.
+
+        Both the tentative write and the rollback go through
+        ``Relation.set_value``, whose dirty-cell hook invalidates the
+        engine's cached kernel vectors for ``attribute`` — verification
+        always sees the written value, never a stale vector.
+        """
         relation = state.calculator.relation
         relation.set_value(row, attribute, candidate.value)
         if not self.config.verify:
             return True
-        if is_faultless(
-            state.calculator,
+        if state.engine.is_faultless(
             row,
             attribute,
             state.active_rfds,
@@ -376,9 +376,7 @@ class Renuver:
             if scope == "all" and not rfd.has_lhs_attribute(attribute):
                 still_key.append(rfd)
                 continue
-            if pair_reactivates(
-                rfd, state.calculator, row, scope=scope
-            ):
+            if state.engine.pair_reactivates(rfd, row, scope=scope):
                 state.active_rfds.append(rfd)
                 state.report.key_rfds_reactivated += 1
             else:
@@ -394,6 +392,39 @@ class Renuver:
             overrides=self._distance_overrides,
             cached=self.config.distance_cache,
         )
+
+    def _make_engine(
+        self, calculator: PatternCalculator
+    ) -> ScalarEngine | VectorizedEngine:
+        """The configured donor-scan engine, bound to one calculator."""
+        if self.config.engine == "scalar":
+            return ScalarEngine(calculator)
+        return VectorizedEngine(
+            calculator,
+            self.rfds,
+            override_names=set(self._distance_overrides),
+        )
+
+    def _scan_clusters(
+        self,
+        engine: ScalarEngine | VectorizedEngine,
+        row: int,
+        attribute: str,
+        clusters: list[Cluster],
+    ):
+        """Yield ``(cluster, candidates)`` through one engine cell scan.
+
+        The single shared donor-scan path of the driver and ``explain``:
+        one scan context per missing cell, so per-donor work (distance
+        patterns or kernel vectors) is shared across the cell's clusters.
+        """
+        if not clusters:
+            return
+        scan = engine.cell_scan(row, attribute, clusters)
+        for cluster in clusters:
+            yield cluster, scan.candidates(
+                cluster, max_candidates=self.config.max_candidates
+            )
 
     def _clusters_for(
         self, active: list[RFD], attribute: str

@@ -63,6 +63,10 @@ class ImputationReport:
     peak_bytes: int = 0
     key_rfds_initial: int = 0
     key_rfds_reactivated: int = 0
+    #: Donor-scan kernel statistics (vector builds, invalidations,
+    #: Levenshtein DPs avoided by length blocking, ...); empty for the
+    #: scalar engine.
+    kernel_counters: dict[str, int] = field(default_factory=dict)
 
     def add(self, outcome: CellOutcome) -> None:
         """Record one cell outcome."""
@@ -129,4 +133,10 @@ class ImputationReport:
                 lines.append(f"  - {status}: {count}")
         if self.elapsed_seconds:
             lines.append(f"elapsed       : {self.elapsed_seconds:.3f}s")
+        if self.kernel_counters:
+            rendered = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.kernel_counters.items())
+            )
+            lines.append(f"kernels       : {rendered}")
         return "\n".join(lines)

@@ -16,6 +16,7 @@ ablation benchmark comparing both.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Sequence
 
 from repro.rfd.rfd import RFD
@@ -44,6 +45,17 @@ class Cluster:
 
     def __len__(self) -> int:
         return len(self.rfds)
+
+    @cached_property
+    def lhs_union(self) -> tuple[str, ...]:
+        """Sorted union of the member RFDs' LHS attributes — the only
+        attributes candidate generation needs distances for.  Computed
+        once per cluster instead of on every donor scan."""
+        return tuple(
+            sorted({
+                name for rfd in self.rfds for name in rfd.lhs_attributes
+            })
+        )
 
     def __str__(self) -> str:
         rendered = (

@@ -20,6 +20,27 @@ from repro.rfd.rfd import RFD
 from repro.rfd.violations import Violation
 
 
+def relevant_rfds(
+    rfds: list[RFD],
+    attribute: str,
+    *,
+    check_rhs_rfds: bool = False,
+) -> list[RFD]:
+    """The RFDs Algorithm 4 must re-check after imputing ``attribute``.
+
+    LHS-containing RFDs first (the paper's scope), then — under the
+    stronger ablation — the RFDs with ``attribute`` on the RHS.  The two
+    groups never overlap because an RFD cannot mention the same attribute
+    on both sides.
+    """
+    relevant = [rfd for rfd in rfds if rfd.has_lhs_attribute(attribute)]
+    if check_rhs_rfds:
+        relevant.extend(
+            rfd for rfd in rfds if rfd.rhs_attribute == attribute
+        )
+    return relevant
+
+
 def is_faultless(
     calculator: PatternCalculator,
     target_row: int,
@@ -57,11 +78,9 @@ def first_fault(
     reports explain *why* a candidate was rejected.
     """
     relation = calculator.relation
-    relevant = [rfd for rfd in rfds if rfd.has_lhs_attribute(attribute)]
-    if check_rhs_rfds:
-        relevant.extend(
-            rfd for rfd in rfds if rfd.rhs_attribute == attribute
-        )
+    relevant = relevant_rfds(
+        rfds, attribute, check_rhs_rfds=check_rhs_rfds
+    )
     if not relevant:
         return None
     # One pattern per partner tuple over the union of the relevant RFDs'

@@ -13,7 +13,7 @@ staleness.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.dataset.attribute import (
     Attribute,
@@ -121,6 +121,7 @@ class Relation:
                 col = [normalize_missing(v) for v in raw]
             self._columns[attr.name] = col
         self._version = 0
+        self._listeners: list[Callable[[int, str, Any], None]] = []
 
     # ------------------------------------------------------------------
     # Constructors
@@ -255,10 +256,33 @@ class Relation:
             normalize_missing(value), attr.type
         )
         self._version += 1
+        if self._listeners:
+            stored = self._columns[name][row]
+            for listener in tuple(self._listeners):
+                listener(row, name, stored)
 
     def clear_value(self, row: int, name: str) -> None:
         """Blank a cell back to :data:`MISSING`."""
         self.set_value(row, name, MISSING)
+
+    def add_mutation_listener(
+        self, listener: Callable[[int, str, Any], None]
+    ) -> None:
+        """Register a dirty-cell hook fired after every :meth:`set_value`.
+
+        Listeners receive ``(row, name, stored_value)`` with the value as
+        stored post-coercion.  Caches that materialize column data (the
+        donor-scan kernels) register here so tentative writes and
+        rollbacks invalidate them.  Listeners are not carried over by
+        :meth:`copy` and friends.
+        """
+        self._listeners.append(listener)
+
+    def remove_mutation_listener(
+        self, listener: Callable[[int, str, Any], None]
+    ) -> None:
+        """Unregister a previously added dirty-cell hook."""
+        self._listeners.remove(listener)
 
     def is_missing_cell(self, row: int, name: str) -> bool:
         """Whether ``t[A] = _`` for the given cell."""

@@ -17,6 +17,7 @@ from repro.distance.base import (
     distance_for_type,
     string_edit_distance,
 )
+from repro.distance.kernels import DonorScanKernels
 from repro.distance.levenshtein import (
     levenshtein,
     levenshtein_bounded,
@@ -27,6 +28,7 @@ from repro.distance.pattern import DistancePattern, PatternCalculator
 __all__ = [
     "DistanceFunction",
     "DistancePattern",
+    "DonorScanKernels",
     "PatternCalculator",
     "absolute_difference",
     "boolean_equality",

@@ -1,0 +1,335 @@
+"""Columnar one-vs-all distance kernels for the donor-scan engine.
+
+The scalar imputation path evaluates distances pair-by-pair, building one
+:class:`~repro.distance.pattern.DistancePattern` dict per tuple pair.
+:class:`DonorScanKernels` instead answers the question the hot loops
+actually ask — "how far is the target cell from *every* cell of this
+column?" — with one numpy vector per (target row, attribute):
+
+* numeric attributes: one vectorized ``|column - target|``,
+* boolean attributes: the same over a 0/1 encoding,
+* string attributes: one banded Levenshtein DP per *distinct* column
+  value, clamped at the largest threshold any RFD applies to the
+  attribute, with a length-difference pre-filter (``|len(a) - len(b)| >
+  limit`` implies ``distance > limit``) that skips the DP entirely for
+  far-away donors.
+
+Entries are ``NaN`` wherever either side of the pair is missing — the
+vector analogue of the ``_`` entries of a distance pattern.
+
+Vectors are cached per (target row, attribute).  Correctness across the
+driver's tentative write / rollback cycle relies on the *dirty-cell
+hook*: :meth:`attach` registers a mutation listener on the relation, and
+every :meth:`~repro.dataset.relation.Relation.set_value` drops the cached
+vectors of the written attribute and patches the column codec in place.
+Counters for vector builds, invalidations and the DPs avoided by length
+blocking are exposed via :attr:`counters` for the imputation report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.dataset.attribute import AttributeType
+from repro.dataset.missing import MISSING
+from repro.dataset.relation import Relation
+from repro.distance.base import DistanceFunction
+from repro.distance.levenshtein import levenshtein, levenshtein_bounded
+from repro.exceptions import SchemaError
+
+
+class _NumericCodec:
+    """Float64 encoding of a numeric or boolean column (``NaN`` missing)."""
+
+    __slots__ = ("codes", "_convert")
+
+    def __init__(self, column: list[Any],
+                 convert: Callable[[Any], float]) -> None:
+        self._convert = convert
+        self.codes = np.array(
+            [math.nan if value is MISSING else convert(value)
+             for value in column],
+            dtype=np.float64,
+        )
+
+    def update(self, row: int, value: Any) -> None:
+        self.codes[row] = (
+            math.nan if value is MISSING else self._convert(value)
+        )
+
+    def present_mask(self) -> np.ndarray:
+        return ~np.isnan(self.codes)
+
+    def target_vector(self, target_row: int) -> np.ndarray:
+        target = self.codes[target_row]
+        if math.isnan(target):
+            return np.full(self.codes.shape, np.nan)
+        return np.abs(self.codes - target)
+
+
+class _StringCodec:
+    """String column as rendered values plus a distinct-value row index.
+
+    Grouping rows by distinct value means the (expensive) edit-distance
+    DP runs once per distinct donor value, not once per row; the result
+    is scattered back to all rows sharing the value.
+    """
+
+    __slots__ = ("values", "present", "rows_by_value")
+
+    def __init__(self, column: list[Any]) -> None:
+        self.values: list[str | None] = [
+            None if value is MISSING else str(value) for value in column
+        ]
+        self.present = np.array(
+            [value is not None for value in self.values], dtype=bool
+        )
+        self.rows_by_value: dict[str, list[int]] = {}
+        for row, value in enumerate(self.values):
+            if value is not None:
+                self.rows_by_value.setdefault(value, []).append(row)
+
+    def update(self, row: int, value: Any) -> None:
+        old = self.values[row]
+        if old is not None:
+            rows = self.rows_by_value[old]
+            rows.remove(row)
+            if not rows:
+                del self.rows_by_value[old]
+        new = None if value is MISSING else str(value)
+        self.values[row] = new
+        self.present[row] = new is not None
+        if new is not None:
+            self.rows_by_value.setdefault(new, []).append(row)
+
+
+class _GenericCodec:
+    """Fallback for attributes with overridden distance functions.
+
+    Still produces a one-vs-all vector (so the engine code stays uniform)
+    but computes each entry through the bound
+    :class:`~repro.distance.base.DistanceFunction`, preserving whatever
+    semantics the override implements.
+    """
+
+    __slots__ = ("column", "function")
+
+    def __init__(self, column: list[Any], function: DistanceFunction) -> None:
+        self.column = column  # live reference; Relation mutates in place
+        self.function = function
+
+    def update(self, row: int, value: Any) -> None:
+        pass  # the live column reference already reflects the write
+
+    def present_mask(self) -> np.ndarray:
+        return np.array(
+            [value is not MISSING for value in self.column], dtype=bool
+        )
+
+    def target_vector(self, target_row: int) -> np.ndarray:
+        out = np.full(len(self.column), np.nan)
+        target = self.column[target_row]
+        if target is MISSING:
+            return out
+        function = self.function
+        for row, value in enumerate(self.column):
+            if value is not MISSING:
+                out[row] = function(target, value)
+        return out
+
+
+class DonorScanKernels:
+    """One-vs-all distance vectors over one relation, cached and
+    invalidated through the relation's dirty-cell hook.
+
+    Parameters
+    ----------
+    relation:
+        The instance the vectors read from.
+    string_limits:
+        Per-attribute clamp for string distances: the largest threshold
+        any RFD constrains the attribute with.  Distances above the limit
+        are stored as ``limit + 1`` — exact for every comparison the
+        engine performs, and the enabler of length blocking.  Attributes
+        absent from the mapping fall back to the exact (unbounded) DP.
+    overrides:
+        Distance functions for attributes that must not use the paper's
+        default kernels; these take the generic per-row path.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        string_limits: Mapping[str, float] | None = None,
+        overrides: Mapping[str, DistanceFunction] | None = None,
+    ) -> None:
+        self._relation = relation
+        self._overrides = dict(overrides or {})
+        unknown = set(self._overrides) - set(relation.attribute_names)
+        if unknown:
+            raise SchemaError(
+                f"kernel overrides for unknown attributes {sorted(unknown)}"
+            )
+        self._string_limits: dict[str, int] = {
+            name: int(math.ceil(float(limit)))
+            for name, limit in (string_limits or {}).items()
+        }
+        self._codecs: dict[str, Any] = {}
+        self._vectors: dict[str, dict[int, np.ndarray]] = {}
+        self._string_memo: dict[str, dict[tuple[str, str], float]] = {}
+        self._memo_hits: dict[str, int] = {}
+        self._attached = False
+        self.vector_builds = 0
+        self.vector_cache_hits = 0
+        self.invalidations = 0
+        self.levenshtein_dp_calls = 0
+        self.levenshtein_dp_blocked = 0
+
+    # ------------------------------------------------------------------
+    # Dirty-cell hook
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Register the dirty-cell hook on the relation."""
+        if not self._attached:
+            self._relation.add_mutation_listener(self._on_set_value)
+            self._attached = True
+
+    def close(self) -> None:
+        """Unregister the dirty-cell hook (idempotent)."""
+        if self._attached:
+            self._relation.remove_mutation_listener(self._on_set_value)
+            self._attached = False
+
+    def _on_set_value(self, row: int, name: str, value: Any) -> None:
+        vectors = self._vectors.get(name)
+        if vectors:
+            vectors.clear()
+            self.invalidations += 1
+        codec = self._codecs.get(name)
+        if codec is not None:
+            codec.update(row, value)
+
+    # ------------------------------------------------------------------
+    # Kernel evaluation
+    # ------------------------------------------------------------------
+    def vector(self, target_row: int, name: str) -> np.ndarray:
+        """Distances from cell ``(target_row, name)`` to the whole column.
+
+        ``NaN`` marks pairs where either side is missing (including the
+        whole vector when the target cell itself is missing).  The entry
+        at ``target_row`` is the self-distance; callers mask it out.
+        Cached per (target row, attribute) until the column is written.
+        """
+        cache = self._vectors.setdefault(name, {})
+        vector = cache.get(target_row)
+        if vector is not None:
+            self.vector_cache_hits += 1
+            return vector
+        codec = self._codec(name)
+        if isinstance(codec, _StringCodec):
+            vector = self._string_vector(codec, target_row, name)
+        else:
+            vector = codec.target_vector(target_row)
+        self.vector_builds += 1
+        cache[target_row] = vector
+        return vector
+
+    def present_mask(self, name: str) -> np.ndarray:
+        """Boolean mask of rows with a present value on ``name``.
+
+        The returned array may be shared internal state on some paths;
+        callers must not mutate it.
+        """
+        codec = self._codec(name)
+        if isinstance(codec, _StringCodec):
+            return codec.present
+        return codec.present_mask()
+
+    def clear_target_vectors(self) -> None:
+        """Drop every cached vector (cell-lifetime boundary)."""
+        for cache in self._vectors.values():
+            cache.clear()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> dict[str, int]:
+        """Kernel counters for the imputation report."""
+        return {
+            "vector_builds": self.vector_builds,
+            "vector_cache_hits": self.vector_cache_hits,
+            "invalidations": self.invalidations,
+            "levenshtein_dp_calls": self.levenshtein_dp_calls,
+            "levenshtein_dp_blocked": self.levenshtein_dp_blocked,
+        }
+
+    def cache_report(self) -> dict[str, tuple[int, int, int]]:
+        """Per-attribute ``(hits, misses, size)`` of the string memos —
+        the kernel counterpart of ``PatternCalculator.cache_report``."""
+        return {
+            name: (
+                self._memo_hits.get(name, 0),
+                len(memo),
+                len(memo),
+            )
+            for name, memo in self._string_memo.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _codec(self, name: str) -> Any:
+        codec = self._codecs.get(name)
+        if codec is not None:
+            return codec
+        attribute = self._relation.attribute(name)  # raises on unknown
+        column = self._relation._columns[name]  # noqa: SLF001 - same package
+        if name in self._overrides:
+            codec = _GenericCodec(column, self._overrides[name])
+        elif attribute.type.is_numeric:
+            codec = _NumericCodec(column, float)
+        elif attribute.type is AttributeType.BOOLEAN:
+            codec = _NumericCodec(column, lambda value: float(bool(value)))
+        else:
+            codec = _StringCodec(column)
+        self._codecs[name] = codec
+        return codec
+
+    def _string_vector(
+        self, codec: _StringCodec, target_row: int, name: str
+    ) -> np.ndarray:
+        out = np.full(len(codec.values), np.nan)
+        target = codec.values[target_row]
+        if target is None:
+            return out
+        limit = self._string_limits.get(name)
+        memo = self._string_memo.setdefault(name, {})
+        target_length = len(target)
+        hits = 0
+        for value, rows in codec.rows_by_value.items():
+            key = (target, value) if target <= value else (value, target)
+            distance = memo.get(key)
+            if distance is None:
+                if limit is None:
+                    distance = float(levenshtein(target, value))
+                    self.levenshtein_dp_calls += 1
+                elif abs(len(value) - target_length) > limit:
+                    distance = float(limit + 1)
+                    self.levenshtein_dp_blocked += 1
+                else:
+                    distance = float(
+                        levenshtein_bounded(target, value, limit)
+                    )
+                    self.levenshtein_dp_calls += 1
+                memo[key] = distance
+            else:
+                hits += 1
+            out[rows] = distance
+        if hits:
+            self._memo_hits[name] = self._memo_hits.get(name, 0) + hits
+        return out

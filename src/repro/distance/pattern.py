@@ -62,18 +62,20 @@ class DistancePattern(Mapping[str, "float | MissingType"]):
         Raises ``ValueError`` if any requested attribute is missing in the
         pattern; callers must check satisfaction first.
         """
-        names = list(names)
-        if not names:
-            raise ValueError("mean_over needs at least one attribute")
+        values = self._values
         total = 0.0
+        count = 0
         for name in names:
-            value = self._values[name]
+            value = values[name]
             if is_missing(value):
                 raise ValueError(
                     f"pattern is missing on {name!r}; cannot average"
                 )
-            total += float(value)
-        return total / len(names)
+            total += value
+            count += 1
+        if not count:
+            raise ValueError("mean_over needs at least one attribute")
+        return total / count
 
     def as_vector(self, order: Iterable[str]) -> tuple[Any, ...]:
         """The pattern as a tuple in the given attribute order, using

@@ -1,0 +1,320 @@
+"""Tests for the donor-scan engines and their kernel layer.
+
+Covers the vectorized engine's contract with the scalar reference on the
+paper's running example, the dirty-cell hook that keeps kernel vectors
+honest across tentative writes, and the length-blocking string kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.donor_scan import (
+    ScalarEngine,
+    VectorizedEngine,
+    string_clamp_limits,
+)
+from repro.core.renuver import Renuver, RenuverConfig
+from repro.core.selection import (
+    cluster_by_rhs_threshold,
+    select_rfds_for_attribute,
+)
+from repro.dataset import MISSING
+from repro.distance.kernels import DonorScanKernels
+from repro.distance.pattern import PatternCalculator
+from repro.exceptions import ImputationError
+from repro.rfd import parse_rfd
+
+
+def make_engines(relation, rfds):
+    calculator = PatternCalculator(relation)
+    return ScalarEngine(calculator), VectorizedEngine(calculator, rfds)
+
+
+class TestStringClampLimits:
+    def test_max_threshold_per_attribute(self, paper_rfds):
+        limits = string_clamp_limits(paper_rfds)
+        # Name appears with thresholds 8, 4, 8, 6 -> 8; City with 2, 9 -> 9.
+        assert limits["Name"] == 8
+        assert limits["City"] == 9
+        assert limits["Phone"] == 2
+        # RHS-only attributes are clamped too (Type <= 0 and <= 5).
+        assert limits["Type"] == 5
+
+
+class TestKernels:
+    def test_numeric_vector(self, restaurant_sample):
+        kernels = DonorScanKernels(restaurant_sample)
+        vector = kernels.vector(0, "Class")
+        assert vector.tolist() == [0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+
+    def test_string_vector_nan_for_missing(self, restaurant_sample):
+        kernels = DonorScanKernels(restaurant_sample)
+        vector = kernels.vector(0, "Phone")
+        assert np.isnan(vector[3]) and np.isnan(vector[6])
+        assert vector[0] == 0.0
+
+    def test_missing_target_gives_all_nan(self, restaurant_sample):
+        kernels = DonorScanKernels(restaurant_sample)
+        assert np.isnan(kernels.vector(3, "Phone")).all()
+
+    def test_vector_cache_hits(self, restaurant_sample):
+        kernels = DonorScanKernels(restaurant_sample)
+        first = kernels.vector(0, "Name")
+        again = kernels.vector(0, "Name")
+        assert again is first
+        assert kernels.counters["vector_cache_hits"] == 1
+        assert kernels.counters["vector_builds"] == 1
+
+    def test_length_blocking_skips_dp_and_clamps(self, restaurant_sample):
+        kernels = DonorScanKernels(
+            restaurant_sample, string_limits={"Name": 2}
+        )
+        vector = kernels.vector(0, "Name")  # "Granita" (7 chars)
+        assert kernels.counters["levenshtein_dp_blocked"] > 0
+        # "Chinos Main" is 11 chars: |11 - 7| > 2 -> stored as limit + 1
+        # without running the DP.
+        assert vector[1] == 3.0
+        # Within-limit distances stay exact: "Granita" vs itself.
+        assert vector[0] == 0.0
+
+    def test_clamped_distances_never_exceed_limit_plus_one(
+        self, restaurant_sample
+    ):
+        kernels = DonorScanKernels(
+            restaurant_sample, string_limits={"Name": 3}
+        )
+        vector = kernels.vector(2, "Name")
+        present = ~np.isnan(vector)
+        assert (vector[present] <= 4.0).all()
+
+
+class TestDirtyCellHook:
+    """The tentpole regression: remove the mutation listener and these
+    tests fail on stale vectors."""
+
+    def test_write_invalidates_and_rebuilds(self, restaurant_sample):
+        kernels = DonorScanKernels(restaurant_sample)
+        kernels.attach()
+        before = kernels.vector(4, "Phone")
+        assert before[2] > 0.0  # t3's phone differs from t5's
+        restaurant_sample.set_value(2, "Phone", "213/848-6677")
+        after = kernels.vector(4, "Phone")
+        assert after is not before
+        assert after[2] == 0.0
+        assert kernels.counters["invalidations"] == 1
+        kernels.close()
+
+    def test_rollback_to_missing_yields_nan(self, restaurant_sample):
+        """The driver's tentative write / rollback cycle: after rolling
+        the target cell back to MISSING, its vector must be all-NaN."""
+        kernels = DonorScanKernels(restaurant_sample)
+        kernels.attach()
+        restaurant_sample.set_value(3, "Phone", "213/857-0034")
+        assert kernels.vector(3, "Phone")[2] == 0.0
+        restaurant_sample.set_value(3, "Phone", MISSING)
+        assert np.isnan(kernels.vector(3, "Phone")).all()
+        kernels.close()
+
+    def test_close_detaches_listener(self, restaurant_sample):
+        kernels = DonorScanKernels(restaurant_sample)
+        kernels.attach()
+        kernels.vector(0, "Phone")
+        kernels.close()
+        restaurant_sample.set_value(0, "Phone", "000")
+        # Detached: no invalidation was recorded for the write.
+        assert kernels.counters["invalidations"] == 0
+
+    def test_attach_and_close_are_idempotent(self, restaurant_sample):
+        kernels = DonorScanKernels(restaurant_sample)
+        kernels.attach()
+        kernels.attach()
+        kernels.vector(0, "Phone")
+        restaurant_sample.set_value(1, "Phone", "111")
+        assert kernels.counters["invalidations"] == 1
+        kernels.close()
+        kernels.close()
+
+    def test_engine_verification_sees_tentative_write(
+        self, restaurant_sample, paper_rfds
+    ):
+        """End-to-end hook check through the engine: a tentative write
+        changes the faultlessness verdict, the rollback restores it."""
+        calculator = PatternCalculator(restaurant_sample)
+        engine = VectorizedEngine(calculator, paper_rfds)
+        scalar = ScalarEngine(calculator)
+        try:
+            for value in ("213/857-0034", "310-932-9025"):
+                restaurant_sample.set_value(3, "Phone", value)
+                assert engine.is_faultless(
+                    3, "Phone", paper_rfds
+                ) == scalar.is_faultless(3, "Phone", paper_rfds)
+                restaurant_sample.set_value(3, "Phone", MISSING)
+        finally:
+            engine.close()
+
+
+class TestEngineEquivalenceOnPaperExample:
+    def test_candidates_match(self, restaurant_sample, paper_rfds):
+        scalar, vectorized = make_engines(restaurant_sample, paper_rfds)
+        try:
+            for row, attribute in [
+                (3, "Phone"), (4, "Type"), (5, "City"), (6, "Phone"),
+            ]:
+                clusters = cluster_by_rhs_threshold(
+                    select_rfds_for_attribute(paper_rfds, attribute),
+                    attribute,
+                )
+                scalar_scan = scalar.cell_scan(row, attribute, clusters)
+                vector_scan = vectorized.cell_scan(row, attribute, clusters)
+                for cluster in clusters:
+                    assert scalar_scan.candidates(
+                        cluster
+                    ) == vector_scan.candidates(cluster), (row, attribute)
+        finally:
+            vectorized.close()
+
+    def test_candidates_respect_max_candidates(
+        self, restaurant_sample, paper_rfds
+    ):
+        scalar, vectorized = make_engines(restaurant_sample, paper_rfds)
+        try:
+            clusters = cluster_by_rhs_threshold(
+                select_rfds_for_attribute(paper_rfds, "Phone"), "Phone"
+            )
+            scalar_scan = scalar.cell_scan(3, "Phone", clusters)
+            vector_scan = vectorized.cell_scan(3, "Phone", clusters)
+            for cluster in clusters:
+                assert scalar_scan.candidates(
+                    cluster, max_candidates=1
+                ) == vector_scan.candidates(cluster, max_candidates=1)
+        finally:
+            vectorized.close()
+
+    def test_first_fault_matches(self, restaurant_sample, paper_rfds):
+        scalar, vectorized = make_engines(restaurant_sample, paper_rfds)
+        try:
+            restaurant_sample.set_value(3, "Phone", "310/456-0488")
+            for check_rhs in (False, True):
+                assert vectorized.first_fault(
+                    3, "Phone", paper_rfds, check_rhs_rfds=check_rhs
+                ) == scalar.first_fault(
+                    3, "Phone", paper_rfds, check_rhs_rfds=check_rhs
+                )
+        finally:
+            vectorized.close()
+
+    def test_cluster_attribute_mismatch_raises(
+        self, restaurant_sample, paper_rfds
+    ):
+        _, vectorized = make_engines(restaurant_sample, paper_rfds)
+        try:
+            clusters = cluster_by_rhs_threshold(
+                select_rfds_for_attribute(paper_rfds, "Phone"), "Phone"
+            )
+            scan = vectorized.cell_scan(5, "City", clusters)
+            with pytest.raises(ValueError):
+                scan.candidates(clusters[0])
+        finally:
+            vectorized.close()
+
+
+class TestKeynessEquivalence:
+    @pytest.mark.parametrize("scope", ["all", "complete"])
+    def test_partition_matches_scalar(
+        self, restaurant_sample, paper_rfds, scope
+    ):
+        scalar, vectorized = make_engines(restaurant_sample, paper_rfds)
+        try:
+            assert vectorized.partition_key_rfds(
+                paper_rfds, scope=scope
+            ) == scalar.partition_key_rfds(paper_rfds, scope=scope)
+        finally:
+            vectorized.close()
+
+    @pytest.mark.parametrize("scope", ["all", "complete"])
+    def test_pair_reactivates_matches_scalar(
+        self, restaurant_sample, paper_rfds, scope
+    ):
+        scalar, vectorized = make_engines(restaurant_sample, paper_rfds)
+        try:
+            for rfd in paper_rfds:
+                for row in range(restaurant_sample.n_tuples):
+                    assert vectorized.pair_reactivates(
+                        rfd, row, scope=scope
+                    ) == scalar.pair_reactivates(rfd, row, scope=scope)
+        finally:
+            vectorized.close()
+
+
+class TestEngineConfig:
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ImputationError):
+            RenuverConfig(engine="warp")
+
+    def test_scalar_engine_selectable(self, restaurant_sample, paper_rfds):
+        result = Renuver(
+            paper_rfds, RenuverConfig(engine="scalar")
+        ).impute(restaurant_sample)
+        assert result.report.kernel_counters == {}
+        assert result.report.imputed_count > 0
+
+    def test_engines_agree_on_paper_example(
+        self, restaurant_sample, paper_rfds
+    ):
+        scalar = Renuver(
+            paper_rfds, RenuverConfig(engine="scalar")
+        ).impute(restaurant_sample)
+        vectorized = Renuver(
+            paper_rfds, RenuverConfig(engine="vectorized")
+        ).impute(restaurant_sample)
+        assert scalar.report.outcomes == vectorized.report.outcomes
+        assert scalar.relation.equals(vectorized.relation)
+
+    def test_vectorized_reports_kernel_counters(
+        self, restaurant_sample, paper_rfds
+    ):
+        report = Renuver(paper_rfds).impute(restaurant_sample).report
+        counters = report.kernel_counters
+        assert counters["vector_builds"] > 0
+        assert counters["invalidations"] > 0  # tentative writes happened
+        assert "kernels" in report.summary()
+
+    def test_engine_detaches_listener_after_impute(
+        self, restaurant_sample, paper_rfds
+    ):
+        result = Renuver(paper_rfds).impute(restaurant_sample)
+        # The returned relation must carry no leftover engine hook:
+        # further writes are plain mutations.
+        assert not result.relation._listeners  # noqa: SLF001
+
+    def test_explain_matches_engine_candidates(
+        self, restaurant_sample, paper_rfds
+    ):
+        scalar = Renuver(paper_rfds, RenuverConfig(engine="scalar"))
+        vectorized = Renuver(paper_rfds, RenuverConfig(engine="vectorized"))
+        assert scalar.explain(
+            restaurant_sample, 3, "Phone"
+        ) == vectorized.explain(restaurant_sample, 3, "Phone")
+
+
+class TestOverrides:
+    def test_override_attribute_uses_generic_codec(
+        self, restaurant_sample, paper_rfds
+    ):
+        from repro.distance import jaro_winkler_function
+
+        overrides = {"Name": jaro_winkler_function()}
+        scalar = Renuver(
+            paper_rfds,
+            RenuverConfig(engine="scalar"),
+            distance_overrides=overrides,
+        ).impute(restaurant_sample)
+        vectorized = Renuver(
+            paper_rfds,
+            RenuverConfig(engine="vectorized"),
+            distance_overrides=overrides,
+        ).impute(restaurant_sample)
+        assert scalar.report.outcomes == vectorized.report.outcomes
+        assert scalar.relation.equals(vectorized.relation)

@@ -1,5 +1,7 @@
 """Tests for the Levenshtein implementations, incl. metric properties."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -93,6 +95,31 @@ class TestBounded:
         assert levenshtein_bounded("", "", 3) == 0
         assert levenshtein_bounded("", "ab", 3) == 2
         assert levenshtein_bounded("", "abcd", 3) == 4
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_clamp_property_randomized(self, seed):
+        """levenshtein_bounded(a, b, k) == min(levenshtein(a, b), k + 1)
+        on seeded random pairs — the exact contract the donor-scan
+        kernels rely on when clamping string vectors at the largest
+        threshold in play."""
+        rng = random.Random(seed)
+        alphabet = "abcXYZ 0189-/"
+
+        def sample() -> str:
+            return "".join(
+                rng.choice(alphabet) for _ in range(rng.randrange(0, 20))
+            )
+
+        pairs = [(sample(), sample()) for _ in range(200)]
+        # Force the boundary shapes in every run: empty strings, identical
+        # strings, and a length gap larger than any limit tried below.
+        pairs += [("", ""), ("", sample()), ("abc", "abc"), ("a" * 25, "a")]
+        for a, b in pairs:
+            exact = levenshtein(a, b)
+            for limit in (0, 1, 2, 3, 8, 30):
+                assert levenshtein_bounded(a, b, limit) == min(
+                    exact, limit + 1
+                ), (a, b, limit)
 
 
 class TestNormalized:
