@@ -1,0 +1,163 @@
+"""Robustness-runtime overhead benchmark: baseline vs guarded run.
+
+Times one full RENUVER run per mode on Restaurant with discovered RFDs
+and 3% injected missing values:
+
+* ``baseline`` — PR 1 behavior: no journal, no budgets;
+* ``guarded``  — the fault-tolerant runtime engaged: a JSONL journal,
+  generous run/cell time budgets (never tripped) and the mean/mode
+  fallback armed.
+
+The guarded run must produce bit-identical imputation outcomes and stay
+within the overhead target (<5% on the non-smoke scale; smoke runs on
+tiny inputs are timing noise, so the pytest entry point only asserts
+outcome equality there).  Writes ``BENCH_overhead.json`` at the
+repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from harness import TableWriter, bench_dataset, bench_rfds, scale
+from repro import Renuver, RenuverConfig, inject_missing
+from repro.dataset.relation import Relation
+from repro.rfd.rfd import RFD
+
+DEFAULT_RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_overhead.json"
+)
+DATASETS = ("restaurant",)
+THRESHOLD = 3
+RATE = 0.03
+SEED = 7
+OVERHEAD_TARGET = 0.05
+
+Loader = Callable[[str], tuple[Relation, list[RFD]]]
+
+
+def default_loader(name: str) -> tuple[Relation, list[RFD]]:
+    """Scale-aware dataset + discovered RFDs from the shared harness."""
+    return bench_dataset(name), bench_rfds(name, THRESHOLD).all_rfds
+
+
+def _guarded_config() -> RenuverConfig:
+    # Budgets generous enough to never trip: the bench measures the cost
+    # of *checking* them (plus journaling), not of degrading.
+    return RenuverConfig(
+        time_budget_seconds=3600.0,
+        cell_time_budget_seconds=600.0,
+        fallback="mean_mode",
+    )
+
+
+def run_bench(
+    datasets: Iterable[str] = DATASETS,
+    *,
+    result_path: Path = DEFAULT_RESULT_PATH,
+    repeats: int = 3,
+    loader: Loader = default_loader,
+) -> dict:
+    """Time baseline vs guarded runs and persist the JSON summary.
+
+    Timings are the minimum over ``repeats`` runs of
+    :meth:`Renuver.impute`.  Baseline and guarded runs are interleaved
+    (one of each per repeat) so clock drift and thermal effects hit both
+    modes equally; the journal is re-created per run in a temporary
+    directory so append-mode growth can't skew later repeats.
+    """
+    import tempfile
+
+    summary: dict = {
+        "bench": "overhead",
+        "scale": scale(),
+        "missing_rate": RATE,
+        "injection_seed": SEED,
+        "repeats": repeats,
+        "overhead_target": OVERHEAD_TARGET,
+        "datasets": {},
+    }
+    for name in datasets:
+        relation, rfds = loader(name)
+        dirty = inject_missing(relation, rate=RATE, seed=SEED).relation
+
+        baseline_engine = Renuver(rfds)
+        guarded_engine = Renuver(rfds, _guarded_config())
+
+        best_baseline = math.inf
+        best_guarded = math.inf
+        with tempfile.TemporaryDirectory() as tmp:
+            # Warm both paths outside the clock: the first guarded run
+            # pays one-time lazy imports (journal module) and cache fills.
+            baseline_engine.impute(dirty)
+            guarded_engine.impute(dirty, journal=Path(tmp) / "warmup.jsonl")
+            for index in range(repeats):
+                start = time.perf_counter()
+                baseline = baseline_engine.impute(dirty)
+                best_baseline = min(
+                    best_baseline, time.perf_counter() - start
+                )
+
+                journal = Path(tmp) / f"run-{index}.jsonl"
+                start = time.perf_counter()
+                guarded = guarded_engine.impute(dirty, journal=journal)
+                best_guarded = min(
+                    best_guarded, time.perf_counter() - start
+                )
+
+        identical = (
+            baseline.report.outcomes == guarded.report.outcomes
+            and baseline.relation.equals(guarded.relation)
+        )
+        overhead = best_guarded / best_baseline - 1.0
+        summary["datasets"][name] = {
+            "n_tuples": relation.n_tuples,
+            "n_rfds": len(rfds),
+            "missing_cells": baseline.report.missing_count,
+            "imputed_cells": baseline.report.imputed_count,
+            "baseline_seconds": best_baseline,
+            "guarded_seconds": best_guarded,
+            "overhead": overhead,
+            "identical_outcomes": identical,
+            "budget_events": len(guarded.report.budget_events),
+            "degradations": len(guarded.report.degradations),
+        }
+    result_path.write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+    )
+    return summary
+
+
+def test_robustness_overhead():
+    summary = run_bench()
+
+    writer = TableWriter("overhead")
+    writer.header("Fault-tolerant runtime overhead: baseline vs guarded")
+    writer.row(
+        f"{'dataset':<12}{'tuples':>8}{'cells':>7}"
+        f"{'baseline':>11}{'guarded':>11}{'overhead':>10}  identical"
+    )
+    for name, entry in summary["datasets"].items():
+        writer.row(
+            f"{name:<12}{entry['n_tuples']:>8}"
+            f"{entry['missing_cells']:>7}"
+            f"{entry['baseline_seconds'] * 1e3:>9.1f}ms"
+            f"{entry['guarded_seconds'] * 1e3:>9.1f}ms"
+            f"{entry['overhead']:>9.1%}  {entry['identical_outcomes']}"
+        )
+    writer.close()
+
+    for name, entry in summary["datasets"].items():
+        assert entry["identical_outcomes"], name
+        assert entry["missing_cells"] > 0, name
+        assert entry["budget_events"] == 0, name  # budgets never tripped
+        assert entry["degradations"] == 0, name
+        if summary["scale"] != "smoke":
+            assert entry["overhead"] < OVERHEAD_TARGET, (
+                f"{name}: {entry['overhead']:.1%}"
+            )
+    assert DEFAULT_RESULT_PATH.exists()

@@ -36,9 +36,11 @@ from repro.baselines import (
     fd_as_dc,
 )
 from repro.core import (
+    BudgetEvent,
     Candidate,
     CellOutcome,
     Cluster,
+    Degradation,
     ImputationReport,
     ImputationResult,
     OutcomeStatus,
@@ -82,7 +84,7 @@ from repro.evaluation import (
     save_rule_file,
     score_imputation,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import BudgetExceededError, ReproError
 from repro.extensions import (
     ImputationSession,
     MultiSourceRenuver,
@@ -99,6 +101,14 @@ from repro.rfd import (
     parse_rfd,
     save_rfds,
 )
+from repro.robustness import (
+    ChaosConfig,
+    ChaosInjector,
+    ChaosKill,
+    JournalWriter,
+    load_journal,
+    replay_journal,
+)
 
 __version__ = "1.0.0"
 
@@ -107,11 +117,17 @@ __all__ = [
     "Attribute",
     "AttributeType",
     "BaseImputer",
+    "BudgetEvent",
+    "BudgetExceededError",
     "Candidate",
     "CellOutcome",
+    "ChaosConfig",
+    "ChaosInjector",
+    "ChaosKill",
     "Cluster",
     "Constraint",
     "DatasetValidator",
+    "Degradation",
     "DeltaRule",
     "DenialConstraint",
     "DerandImputer",
@@ -125,6 +141,7 @@ __all__ = [
     "ImputationResult",
     "ImputationSession",
     "InjectionResult",
+    "JournalWriter",
     "MeanModeImputer",
     "MultiSourceRenuver",
     "OutcomeStatus",
@@ -151,12 +168,14 @@ __all__ = [
     "is_missing",
     "levenshtein",
     "load_dataset",
+    "load_journal",
     "load_rfds",
     "load_rule_file",
     "make_rfd",
     "parse_rfd",
     "read_csv",
     "read_csv_text",
+    "replay_journal",
     "run_experiment",
     "save_rfds",
     "save_rule_file",

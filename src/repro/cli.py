@@ -36,8 +36,47 @@ from repro.evaluation import (
     load_rule_file,
     score_imputation,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    BudgetExceededError,
+    DataError,
+    DiscoveryError,
+    EvaluationError,
+    ImputationError,
+    InjectedFaultError,
+    JournalError,
+    ReproError,
+    RFDParseError,
+    RFDValidationError,
+    RuleFileError,
+    SchemaError,
+)
 from repro.rfd import load_rfds, save_rfds
+
+#: The CLI error contract: each error family maps to a distinct nonzero
+#: exit code so scripts can branch on *why* a run failed.  Checked in
+#: order, most specific first (RuleFileError before its EvaluationError
+#: parent; CSVFormatError is covered by DataError).
+_EXIT_CODES: tuple[tuple[type, int], ...] = (
+    (BudgetExceededError, 3),   # budget exhausted (partial results kept)
+    (DataError, 4),             # bad input data (incl. CSVFormatError)
+    (SchemaError, 4),
+    (RFDParseError, 5),         # bad rule/journal artifacts
+    (RFDValidationError, 5),
+    (RuleFileError, 5),
+    (JournalError, 5),
+    (DiscoveryError, 6),        # algorithm-stage failures
+    (ImputationError, 6),
+    (EvaluationError, 6),
+    (InjectedFaultError, 6),
+)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The exit code the CLI uses for ``exc`` (1 for plain ReproError)."""
+    for family, code in _EXIT_CODES:
+        if isinstance(exc, family):
+            return code
+    return 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -50,9 +89,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return args.handler(args)
     except ReproError as exc:
+        if args.debug:
+            raise
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
     except FileNotFoundError as exc:
+        if args.debug:
+            raise
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -62,6 +105,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="RENUVER: RFD-based missing value imputation "
                     "(EDBT 2022 reproduction)",
+    )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="show full tracebacks instead of one-line errors",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -102,6 +149,37 @@ def _build_parser() -> argparse.ArgumentParser:
     impute.add_argument(
         "--report", action="store_true",
         help="print per-cell provenance to stderr",
+    )
+    impute.add_argument(
+        "--engine", choices=("vectorized", "scalar"),
+        default="vectorized", help="donor-scan engine",
+    )
+    impute.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="run wall-clock budget (exit 3 when exceeded)",
+    )
+    impute.add_argument(
+        "--cell-budget", type=float, default=None, metavar="SECONDS",
+        help="per-cell deadline (overruns degrade, not abort)",
+    )
+    impute.add_argument(
+        "--fallback", choices=("raise", "skip", "mean_mode"),
+        default="skip",
+        help="last resort for a failed cell (default: skip)",
+    )
+    impute.add_argument(
+        "--on-budget", choices=("raise", "partial"), default="raise",
+        help="run-budget overrun: abort with exit 3, or keep the "
+             "partial result and exit 0",
+    )
+    impute.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append a JSONL checkpoint journal as the run progresses",
+    )
+    impute.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="replay a journal from a killed run and continue "
+             "(implies --journal PATH)",
     )
     impute.set_defaults(handler=_cmd_impute)
 
@@ -175,9 +253,27 @@ def _cmd_impute(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv)
     rfds = load_rfds(args.rfds)
     engine = Renuver(
-        rfds, RenuverConfig(verify=not args.no_verify)
+        rfds,
+        RenuverConfig(
+            verify=not args.no_verify,
+            engine=args.engine,
+            time_budget_seconds=args.budget,
+            cell_time_budget_seconds=args.cell_budget,
+            fallback=args.fallback,
+            on_budget=args.on_budget,
+        ),
     )
-    result = engine.impute(relation)
+    try:
+        result = engine.impute(
+            relation, journal=args.journal, resume_from=args.resume
+        )
+    except BudgetExceededError as exc:
+        # Preserve whatever the run managed before the budget tripped,
+        # then surface the error (exit 3 via the error contract).
+        if exc.partial_result is not None and args.out:
+            write_csv(exc.partial_result.relation, args.out)
+            print(f"wrote partial result to {args.out}", file=sys.stderr)
+        raise
     print(result.report.summary(), file=sys.stderr)
     if args.report:
         for outcome in result.report:

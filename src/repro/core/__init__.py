@@ -11,7 +11,13 @@ from repro.core.renuver import (
     Renuver,
     RenuverConfig,
 )
-from repro.core.report import CellOutcome, ImputationReport, OutcomeStatus
+from repro.core.report import (
+    BudgetEvent,
+    CellOutcome,
+    Degradation,
+    ImputationReport,
+    OutcomeStatus,
+)
 from repro.core.selection import (
     Cluster,
     build_cluster_plan,
@@ -21,9 +27,11 @@ from repro.core.selection import (
 from repro.core.verification import first_fault, is_faultless, relevant_rfds
 
 __all__ = [
+    "BudgetEvent",
     "Candidate",
     "CellOutcome",
     "Cluster",
+    "Degradation",
     "ImputationReport",
     "ImputationResult",
     "OutcomeStatus",

@@ -68,12 +68,42 @@ def string_clamp_limits(rfds: Iterable[RFD]) -> dict[str, float]:
     return limits
 
 
-class ScalarEngine:
+class KernelCallSeam:
+    """Observable entry points of a donor-scan engine.
+
+    Both engines announce every top-level kernel operation
+    (``cell_scan``, ``is_faultless``, ``first_fault``,
+    ``partition_key_rfds``, ``pair_reactivates``) to a list of hooks.
+    The fault-tolerant runtime registers a budget watchdog here, and the
+    chaos harness registers deterministic fault injectors — the seam
+    that lets recovery paths be *tested* instead of trusted.
+
+    A hook receives ``(op, target_row, attribute)`` and may raise; the
+    exception propagates to the driver exactly like a kernel failure
+    would.
+    """
+
+    def __init__(self) -> None:
+        self._kernel_hooks: list[Callable[[str, int, str], None]] = []
+
+    def add_kernel_hook(
+        self, hook: Callable[[str, int, str], None]
+    ) -> None:
+        """Register a hook fired at every kernel-call entry."""
+        self._kernel_hooks.append(hook)
+
+    def _fire(self, op: str, target_row: int, attribute: str) -> None:
+        for hook in self._kernel_hooks:
+            hook(op, target_row, attribute)
+
+
+class ScalarEngine(KernelCallSeam):
     """Reference donor-scan engine: the paper's pair-at-a-time loops."""
 
     name = "scalar"
 
     def __init__(self, calculator: PatternCalculator) -> None:
+        super().__init__()
         self.calculator = calculator
 
     def cell_scan(
@@ -89,6 +119,7 @@ class ScalarEngine:
         construction never appears in these LHS attribute sets, so the
         memo stays valid for the whole cell.
         """
+        self._fire("cell_scan", target_row, attribute)
         union: tuple[str, ...] = tuple(
             sorted({
                 name for cluster in clusters for name in cluster.lhs_union
@@ -114,6 +145,7 @@ class ScalarEngine:
         *,
         check_rhs_rfds: bool = False,
     ) -> bool:
+        self._fire("is_faultless", target_row, attribute)
         return _scalar_is_faultless(
             self.calculator,
             target_row,
@@ -130,6 +162,7 @@ class ScalarEngine:
         *,
         check_rhs_rfds: bool = False,
     ) -> Violation | None:
+        self._fire("first_fault", target_row, attribute)
         return _scalar_first_fault(
             self.calculator,
             target_row,
@@ -142,6 +175,7 @@ class ScalarEngine:
         self, rfds: Iterable[RFD], *, scope: str = "all"
     ) -> tuple[list[RFD], list[RFD]]:
         """Definition 3.4 split, via the scalar all-pairs scan."""
+        self._fire("partition_key_rfds", -1, "")
         return _scalar_partition_key_rfds(
             rfds, self.calculator, scope=scope
         )
@@ -150,6 +184,7 @@ class ScalarEngine:
         self, rfd: RFD, target_row: int, *, scope: str = "all"
     ) -> bool:
         """Algorithm 1 line 14's incremental re-check, pair-at-a-time."""
+        self._fire("pair_reactivates", target_row, rfd.rhs_attribute)
         return _scalar_pair_reactivates(
             rfd, self.calculator, target_row, scope=scope
         )
@@ -194,7 +229,7 @@ class _ScalarCellScan:
         )
 
 
-class VectorizedEngine:
+class VectorizedEngine(KernelCallSeam):
     """Columnar donor-scan engine over one-vs-all distance vectors."""
 
     name = "vectorized"
@@ -206,6 +241,7 @@ class VectorizedEngine:
         *,
         override_names: Iterable[str] = (),
     ) -> None:
+        super().__init__()
         self.calculator = calculator
         overrides = {
             name: calculator.function_for(name)
@@ -234,6 +270,7 @@ class VectorizedEngine:
         of the cell's imputation; the cache is cleared here so memory
         stays bounded by one target row's vectors.
         """
+        self._fire("cell_scan", target_row, attribute)
         self.kernels.clear_target_vectors()
         return _VectorizedCellScan(self, target_row, attribute)
 
@@ -248,6 +285,7 @@ class VectorizedEngine:
         *,
         check_rhs_rfds: bool = False,
     ) -> bool:
+        self._fire("is_faultless", target_row, attribute)
         relevant = relevant_rfds(
             rfds, attribute, check_rhs_rfds=check_rhs_rfds
         )
@@ -275,6 +313,7 @@ class VectorizedEngine:
     ) -> Violation | None:
         """Exact Algorithm 4 semantics: the violation with the smallest
         partner row, ties broken by relevant-RFD order."""
+        self._fire("first_fault", target_row, attribute)
         relevant = relevant_rfds(
             rfds, attribute, check_rhs_rfds=check_rhs_rfds
         )
@@ -331,6 +370,7 @@ class VectorizedEngine:
         whole LHS (the same pair predicate as the scalar scan, so the
         partition is identical).
         """
+        self._fire("partition_key_rfds", -1, "")
         _check_scope(scope)
         rfds = list(rfds)
         kernels = self.kernels
@@ -361,6 +401,7 @@ class VectorizedEngine:
         self, rfd: RFD, target_row: int, *, scope: str = "all"
     ) -> bool:
         """Algorithm 1 line 14's incremental re-check over one mask."""
+        self._fire("pair_reactivates", target_row, rfd.rhs_attribute)
         _check_scope(scope)
         in_scope = self._scope_mask(scope)
         if in_scope is not None and not in_scope[target_row]:

@@ -15,21 +15,58 @@ After every successful imputation the key/non-key split is re-evaluated
 (line 14): a fresh value can create the first LHS-matching pair of a key
 RFD, turning it usable (Example 5.1).  Only pairs involving the imputed
 tuple can do that, so the re-check is incremental.
+
+Fault-tolerant runtime
+----------------------
+The driver wraps steps (b)+(c) in a recovery layer (see
+``docs/ROBUSTNESS.md``):
+
+* **Budgets** — per-run wall-clock/memory limits (the paper's 48 h /
+  30 GB stress contract) checked at every cell and, through the
+  engines' kernel-call seam, inside the donor scans; plus an optional
+  per-cell deadline.  Run-scope overruns either raise
+  :class:`~repro.exceptions.BudgetExceededError` with the partial
+  result attached, or (``on_budget="partial"``) settle the remaining
+  cells as skipped and return normally.
+* **Fault isolation + degradation ladder** — an exception escaping one
+  cell's imputation never aborts the run: the cell's tentative write is
+  rolled back and the cell retries on the scalar reference engine, then
+  falls back to a mean/mode fill (``fallback="mean_mode"``) or is
+  recorded as skipped.  Every downgrade lands in the report's
+  ``degradations`` so results stay auditable.
+* **Checkpoint/resume** — ``journal=`` appends a JSONL record per
+  settled cell; ``resume_from=`` replays such a journal onto the same
+  dirty relation and continues where the run died.
+* **Chaos seam** — ``chaos=`` accepts a
+  :class:`~repro.robustness.chaos.ChaosInjector` whose deterministic
+  fault injectors exercise all of the above in tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Iterable, Mapping
 
-from repro.dataset.missing import MISSING
+from repro.dataset.attribute import AttributeType
+from repro.dataset.missing import MISSING, is_missing
 from repro.dataset.relation import Relation
 from repro.distance.base import DistanceFunction
 from repro.distance.pattern import PatternCalculator
-from repro.exceptions import ImputationError
+from repro.exceptions import (
+    BudgetExceededError,
+    DataError,
+    ImputationError,
+)
 from repro.core.candidates import Candidate
 from repro.core.donor_scan import ScalarEngine, VectorizedEngine
-from repro.core.report import CellOutcome, ImputationReport, OutcomeStatus
+from repro.core.report import (
+    BudgetEvent,
+    CellOutcome,
+    Degradation,
+    ImputationReport,
+    OutcomeStatus,
+)
 from repro.core.selection import (
     Cluster,
     cluster_by_rhs_threshold,
@@ -80,6 +117,21 @@ class RenuverConfig:
     time_budget_seconds / memory_budget_bytes:
         Abort with :class:`~repro.exceptions.BudgetExceededError` when
         exceeded — the paper's 48 h / 30 GB stress-test limits.
+    cell_time_budget_seconds:
+        Per-cell deadline.  A cell that overruns it is downgraded to the
+        last-resort tier (and the trip recorded in the report's
+        ``budget_events``) instead of ending the run.
+    fallback:
+        Last rung of the degradation ladder when a cell's imputation
+        fails: ``"skip"`` (default; record the cell as skipped),
+        ``"mean_mode"`` (fill with the column mean/mode, recorded as a
+        DEGRADED outcome), or ``"raise"`` (disable fault isolation —
+        the pre-robustness behavior, useful when debugging kernels).
+    on_budget:
+        What a *run-scope* budget overrun does: ``"raise"`` (default;
+        raise BudgetExceededError with the partial result attached) or
+        ``"partial"`` (settle every remaining cell as skipped and
+        return the partial result normally).
     """
 
     cluster_order: str = "ascending"
@@ -93,6 +145,9 @@ class RenuverConfig:
     track_memory: bool = False
     time_budget_seconds: float | None = None
     memory_budget_bytes: int | None = None
+    cell_time_budget_seconds: float | None = None
+    fallback: str = "skip"
+    on_budget: str = "raise"
 
     def __post_init__(self) -> None:
         if self.cluster_order not in ("ascending", "descending"):
@@ -112,6 +167,21 @@ class RenuverConfig:
             )
         if self.max_candidates is not None and self.max_candidates < 1:
             raise ImputationError("max_candidates must be >= 1 when given")
+        if self.fallback not in ("raise", "skip", "mean_mode"):
+            raise ImputationError(
+                f"fallback must be 'raise', 'skip' or 'mean_mode', "
+                f"got {self.fallback!r}"
+            )
+        if self.on_budget not in ("raise", "partial"):
+            raise ImputationError(
+                f"on_budget must be 'raise' or 'partial', "
+                f"got {self.on_budget!r}"
+            )
+        if (self.cell_time_budget_seconds is not None
+                and self.cell_time_budget_seconds <= 0):
+            raise ImputationError(
+                "cell_time_budget_seconds must be positive when given"
+            )
 
 
 @dataclass
@@ -136,6 +206,14 @@ class _RunState:
     explanations: dict[tuple[int, str], list[Candidate]] = field(
         default_factory=dict
     )
+    #: Journal writer, when the run is journaled.
+    writer: object | None = None
+    #: Cells already settled (by a replayed journal).
+    done: set[tuple[int, str]] = field(default_factory=set)
+    #: Chaos injector, when fault injection is active.
+    chaos: object | None = None
+    #: Lazily built scalar engine for the degradation ladder.
+    scalar_retry: ScalarEngine | None = None
 
 
 class Renuver:
@@ -176,19 +254,55 @@ class Renuver:
     # Public API
     # ------------------------------------------------------------------
     def impute(
-        self, relation: Relation, *, inplace: bool = False
+        self,
+        relation: Relation,
+        *,
+        inplace: bool = False,
+        journal: str | Path | None = None,
+        resume_from: str | Path | None = None,
+        chaos: object | None = None,
     ) -> ImputationResult:
         """Impute every missing value of ``relation`` (Algorithm 1).
 
         Returns an :class:`ImputationResult` whose relation is a copy
         unless ``inplace`` is true.  Cells for which no semantically
         consistent candidate exists are left missing, per Section 4.
+
+        ``journal`` appends a JSONL record per settled cell so a killed
+        run can be resumed; ``resume_from`` replays such a journal onto
+        ``relation`` (which must be the same dirty instance the
+        journaled run started from) and continues where it died —
+        passing only ``resume_from`` keeps journaling into the same
+        file.  ``chaos`` accepts a
+        :class:`~repro.robustness.chaos.ChaosInjector` for deterministic
+        fault injection.
         """
         self._validate_schema(relation)
         working = relation if inplace else relation.copy()
-        timer = Timer(self.config.time_budget_seconds)
+
+        replayed: list[CellOutcome] = []
+        if resume_from is not None:
+            from repro.robustness.journal import replay_journal
+
+            replayed = replay_journal(resume_from, working)
+            if journal is None:
+                journal = resume_from
+        writer = None
+        if journal is not None:
+            from repro.robustness.journal import JournalWriter
+
+            writer = JournalWriter(journal)
+            writer.write_header(working, engine=self.config.engine)
+
+        clock = getattr(chaos, "clock", None)
+        timer = Timer(
+            self.config.time_budget_seconds, scope="run", clock=clock
+        )
         timer.start()
 
+        if chaos is not None:
+            chaos.corrupt(working)
+            working.add_mutation_listener(chaos.listener)
         if self.config.track_memory:
             memory = MemoryTracker(self.config.memory_budget_bytes)
             memory.__enter__()
@@ -196,13 +310,32 @@ class Renuver:
             memory = None
         state: _RunState | None = None
         try:
-            state = self._preprocess(working, timer, memory)
+            state = self._preprocess(working, timer, memory, chaos)
+            state.writer = writer
+            state.chaos = chaos
+            for outcome in replayed:
+                state.done.add((outcome.row, outcome.attribute))
+                state.report.add(outcome)
+            state.report.replayed_count = len(replayed)
             self._impute_all(state)
+            if writer is not None:
+                writer.record_end()
+        except BudgetExceededError as exc:
+            partial = self._settle_budget_overrun(
+                exc, working, timer, replayed, state, writer
+            )
+            if partial is not None:
+                return partial
+            raise
         finally:
             if state is not None:
                 state.engine.close()
             if memory is not None:
                 memory.__exit__(None, None, None)
+            if chaos is not None:
+                working.remove_mutation_listener(chaos.listener)
+            if writer is not None:
+                writer.close()
         state.report.elapsed_seconds = timer.stop()
         state.report.kernel_counters = state.engine.counters()
         if memory is not None:
@@ -252,13 +385,27 @@ class Renuver:
         working: Relation,
         timer: Timer,
         memory: MemoryTracker | None,
+        chaos: object | None = None,
     ) -> _RunState:
         """Step (a): split keys from usable RFDs, set up shared state."""
         calculator = self._make_calculator(working)
         engine = self._make_engine(calculator)
-        key_rfds, active_rfds = engine.partition_key_rfds(
-            self.rfds, scope=self.config.keyness_scope
-        )
+        self._attach_runtime_hooks(engine, timer, chaos)
+        # The keyness partition runs before any cell, so the per-cell
+        # ladder cannot shield it; retry transient faults a few times
+        # (injected or real) before giving up.
+        attempts = 1 if self.config.fallback == "raise" else 5
+        for attempt in range(1, attempts + 1):
+            try:
+                key_rfds, active_rfds = engine.partition_key_rfds(
+                    self.rfds, scope=self.config.keyness_scope
+                )
+                break
+            except BudgetExceededError:
+                raise
+            except Exception:  # noqa: BLE001 - bounded retry
+                if attempt == attempts:
+                    raise
         report = ImputationReport(key_rfds_initial=len(key_rfds))
         return _RunState(
             calculator=calculator,
@@ -270,23 +417,131 @@ class Renuver:
             memory=memory,
         )
 
+    def _attach_runtime_hooks(
+        self,
+        engine: ScalarEngine | VectorizedEngine,
+        timer: Timer,
+        chaos: object | None,
+    ) -> None:
+        """Budget watchdog + chaos injector on the kernel-call seam."""
+        if timer.budget_seconds is not None:
+            def check_run_budget(op: str, row: int, attribute: str) -> None:
+                if timer.expired:  # format the context only when tripping
+                    timer.check_budget(f"donor-scan {op}")
+
+            engine.add_kernel_hook(check_run_budget)
+        kernel_hook = getattr(chaos, "kernel_hook", None)
+        if kernel_hook is not None:
+            engine.add_kernel_hook(kernel_hook)
+
     def _impute_all(self, state: _RunState) -> None:
-        """Steps (b) + (c) over every missing cell, in tuple order."""
+        """Steps (b) + (c) over every missing cell, in tuple order.
+
+        Each cell runs under the fault-isolation ladder; run-scope
+        budget overruns either settle the remaining cells as skipped
+        (``on_budget="partial"``) or propagate after being recorded.
+        """
         relation = state.calculator.relation
-        for row in relation.incomplete_rows():
-            for attribute in relation.row(row).missing_attributes():
+        cells = [
+            (row, attribute)
+            for row in relation.incomplete_rows()
+            for attribute in relation.row(row).missing_attributes()
+        ]
+        for row, attribute in cells:
+            if (row, attribute) in state.done:
+                continue
+            try:
                 state.timer.check_budget("RENUVER imputation")
                 if state.memory is not None:
                     state.memory.check_budget("RENUVER imputation")
-                outcome = self._impute_cell(state, row, attribute)
-                state.report.add(outcome)
-                if outcome.imputed and self.config.recheck_keys:
-                    self._reactivate_keys(state, row, attribute)
+                if state.chaos is not None:
+                    state.chaos.on_cell_start(row, attribute)
+                outcome = self._impute_cell_guarded(state, row, attribute)
+            except BudgetExceededError as exc:
+                # Record with cell context, then let impute() settle the
+                # run (partial result or raise, per on_budget).
+                self._record_budget_event(state, exc, row, attribute)
+                raise
+            state.report.add(outcome)
+            if state.writer is not None:
+                state.writer.record_cell(outcome)
+            if outcome.filled and self.config.recheck_keys:
+                self._reactivate_keys(state, row, attribute)
 
-    def _impute_cell(
+    def _impute_cell_guarded(
         self, state: _RunState, row: int, attribute: str
     ) -> CellOutcome:
+        """One cell under the degradation ladder.
+
+        Tier 0 is the configured engine; a fault retries on the scalar
+        reference engine (tier 1, when tier 0 was vectorized); whatever
+        remains goes to the last resort (``fallback``).  Per-cell
+        deadline overruns jump straight to the last resort — the scalar
+        engine would only overrun again.  Run-scope budget errors and
+        ``BaseException`` (kill switch, Ctrl-C) propagate.
+        """
+        config = self.config
+        tiers: list[tuple[str, ScalarEngine | VectorizedEngine]] = [
+            (config.engine, state.engine)
+        ]
+        if config.fallback != "raise" and config.engine == "vectorized":
+            tiers.append(("scalar", self._scalar_retry_engine(state)))
+        last_reason = "degradation ladder exhausted"
+        for tier_index, (tier_name, engine) in enumerate(tiers):
+            cell_timer = None
+            if config.cell_time_budget_seconds is not None:
+                cell_timer = Timer(
+                    config.cell_time_budget_seconds,
+                    scope="cell",
+                    clock=getattr(state.chaos, "clock", None),
+                )
+                cell_timer.start()
+            try:
+                outcome = self._impute_cell(
+                    state, row, attribute,
+                    engine=engine, cell_timer=cell_timer,
+                )
+            except BudgetExceededError as exc:
+                self._restore_cell(state, row, attribute)
+                if exc.scope != "cell" or config.fallback == "raise":
+                    raise
+                self._record_budget_event(state, exc, row, attribute)
+                last_reason = f"cell deadline: {exc}"
+                state.report.degradations.append(Degradation(
+                    row, attribute, tier_name,
+                    self._last_tier_name(), last_reason,
+                ))
+                break
+            except Exception as exc:  # noqa: BLE001 - fault isolation
+                self._restore_cell(state, row, attribute)
+                if config.fallback == "raise":
+                    raise
+                last_reason = f"{type(exc).__name__}: {exc}"
+                next_tier = (
+                    tiers[tier_index + 1][0]
+                    if tier_index + 1 < len(tiers)
+                    else self._last_tier_name()
+                )
+                state.report.degradations.append(Degradation(
+                    row, attribute, tier_name, next_tier, last_reason,
+                ))
+                continue
+            if tier_index > 0:
+                outcome = replace(outcome, engine_tier=tier_name)
+            return outcome
+        return self._last_resort(state, row, attribute, last_reason)
+
+    def _impute_cell(
+        self,
+        state: _RunState,
+        row: int,
+        attribute: str,
+        *,
+        engine: ScalarEngine | VectorizedEngine | None = None,
+        cell_timer: Timer | None = None,
+    ) -> CellOutcome:
         """Algorithm 2 for one missing value."""
+        engine = engine or state.engine
         selected = select_rfds_for_attribute(state.active_rfds, attribute)
         if not selected:
             return CellOutcome(row, attribute, OutcomeStatus.NO_RFDS)
@@ -295,16 +550,22 @@ class Renuver:
         )
         tried_total = 0
         saw_candidates = False
+        cell_context = (
+            f"cell ({row}, {attribute})" if cell_timer is not None else ""
+        )
         for cluster, candidates in self._scan_clusters(
-            state.engine, row, attribute, clusters
+            engine, row, attribute, clusters
         ):
             if not candidates:
                 continue
             saw_candidates = True
             for candidate in candidates:
+                if cell_timer is not None:
+                    cell_timer.check_budget(cell_context)
+                state.timer.check_budget("RENUVER imputation")
                 tried_total += 1
                 accepted = self._try_candidate(
-                    state, row, attribute, candidate
+                    state, row, attribute, candidate, engine=engine
                 )
                 if accepted:
                     return CellOutcome(
@@ -333,6 +594,8 @@ class Renuver:
         row: int,
         attribute: str,
         candidate: Candidate,
+        *,
+        engine: ScalarEngine | VectorizedEngine | None = None,
     ) -> bool:
         """Write the candidate value, verify, roll back on fault.
 
@@ -341,11 +604,12 @@ class Renuver:
         engine's cached kernel vectors for ``attribute`` — verification
         always sees the written value, never a stale vector.
         """
+        engine = engine or state.engine
         relation = state.calculator.relation
         relation.set_value(row, attribute, candidate.value)
         if not self.config.verify:
             return True
-        if state.engine.is_faultless(
+        if engine.is_faultless(
             row,
             attribute,
             state.active_rfds,
@@ -354,6 +618,168 @@ class Renuver:
             return True
         relation.set_value(row, attribute, MISSING)
         return False
+
+    # ------------------------------------------------------------------
+    # Fault-tolerance helpers
+    # ------------------------------------------------------------------
+    def _restore_cell(
+        self, state: _RunState, row: int, attribute: str
+    ) -> None:
+        """Re-blank a cell a failed tier may have left tentatively set.
+
+        ``set_value`` applies the write and invalidates caches before
+        surfacing listener failures, so a ``DataError`` here (e.g. an
+        injected listener fault) still leaves the cell restored.
+        """
+        relation = state.calculator.relation
+        if relation.is_missing_cell(row, attribute):
+            return
+        try:
+            relation.set_value(row, attribute, MISSING)
+        except DataError:
+            pass
+
+    def _scalar_retry_engine(self, state: _RunState) -> ScalarEngine:
+        """The ladder's tier-1 engine, built once per run on demand.
+
+        Shares the run's calculator (and therefore the relation), and
+        carries the same kernel hooks as the primary engine so budget
+        checks and chaos faults apply to the retry tier too.
+        """
+        if state.scalar_retry is None:
+            engine = ScalarEngine(state.calculator)
+            self._attach_runtime_hooks(engine, state.timer, state.chaos)
+            state.scalar_retry = engine
+        return state.scalar_retry
+
+    def _last_tier_name(self) -> str:
+        return "mean_mode" if self.config.fallback == "mean_mode" else "skip"
+
+    def _last_resort(
+        self,
+        state: _RunState,
+        row: int,
+        attribute: str,
+        reason: str,
+    ) -> CellOutcome:
+        """Bottom of the ladder: mean/mode fill or an audited skip."""
+        if self.config.fallback == "mean_mode":
+            value = self._fallback_fill_value(
+                state.calculator.relation, attribute
+            )
+            if value is not None:
+                relation = state.calculator.relation
+                try:
+                    relation.set_value(row, attribute, value)
+                except DataError:
+                    pass  # write applied; listener failure already audited
+                return CellOutcome(
+                    row,
+                    attribute,
+                    OutcomeStatus.DEGRADED,
+                    value=relation.value(row, attribute),
+                    engine_tier="mean_mode",
+                    reason=reason,
+                )
+            reason = f"{reason}; no present values for mean/mode fallback"
+        return CellOutcome(
+            row, attribute, OutcomeStatus.SKIPPED, reason=reason
+        )
+
+    @staticmethod
+    def _fallback_fill_value(
+        relation: Relation, attribute: str
+    ) -> object | None:
+        """Column mean (numeric) or mode (otherwise), as in
+        :class:`~repro.baselines.mean_mode.MeanModeImputer`."""
+        from repro.baselines.mean_mode import _mode
+
+        values = [
+            value
+            for value in relation.column(attribute)
+            if not is_missing(value)
+        ]
+        if not values:
+            return None
+        kind = relation.attribute(attribute).type
+        if kind is AttributeType.FLOAT:
+            return sum(values) / len(values)
+        if kind is AttributeType.INTEGER:
+            return round(sum(values) / len(values))
+        return _mode(values)
+
+    def _record_budget_event(
+        self,
+        state: _RunState,
+        exc: BudgetExceededError,
+        row: int,
+        attribute: str,
+    ) -> None:
+        event = BudgetEvent(
+            scope=exc.scope,
+            kind=exc.kind,
+            context=str(exc),
+            elapsed_seconds=exc.elapsed_seconds,
+            peak_bytes=exc.peak_bytes,
+            row=row,
+            attribute=attribute,
+        )
+        state.report.budget_events.append(event)
+        if state.writer is not None:
+            state.writer.record_budget(event)
+
+    def _settle_budget_overrun(
+        self,
+        exc: BudgetExceededError,
+        working: Relation,
+        timer: Timer,
+        replayed: list[CellOutcome],
+        state: _RunState | None,
+        writer: object | None,
+    ) -> ImputationResult | None:
+        """Finalize a run a budget overrun is ending.
+
+        Returns the partial result when ``on_budget="partial"`` applies
+        (the caller returns it normally); otherwise attaches the partial
+        result to ``exc`` and returns None (the caller re-raises).  The
+        overrun may have hit before preprocessing finished (``state`` is
+        None) — the partial report then holds only replayed outcomes.
+
+        Cells settled here are *not* journaled: a resumed run should
+        retry them, not inherit the exhausted budget's verdict.
+        """
+        if state is not None:
+            report = state.report
+            report.kernel_counters = state.engine.counters()
+        else:
+            report = ImputationReport()
+            for outcome in replayed:
+                report.add(outcome)
+            report.replayed_count = len(replayed)
+            event = BudgetEvent(
+                scope=exc.scope,
+                kind=exc.kind,
+                context=str(exc),
+                elapsed_seconds=exc.elapsed_seconds,
+                peak_bytes=exc.peak_bytes,
+            )
+            report.budget_events.append(event)
+            if writer is not None:
+                writer.record_budget(event)
+        report.elapsed_seconds = timer.elapsed
+        if self.config.on_budget == "partial" and exc.scope == "run":
+            settled = {(o.row, o.attribute) for o in report}
+            reason = f"run budget exhausted ({exc.kind})"
+            for row in working.incomplete_rows():
+                for attribute in working.row(row).missing_attributes():
+                    if (row, attribute) not in settled:
+                        report.add(CellOutcome(
+                            row, attribute, OutcomeStatus.SKIPPED,
+                            reason=reason,
+                        ))
+            return ImputationResult(working, report)
+        exc.partial_result = ImputationResult(working, report)
+        return None
 
     def _reactivate_keys(
         self, state: _RunState, row: int, attribute: str
@@ -376,7 +802,24 @@ class Renuver:
             if scope == "all" and not rfd.has_lhs_attribute(attribute):
                 still_key.append(rfd)
                 continue
-            if state.engine.pair_reactivates(rfd, row, scope=scope):
+            try:
+                reactivates = state.engine.pair_reactivates(
+                    rfd, row, scope=scope
+                )
+            except BudgetExceededError:
+                raise  # run is over; key_rfds left as-is is safe
+            except Exception as exc:  # noqa: BLE001 - fault isolation
+                if self.config.fallback == "raise":
+                    raise
+                # Conservative: keep the RFD keyed; the next imputation
+                # re-checks it.  Auditable via the degradation trail.
+                still_key.append(rfd)
+                state.report.degradations.append(Degradation(
+                    row, attribute, "key-recheck", "deferred",
+                    f"{type(exc).__name__}: {exc}",
+                ))
+                continue
+            if reactivates:
                 state.active_rfds.append(rfd)
                 state.report.key_rfds_reactivated += 1
             else:

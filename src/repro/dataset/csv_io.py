@@ -3,6 +3,13 @@
 Empty cells and a configurable set of null literals (``_``, ``NA`` …) map
 to :data:`~repro.dataset.missing.MISSING`; attribute types are inferred
 from the remaining values unless declared explicitly.
+
+Malformed input — ragged rows, duplicate or blank headers, undecodable
+bytes, embedded NULs — raises :class:`~repro.exceptions.CSVFormatError`
+with 1-based row/column locations rather than leaking ``IndexError`` or
+``UnicodeDecodeError`` from the parsing internals.  Writes go through a
+write-temp-then-rename so a crash mid-write never leaves a truncated
+file at the target path.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from repro.dataset.attribute import Attribute, AttributeType, infer_type
 from repro.dataset.missing import MISSING, is_missing
 from repro.dataset.relation import Relation
 from repro.exceptions import CSVFormatError
+from repro.utils.atomic import atomic_write_text
 
 DEFAULT_NULL_LITERALS = frozenset({"", "_", "?", "na", "n/a", "null", "none"})
 
@@ -66,14 +74,16 @@ def write_csv(
     delimiter: str = ",",
 ) -> None:
     """Write a relation to a CSV file, rendering missing cells as
-    ``null_literal``."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8", newline="") as handle:
-        handle.write(
-            to_csv_text(
-                relation, null_literal=null_literal, delimiter=delimiter
-            )
-        )
+    ``null_literal``.
+
+    The write is atomic (temp file + rename): a run killed mid-write
+    leaves either the previous file or the complete new one.
+    """
+    atomic_write_text(
+        Path(path),
+        to_csv_text(relation, null_literal=null_literal,
+                    delimiter=delimiter),
+    )
 
 
 def to_csv_text(
@@ -104,31 +114,48 @@ def _parse(
 ) -> Relation:
     nulls = {literal.lower() for literal in null_literals}
     reader = csv.reader(handle, delimiter=delimiter)
+    line_number = 1
     try:
-        header = next(reader)
-    except StopIteration:
-        raise CSVFormatError("CSV input is empty (no header row)") from None
-    header = [column.strip() for column in header]
-    if any(not column for column in header):
-        raise CSVFormatError(f"blank column name in header {header}")
-    if len(set(header)) != len(header):
-        raise CSVFormatError(f"duplicate column names in header {header}")
-
-    columns: dict[str, list[object]] = {column: [] for column in header}
-    for line_number, record in enumerate(reader, start=2):
-        if not record:
-            continue  # skip completely blank lines
-        if len(record) != len(header):
+        try:
+            header = next(reader)
+        except StopIteration:
             raise CSVFormatError(
-                f"line {line_number}: expected {len(header)} fields, "
-                f"got {len(record)}"
-            )
-        for column, raw in zip(header, record):
-            cell = raw.strip()
-            if cell.lower() in nulls:
-                columns[column].append(MISSING)
-            else:
-                columns[column].append(cell)
+                "CSV input is empty (no header row)"
+            ) from None
+        header = [column.strip() for column in header]
+        for position, column in enumerate(header, start=1):
+            if not column:
+                raise CSVFormatError(
+                    f"line 1, column {position}: blank column name "
+                    f"in header {header}"
+                )
+        _check_duplicate_headers(header)
+
+        columns: dict[str, list[object]] = {column: [] for column in header}
+        for line_number, record in enumerate(reader, start=2):
+            if not record:
+                continue  # skip completely blank lines
+            if len(record) != len(header):
+                raise CSVFormatError(
+                    f"line {line_number}: expected {len(header)} fields, "
+                    f"got {len(record)}"
+                )
+            for column, raw in zip(header, record):
+                cell = raw.strip()
+                if cell.lower() in nulls:
+                    columns[column].append(MISSING)
+                else:
+                    columns[column].append(cell)
+    except UnicodeDecodeError as exc:
+        raise CSVFormatError(
+            f"undecodable input after line {max(line_number, reader.line_num)}"
+            f": {exc.reason} at byte offset {exc.start} "
+            f"(file is not valid UTF-8)"
+        ) from exc
+    except csv.Error as exc:
+        raise CSVFormatError(
+            f"line {max(1, reader.line_num)}: {exc}"
+        ) from exc
 
     declared = dict(types or {})
     attributes = [
@@ -136,3 +163,20 @@ def _parse(
         for column in header
     ]
     return Relation(attributes, columns, name=name)
+
+
+def _check_duplicate_headers(header: list[str]) -> None:
+    """Raise with the duplicate name and its 1-based column positions."""
+    if len(set(header)) == len(header):
+        return
+    positions: dict[str, list[int]] = {}
+    for position, column in enumerate(header, start=1):
+        positions.setdefault(column, []).append(position)
+    duplicates = {
+        column: cols for column, cols in positions.items() if len(cols) > 1
+    }
+    rendered = ", ".join(
+        f"{column!r} at columns {cols}"
+        for column, cols in duplicates.items()
+    )
+    raise CSVFormatError(f"duplicate column names in header: {rendered}")

@@ -249,6 +249,12 @@ class Relation:
 
         This is the single mutation point of a relation; imputers call it
         to fill (or re-blank) cells.
+
+        Mutation listeners cannot corrupt the write: the cell is stored
+        and the version bumped first, then *every* registered listener
+        runs (so cache invalidation hooks fire even when an earlier
+        listener raises), and only afterwards is the first listener
+        failure surfaced, wrapped in :class:`~repro.exceptions.DataError`.
         """
         attr = self.attribute(name)
         self._check_row(row)
@@ -256,10 +262,24 @@ class Relation:
             normalize_missing(value), attr.type
         )
         self._version += 1
-        if self._listeners:
-            stored = self._columns[name][row]
-            for listener in tuple(self._listeners):
+        if not self._listeners:
+            return
+        stored = self._columns[name][row]
+        errors: list[Exception] = []
+        for listener in tuple(self._listeners):
+            try:
                 listener(row, name, stored)
+            except Exception as exc:  # noqa: BLE001 - isolate listeners
+                errors.append(exc)
+        if errors:
+            others = (
+                f" (+{len(errors) - 1} more listener failures)"
+                if len(errors) > 1 else ""
+            )
+            raise DataError(
+                f"mutation listener failed after writing cell "
+                f"({row}, {name!r}): {errors[0]}{others}"
+            ) from errors[0]
 
     def clear_value(self, row: int, name: str) -> None:
         """Blank a cell back to :data:`MISSING`."""

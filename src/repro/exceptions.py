@@ -49,16 +49,46 @@ class RuleFileError(EvaluationError):
     """A validation rule file is malformed."""
 
 
+class JournalError(ReproError):
+    """An imputation journal is unreadable or does not match the run."""
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault raised by the chaos harness.
+
+    Never raised by production code paths; the fault injectors of
+    :mod:`repro.robustness.chaos` use it so tests can tell injected
+    failures apart from genuine bugs.
+    """
+
+
 class BudgetExceededError(ReproError):
     """A configured time or memory budget was exhausted.
 
     Mirrors the paper's 48-hour / 30 GB stress-test limits: benchmark
     harnesses convert this into the "TL"/"ML" table entries instead of
     letting a run go unbounded.
+
+    Attributes
+    ----------
+    scope:
+        ``"run"`` (the whole imputation) or ``"cell"`` (one missing
+        cell's deadline).  The driver downgrades cell-scope overruns to
+        the fallback tier; run-scope overruns end the run.
+    kind:
+        ``"time"`` or ``"memory"`` — the paper's "TL" vs "ML".
+    partial_result:
+        When the RENUVER driver raises a run-scope overrun it attaches
+        the :class:`~repro.core.renuver.ImputationResult` built so far,
+        so the work done before the limit is preserved.
     """
 
     def __init__(self, message: str, *, elapsed_seconds: float | None = None,
-                 peak_bytes: int | None = None) -> None:
+                 peak_bytes: int | None = None, scope: str = "run",
+                 kind: str = "time") -> None:
         super().__init__(message)
         self.elapsed_seconds = elapsed_seconds
         self.peak_bytes = peak_bytes
+        self.scope = scope
+        self.kind = kind
+        self.partial_result = None

@@ -1,0 +1,194 @@
+"""Deterministic fault injection for the fault-tolerant runtime.
+
+The degradation ladder, budget enforcement and journal replay are only
+trustworthy if something actually exercises them.  :class:`ChaosInjector`
+installs seeded fault injectors behind the two seams the production code
+already has — the mutation-listener hook of
+:meth:`~repro.dataset.relation.Relation.set_value` and the kernel-call
+seam of the donor-scan engines — plus an injectable clock and pre-run
+cell corruption:
+
+* **kernel faults** — :class:`~repro.exceptions.InjectedFaultError`
+  raised at kernel-call entries (``cell_scan`` / ``is_faultless`` / ...)
+  with probability ``kernel_fault_rate`` per call;
+* **listener faults** — the same error raised from a mutation listener,
+  exercising the write-then-invalidate-then-surface discipline of
+  ``Relation.set_value``;
+* **clock skips** — the injected clock jumps forward
+  ``clock_skip_seconds`` with probability ``clock_skip_rate`` per
+  reading, tripping time budgets deterministically;
+* **corrupted donor cells** — ``corrupt_cells`` present cells are
+  scrambled before the run, so candidate generation and verification
+  digest hostile values;
+* **kill switch** — ``kill_after_cells`` raises :class:`ChaosKill`
+  (a ``BaseException``, so nothing on the recovery ladder can swallow
+  it) when the driver starts cell N+1, simulating a hard kill for
+  journal-resume tests.
+
+Every channel draws from its own ``random.Random`` stream derived from
+``seed``, so two runs with the same config, relation and RFDs inject
+*exactly* the same faults at the same points — chaos tests are ordinary
+deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.dataset.missing import MISSING, is_missing
+from repro.dataset.relation import Relation
+from repro.exceptions import ImputationError, InjectedFaultError
+from repro.utils.rng import spawn_rng
+
+
+class ChaosKill(BaseException):
+    """Simulated hard kill (SIGKILL analogue) raised by the kill switch.
+
+    Derives from ``BaseException`` on purpose: the fault-isolation
+    ladder catches ``Exception``, and a kill must not be recoverable.
+    """
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault-injection plan for one run."""
+
+    seed: int = 0
+    #: Probability of an InjectedFaultError per kernel-call entry.
+    kernel_fault_rate: float = 0.0
+    #: Probability of an InjectedFaultError per mutation-listener call.
+    listener_fault_rate: float = 0.0
+    #: Probability of a forward clock jump per clock reading.
+    clock_skip_rate: float = 0.0
+    #: Size of each injected clock jump.
+    clock_skip_seconds: float = 3600.0
+    #: Present cells scrambled before the run starts.
+    corrupt_cells: int = 0
+    #: Raise ChaosKill when the driver starts cell N+1 (None = never).
+    kill_after_cells: int | None = None
+    #: Cap on injected kernel+listener faults (None = unlimited).
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("kernel_fault_rate", "listener_fault_rate",
+                     "clock_skip_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ImputationError(
+                    f"{name} must be in [0, 1], got {rate!r}"
+                )
+        if self.corrupt_cells < 0:
+            raise ImputationError("corrupt_cells must be >= 0")
+        if self.kill_after_cells is not None and self.kill_after_cells < 0:
+            raise ImputationError(
+                "kill_after_cells must be >= 0 when given"
+            )
+
+
+class ChaosInjector:
+    """The live injectors for one run; pass to ``Renuver.impute(chaos=...)``.
+
+    One injector is good for one run: fault counters and RNG streams
+    advance as the run consumes them.  Build a fresh injector (same
+    config) to repeat a run identically.
+    """
+
+    def __init__(self, config: ChaosConfig | None = None) -> None:
+        self.config = config or ChaosConfig()
+        seed = self.config.seed
+        self._kernel_rng = spawn_rng(seed, "chaos", "kernel")
+        self._listener_rng = spawn_rng(seed, "chaos", "listener")
+        self._clock_rng = spawn_rng(seed, "chaos", "clock")
+        self._corrupt_rng = spawn_rng(seed, "chaos", "corrupt")
+        self._skew = 0.0
+        self.cells_started = 0
+        self.faults_injected = 0
+        self.clock_skips = 0
+        self.corrupted: list[tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    # Seam implementations (duck-typed against the driver)
+    # ------------------------------------------------------------------
+    def kernel_hook(self, op: str, target_row: int, attribute: str) -> None:
+        """Kernel-call seam: maybe raise an injected kernel fault."""
+        rate = self.config.kernel_fault_rate
+        if not self._exhausted() and rate > 0.0 \
+                and self._kernel_rng.random() < rate:
+            self.faults_injected += 1
+            raise InjectedFaultError(
+                f"injected kernel fault in {op} at "
+                f"({target_row}, {attribute!r})"
+            )
+
+    def listener(self, row: int, name: str, value: Any) -> None:
+        """Mutation-listener seam: maybe fail after a cell write."""
+        rate = self.config.listener_fault_rate
+        if not self._exhausted() and rate > 0.0 \
+                and self._listener_rng.random() < rate:
+            self.faults_injected += 1
+            raise InjectedFaultError(
+                f"injected listener fault after write to ({row}, {name!r})"
+            )
+
+    def clock(self) -> float:
+        """Deterministically skewed clock for the run's timers."""
+        rate = self.config.clock_skip_rate
+        if rate > 0.0 and self._clock_rng.random() < rate:
+            self._skew += self.config.clock_skip_seconds
+            self.clock_skips += 1
+        return time.perf_counter() + self._skew
+
+    def on_cell_start(self, row: int, attribute: str) -> None:
+        """Driver cell boundary: counts cells and pulls the kill switch."""
+        limit = self.config.kill_after_cells
+        if limit is not None and self.cells_started >= limit:
+            raise ChaosKill(
+                f"chaos kill switch after {self.cells_started} cells "
+                f"(at cell ({row}, {attribute!r}))"
+            )
+        self.cells_started += 1
+
+    def corrupt(self, relation: Relation) -> None:
+        """Scramble ``corrupt_cells`` present cells of ``relation``.
+
+        Runs before the imputation loop; corrupted coordinates are kept
+        on :attr:`corrupted` for assertions.  String cells get a marker
+        prefix plus their reversed text; numeric cells get an extreme
+        value — both survive type coercion, so the damage flows through
+        the normal codecs.
+        """
+        budget = self.config.corrupt_cells
+        if budget <= 0:
+            return
+        present = [
+            (row, name)
+            for name in relation.attribute_names
+            for row in range(relation.n_tuples)
+            if not relation.is_missing_cell(row, name)
+        ]
+        rng = self._corrupt_rng
+        for row, name in rng.sample(present, min(budget, len(present))):
+            value = relation.value(row, name)
+            relation.set_value(row, name, _scrambled(value))
+            self.corrupted.append((row, name))
+
+    # ------------------------------------------------------------------
+    def _exhausted(self) -> bool:
+        limit = self.config.max_faults
+        return limit is not None and self.faults_injected >= limit
+
+
+def _scrambled(value: Any) -> Any:
+    """A hostile-but-coercible replacement for a present cell value."""
+    if is_missing(value):
+        return MISSING
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value * 1_000_003 + 7
+    if isinstance(value, float):
+        return -(abs(value) + 1.0) * 1e9
+    text = str(value)
+    return f"☠{text[::-1]}☠"

@@ -1,0 +1,248 @@
+"""The JSONL imputation journal: checkpoint/resume for RENUVER runs.
+
+A journaled run appends one JSON record per processed cell as it goes,
+flushing after every record, so a run killed at any point leaves a
+replayable prefix on disk.  ``Renuver.impute(resume_from=...)`` replays
+that prefix onto a fresh copy of the *same* dirty relation — restoring
+every filled value and skipping every settled cell — and continues
+exactly where the run died.  Because the algorithm is deterministic, the
+resumed run converges on a relation bit-identical to an uninterrupted
+one.
+
+Record types (one JSON object per line):
+
+``header``
+    Written once when the journal file is created: schema, tuple count,
+    missing-cell count and an MD5 fingerprint of the dirty relation.
+    Resume refuses to replay onto a relation with a different
+    fingerprint.
+``cell``
+    One terminal :class:`~repro.core.report.CellOutcome`: coordinates,
+    status, value, source row, RFD (re-parseable text), distance,
+    engine tier, candidates tried and rollback count.
+``budget``
+    A :class:`~repro.core.report.BudgetEvent` (run- or cell-scope).
+``end``
+    The run finished normally.  Absent after a crash — which is fine:
+    replay only needs the prefix.
+
+A truncated final line (the record being written when the process died)
+is tolerated and ignored; corruption anywhere else raises
+:class:`~repro.exceptions.JournalError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.core.report import BudgetEvent, CellOutcome, OutcomeStatus
+from repro.dataset.missing import is_missing
+from repro.dataset.relation import Relation
+from repro.exceptions import JournalError
+from repro.rfd.parser import parse_rfd
+from repro.rfd.rfd import RFD
+
+JOURNAL_VERSION = 1
+
+
+def relation_fingerprint(relation: Relation) -> str:
+    """MD5 over schema and cells — identifies the dirty instance.
+
+    Computed over the same rendering `to_csv_text` produces, so the
+    fingerprint is stable across copies and process restarts.
+    """
+    from repro.dataset.csv_io import to_csv_text
+
+    digest = hashlib.md5()
+    digest.update(to_csv_text(relation).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class JournalWriter:
+    """Append-only JSONL journal, flushed after every record.
+
+    ``fsync=True`` additionally syncs each record to stable storage
+    (survives OS crashes, not just process death) at a per-cell cost.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._handle: TextIO | None = self.path.open(
+            "a", encoding="utf-8", newline=""
+        )
+        self._fresh = self.path.stat().st_size == 0
+
+    def write_header(self, relation: Relation, *, engine: str) -> None:
+        """Record the run's identity; skipped when resuming an existing
+        journal (the original header stands)."""
+        if not self._fresh:
+            return
+        self._write({
+            "type": "header",
+            "version": JOURNAL_VERSION,
+            "relation": relation.name,
+            "n_tuples": relation.n_tuples,
+            "n_attributes": relation.n_attributes,
+            "missing": relation.count_missing(),
+            "fingerprint": relation_fingerprint(relation),
+            "engine": engine,
+        })
+        self._fresh = False
+
+    def record_cell(self, outcome: CellOutcome) -> None:
+        """Journal one settled cell."""
+        rollbacks = outcome.candidates_tried - (1 if outcome.filled else 0)
+        self._write({
+            "type": "cell",
+            "row": outcome.row,
+            "attribute": outcome.attribute,
+            "status": outcome.status.value,
+            "value": None if is_missing(outcome.value) else outcome.value,
+            "source_row": outcome.source_row,
+            "rfd": str(outcome.rfd) if outcome.rfd is not None else None,
+            "distance": outcome.distance,
+            "cluster_threshold": outcome.cluster_threshold,
+            "candidates_tried": outcome.candidates_tried,
+            "rollbacks": max(0, rollbacks),
+            "engine_tier": outcome.engine_tier,
+            "reason": outcome.reason,
+        })
+
+    def record_budget(self, event: BudgetEvent) -> None:
+        """Journal a budget trip (kept for the audit trail; replay
+        ignores it)."""
+        self._write({
+            "type": "budget",
+            "scope": event.scope,
+            "kind": event.kind,
+            "context": event.context,
+            "elapsed_seconds": event.elapsed_seconds,
+            "peak_bytes": event.peak_bytes,
+            "row": event.row,
+            "attribute": event.attribute,
+        })
+
+    def record_end(self) -> None:
+        """Mark the run complete."""
+        self._write({"type": "end"})
+
+    def close(self) -> None:
+        """Close the file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is closed")
+        self._handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+
+def load_journal(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a journal into records, tolerating a truncated last line."""
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    records: list[dict[str, Any]] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if number == len(lines):
+                break  # the record being written when the run died
+            raise JournalError(
+                f"journal {path} line {number} is corrupt: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise JournalError(
+                f"journal {path} line {number} is not a journal record"
+            )
+        records.append(record)
+    if not records or records[0].get("type") != "header":
+        raise JournalError(f"journal {path} has no header record")
+    return records
+
+
+def replay_journal(
+    path: str | Path, relation: Relation
+) -> list[CellOutcome]:
+    """Replay a journal onto ``relation`` (mutating it in place).
+
+    Verifies the header fingerprint against ``relation`` — the caller
+    must pass the same dirty instance the journaled run started from —
+    then re-applies every filled value and returns the replayed
+    outcomes in journal order.  Cells the journal settled without a fill
+    (skipped, no candidates, ...) are returned too so the driver knows
+    not to retry them.
+    """
+    records = load_journal(path)
+    header = records[0]
+    if header.get("version") != JOURNAL_VERSION:
+        raise JournalError(
+            f"journal {path} has version {header.get('version')!r}, "
+            f"expected {JOURNAL_VERSION}"
+        )
+    expected = header.get("fingerprint")
+    actual = relation_fingerprint(relation)
+    if expected != actual:
+        raise JournalError(
+            f"journal {path} was written for a different relation "
+            f"(fingerprint {expected} != {actual}); resume must start "
+            f"from the same dirty instance"
+        )
+    outcomes: list[CellOutcome] = []
+    seen: set[tuple[int, str]] = set()
+    for record in records[1:]:
+        if record["type"] != "cell":
+            continue
+        row, attribute = record["row"], record["attribute"]
+        if (row, attribute) in seen:
+            raise JournalError(
+                f"journal {path} settles cell ({row}, {attribute}) twice"
+            )
+        seen.add((row, attribute))
+        outcome = _outcome_from_record(record)
+        if outcome.filled:
+            relation.set_value(row, attribute, outcome.value)
+        outcomes.append(outcome)
+    return outcomes
+
+
+def _outcome_from_record(record: dict[str, Any]) -> CellOutcome:
+    try:
+        status = OutcomeStatus(record["status"])
+    except ValueError as exc:
+        raise JournalError(
+            f"unknown cell status {record['status']!r} in journal"
+        ) from exc
+    rfd: RFD | None = None
+    if record.get("rfd"):
+        try:
+            rfd = parse_rfd(record["rfd"])
+        except Exception:  # noqa: BLE001 - provenance only, not fatal
+            rfd = None
+    return CellOutcome(
+        record["row"],
+        record["attribute"],
+        status,
+        value=record.get("value"),
+        source_row=record.get("source_row"),
+        rfd=rfd,
+        distance=record.get("distance"),
+        cluster_threshold=record.get("cluster_threshold"),
+        candidates_tried=record.get("candidates_tried", 0),
+        engine_tier=record.get("engine_tier"),
+        reason=record.get("reason"),
+    )

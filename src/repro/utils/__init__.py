@@ -1,11 +1,13 @@
 """Small shared utilities: timing, memory tracking and seeded RNG helpers."""
 
+from repro.utils.atomic import atomic_write_text
 from repro.utils.timer import Timer, format_duration
 from repro.utils.memory import MemoryTracker, format_bytes
 from repro.utils.rng import derive_seed, spawn_rng
 
 __all__ = [
     "Timer",
+    "atomic_write_text",
     "format_duration",
     "MemoryTracker",
     "format_bytes",

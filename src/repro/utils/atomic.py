@@ -1,0 +1,42 @@
+"""Crash-safe file writes: write to a temp file, then rename.
+
+POSIX ``rename`` within one directory is atomic, so readers of the
+target path either see the old complete content or the new complete
+content — never a half-written file.  The imputation journal and the
+CSV writer use this so a run killed mid-write cannot corrupt outputs it
+already produced.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(
+    path: str | Path, text: str, *, encoding: str = "utf-8"
+) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temp file lives in the target's directory so the final
+    ``os.replace`` never crosses a filesystem boundary.  On any error
+    the temp file is removed and the target is left untouched.
+    """
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding, newline="") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -137,6 +137,8 @@ class MemoryTracker:
                 f"{context} exceeded memory budget of "
                 f"{format_bytes(self.budget_bytes or 0)}",
                 peak_bytes=self.peak_bytes,
+                scope="run",
+                kind="memory",
             )
 
 

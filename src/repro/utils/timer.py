@@ -9,6 +9,7 @@ as expired.
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 from repro.exceptions import BudgetExceededError
 
@@ -25,12 +26,27 @@ class Timer:
     A ``budget_seconds`` turns the timer into a watchdog: call
     :meth:`check_budget` from long-running loops to abort once the budget
     is exhausted, mirroring the paper's "TL" (time limit) entries.
+
+    ``scope`` labels the budget's blast radius (``"run"`` or ``"cell"``)
+    and is carried on the raised
+    :class:`~repro.exceptions.BudgetExceededError` so callers can treat
+    a per-cell deadline differently from a whole-run limit.  ``clock``
+    replaces :func:`time.perf_counter`; the chaos harness injects skewed
+    clocks here to trip deadlines deterministically.
     """
 
-    def __init__(self, budget_seconds: float | None = None) -> None:
+    def __init__(
+        self,
+        budget_seconds: float | None = None,
+        *,
+        scope: str = "run",
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         if budget_seconds is not None and budget_seconds <= 0:
             raise ValueError("budget_seconds must be positive when given")
         self.budget_seconds = budget_seconds
+        self.scope = scope
+        self._clock = clock or time.perf_counter
         self._start: float | None = None
         self._elapsed: float | None = None
 
@@ -43,14 +59,14 @@ class Timer:
 
     def start(self) -> None:
         """Start (or restart) the clock."""
-        self._start = time.perf_counter()
+        self._start = self._clock()
         self._elapsed = None
 
     def stop(self) -> float:
         """Stop the clock and return the elapsed seconds."""
         if self._start is None:
             raise RuntimeError("Timer.stop() called before start()")
-        self._elapsed = time.perf_counter() - self._start
+        self._elapsed = self._clock() - self._start
         return self._elapsed
 
     @property
@@ -65,7 +81,7 @@ class Timer:
             return 0.0
         if self._elapsed is not None:
             return self._elapsed
-        return time.perf_counter() - self._start
+        return self._clock() - self._start
 
     @property
     def expired(self) -> bool:
@@ -81,6 +97,8 @@ class Timer:
                 f"{context} exceeded time budget of "
                 f"{format_duration(self.budget_seconds or 0.0)}",
                 elapsed_seconds=self.elapsed,
+                scope=self.scope,
+                kind="time",
             )
 
 

@@ -85,3 +85,66 @@ class TestRoundTrip:
         path = tmp_path / "mydata.csv"
         path.write_text("A\n1\n")
         assert read_csv(path).name == "mydata"
+
+
+class TestIngestHardening:
+    """Malformed input fails fast with 1-based row/column locations."""
+
+    def test_ragged_row_reports_location(self):
+        with pytest.raises(CSVFormatError) as excinfo:
+            read_csv_text("A,B,C\n1,2,3\n4,5\n")
+        message = str(excinfo.value)
+        assert "line 3" in message
+        assert "2" in message and "3" in message  # got vs expected
+
+    def test_duplicate_headers_name_the_columns(self):
+        with pytest.raises(CSVFormatError) as excinfo:
+            read_csv_text("Id,Name,Id\n1,a,2\n")
+        message = str(excinfo.value)
+        assert "duplicate" in message
+        assert "'Id'" in message
+        assert "1" in message and "3" in message  # both column positions
+
+    def test_blank_header_reports_column(self):
+        with pytest.raises(CSVFormatError) as excinfo:
+            read_csv_text("A,,C\n1,2,3\n")
+        message = str(excinfo.value)
+        assert "line 1" in message
+        assert "column 2" in message
+
+    def test_undecodable_bytes_raise_csv_format_error(self, tmp_path):
+        path = tmp_path / "latin.csv"
+        path.write_bytes(b"A,B\n1,caf\xe9\n")
+        with pytest.raises(CSVFormatError) as excinfo:
+            read_csv(path)
+        message = str(excinfo.value)
+        assert "UTF-8" in message
+        assert "byte offset" in message
+
+    def test_write_csv_is_atomic(self, tmp_path, monkeypatch):
+        """A crash mid-write must not clobber the existing file."""
+        import repro.utils.atomic as atomic_mod
+
+        relation = read_csv_text("A,B\n1,2\n")
+        target = tmp_path / "out.csv"
+        target.write_text("precious\n")
+
+        real_replace = atomic_mod.os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("disk went away")
+
+        monkeypatch.setattr(atomic_mod.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            write_csv(relation, target)
+        monkeypatch.setattr(atomic_mod.os, "replace", real_replace)
+        assert target.read_text() == "precious\n"  # untouched
+        leftovers = [p for p in tmp_path.iterdir() if p != target]
+        assert leftovers == []  # temp file cleaned up
+
+    def test_write_csv_replaces_on_success(self, tmp_path):
+        relation = read_csv_text("A,B\n1,2\n")
+        target = tmp_path / "out.csv"
+        target.write_text("old\n")
+        write_csv(relation, target)
+        assert read_csv(target).equals(relation)

@@ -207,3 +207,60 @@ class TestComparison:
         text = small.to_text()
         assert "_" in text
         assert "alice" in text
+
+
+class TestListenerSafety:
+    """``set_value`` must apply the write and run *every* listener
+    before surfacing a listener failure (wrapped in DataError)."""
+
+    @pytest.fixture()
+    def relation(self):
+        return Relation.from_rows(
+            ["Name", "Age"], [["alice", 34], ["bob", 41]]
+        )
+
+    def test_failing_listener_does_not_corrupt_write(self, relation):
+        def bad(row, name, value):
+            raise RuntimeError("listener exploded")
+
+        relation.add_mutation_listener(bad)
+        before = relation.version
+        with pytest.raises(DataError) as excinfo:
+            relation.set_value(0, "Name", "alicia")
+        assert relation.value(0, "Name") == "alicia"  # write applied
+        assert relation.version == before + 1         # caches can react
+        assert "(0, 'Name')" in str(excinfo.value)
+        assert excinfo.value.__cause__.args == ("listener exploded",)
+
+    def test_later_listeners_still_run(self, relation):
+        calls = []
+
+        def bad(row, name, value):
+            raise RuntimeError("first fails")
+
+        def invalidator(row, name, value):
+            calls.append((row, name, value))
+
+        relation.add_mutation_listener(bad)
+        relation.add_mutation_listener(invalidator)
+        with pytest.raises(DataError):
+            relation.set_value(1, "Age", 50)
+        assert calls == [(1, "Age", 50)]
+
+    def test_multiple_failures_are_counted(self, relation):
+        def bad(row, name, value):
+            raise RuntimeError("boom")
+
+        relation.add_mutation_listener(bad)
+        relation.add_mutation_listener(bad)
+        with pytest.raises(DataError) as excinfo:
+            relation.set_value(0, "Age", 1)
+        assert "+1 more listener failure" in str(excinfo.value)
+
+    def test_healthy_listeners_raise_nothing(self, relation):
+        seen = []
+        relation.add_mutation_listener(
+            lambda row, name, value: seen.append(value)
+        )
+        relation.set_value(0, "Age", 99)
+        assert seen == [99]

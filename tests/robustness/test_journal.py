@@ -1,0 +1,113 @@
+"""The JSONL imputation journal: write, load, replay, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Renuver
+from repro.dataset.csv_io import to_csv_text
+from repro.exceptions import JournalError
+from repro.robustness import (
+    JOURNAL_VERSION,
+    load_journal,
+    relation_fingerprint,
+    replay_journal,
+)
+
+
+class TestJournalWrite:
+    def test_full_run_journal_shape(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        records = load_journal(path)
+        types = [record["type"] for record in records]
+        assert types[0] == "header"
+        assert types[-1] == "end"
+        assert types.count("cell") == 4
+        header = records[0]
+        assert header["version"] == JOURNAL_VERSION
+        assert header["missing"] == 4
+        assert header["fingerprint"] == relation_fingerprint(
+            restaurant_sample
+        )
+
+    def test_cell_records_carry_provenance(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        cells = [
+            record for record in load_journal(path)
+            if record["type"] == "cell"
+        ]
+        filled = [c for c in cells if c["status"] == "imputed"]
+        assert filled
+        for cell in filled:
+            assert cell["value"] is not None
+            assert cell["rfd"] is not None and "->" in cell["rfd"]
+            assert cell["rollbacks"] >= 0
+
+
+class TestJournalLoad:
+    def test_truncated_last_line_tolerated(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])  # cut into the last record
+        records = load_journal(path)
+        assert records[0]["type"] == "header"
+
+    def test_midfile_corruption_raises(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        lines = path.read_text().splitlines()
+        lines[1] = "{corrupt"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="line 2"):
+            load_journal(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps({"type": "cell"}) + "\n")
+        with pytest.raises(JournalError, match="header"):
+            load_journal(path)
+
+
+class TestReplay:
+    def test_replay_restores_filled_values(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        done = Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        fresh = restaurant_sample.copy()
+        outcomes = replay_journal(path, fresh)
+        assert len(outcomes) == 4
+        assert to_csv_text(fresh) == to_csv_text(done.relation)
+
+    def test_replay_rejects_different_relation(
+        self, restaurant_sample, paper_rfds, zip_city_relation, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        with pytest.raises(JournalError, match="fingerprint"):
+            replay_journal(path, zip_city_relation)
+
+
+class TestResume:
+    def test_resume_finished_run_is_pure_replay(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        engine = Renuver(paper_rfds)
+        done = engine.impute(restaurant_sample, journal=path)
+        resumed = engine.impute(restaurant_sample, resume_from=path)
+        assert resumed.report.replayed_count == 4
+        assert to_csv_text(resumed.relation) == to_csv_text(done.relation)

@@ -1,0 +1,75 @@
+"""Tier-1 smoke test for the robustness-overhead benchmark.
+
+Runs ``benchmarks/bench_overhead.py``'s ``run_bench`` with a tiny
+loader (40 Restaurant tuples, a hand-written RFD set, one repeat) so the
+bench's code path — baseline vs guarded timing, outcome-equality check,
+JSON artifact — is exercised on every test run without the cost of RFD
+discovery.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import load_dataset
+from repro.rfd import parse_rfd
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def bench_module(monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCHMARKS_DIR))
+    sys.modules.pop("bench_overhead", None)
+    import bench_overhead
+
+    yield bench_overhead
+    sys.modules.pop("bench_overhead", None)
+
+
+def tiny_loader(name):
+    assert name == "restaurant"
+    relation = load_dataset("restaurant", n_tuples=40, seed=0)
+    rfds = [
+        parse_rfd(text)
+        for text in [
+            "Name(<=4) -> Phone(<=1)",
+            "Address(<=3), City(<=2) -> Phone(<=2)",
+            "Phone(<=1) -> Class(<=0)",
+            "Class(<=0) -> Type(<=5)",
+            "Name(<=6), City(<=2) -> Address(<=8)",
+            "Phone(<=2) -> City(<=2)",
+            "City(<=0), Type(<=3) -> Name(<=12)",
+        ]
+    ]
+    return relation, rfds
+
+
+def test_run_bench_smoke(bench_module, tmp_path):
+    result_path = tmp_path / "BENCH_overhead.json"
+    summary = bench_module.run_bench(
+        ("restaurant",),
+        result_path=result_path,
+        repeats=1,
+        loader=tiny_loader,
+    )
+
+    assert result_path.exists()
+    assert json.loads(result_path.read_text(encoding="utf-8")) == summary
+
+    entry = summary["datasets"]["restaurant"]
+    assert entry["n_tuples"] == 40
+    assert entry["missing_cells"] > 0
+    # The guarded runtime must not change a healthy run's outcomes.
+    assert entry["identical_outcomes"] is True
+    assert entry["budget_events"] == 0
+    assert entry["degradations"] == 0
+    assert entry["baseline_seconds"] > 0
+    assert entry["guarded_seconds"] > 0
+    assert entry["overhead"] == pytest.approx(
+        entry["guarded_seconds"] / entry["baseline_seconds"] - 1.0
+    )

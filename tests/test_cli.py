@@ -131,7 +131,8 @@ class TestDatasets:
         assert read_csv(out).n_tuples == 20
 
     def test_export_unknown(self, capsys):
-        assert main(["datasets", "--export", "nope"]) == 1
+        # DataError family -> exit 4 under the CLI error contract
+        assert main(["datasets", "--export", "nope"]) == 4
         assert "error" in capsys.readouterr().err
 
 
@@ -139,3 +140,110 @@ class TestTopLevel:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
         assert "usage" in capsys.readouterr().out
+
+
+class TestErrorContract:
+    """Distinct exit codes per error family, one-line stderr."""
+
+    def test_exit_code_map(self):
+        from repro.cli import exit_code_for
+        from repro import exceptions as E
+
+        assert exit_code_for(E.BudgetExceededError("x")) == 3
+        assert exit_code_for(E.CSVFormatError("x")) == 4
+        assert exit_code_for(E.DataError("x")) == 4
+        assert exit_code_for(E.SchemaError("x")) == 4
+        assert exit_code_for(E.RFDParseError("x")) == 5
+        assert exit_code_for(E.RuleFileError("x")) == 5
+        assert exit_code_for(E.JournalError("x")) == 5
+        assert exit_code_for(E.ImputationError("x")) == 6
+        assert exit_code_for(E.EvaluationError("x")) == 6
+        assert exit_code_for(E.ReproError("x")) == 1
+
+    def test_bad_csv_exits_4_one_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("A,B\n1,2,3\n")
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("A(<=0) -> B(<=0)\n")
+        assert main([
+            "impute", str(bad), "--rfds", str(rfds),
+        ]) == 4
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_bad_rfd_file_exits_5(self, dirty_csv, tmp_path, capsys):
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("this is not an RFD\n")
+        assert main([
+            "impute", str(dirty_csv), "--rfds", str(rfds),
+        ]) == 5
+        assert "error:" in capsys.readouterr().err
+
+    def test_debug_reraises(self, tmp_path):
+        from repro.exceptions import CSVFormatError
+
+        bad = tmp_path / "bad.csv"
+        bad.write_text("A,B\n1,2,3\n")
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("A(<=0) -> B(<=0)\n")
+        with pytest.raises(CSVFormatError):
+            main(["--debug", "impute", str(bad), "--rfds", str(rfds)])
+
+
+class TestRobustnessFlags:
+    def test_budget_exceeded_exits_3_with_partial(
+        self, dirty_csv, tmp_path, capsys
+    ):
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("Zip(<=0) -> City(<=1)\n")
+        out = tmp_path / "partial.csv"
+        code = main([
+            "impute", str(dirty_csv), "--rfds", str(rfds),
+            "--budget", "1e-9", "--out", str(out),
+        ])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "error:" in err and "budget" in err
+        assert out.exists()  # partial result preserved
+
+    def test_on_budget_partial_exits_0(self, dirty_csv, tmp_path):
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("Zip(<=0) -> City(<=1)\n")
+        out = tmp_path / "partial.csv"
+        code = main([
+            "impute", str(dirty_csv), "--rfds", str(rfds),
+            "--budget", "1e-9", "--on-budget", "partial",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+
+    def test_journal_then_resume(self, dirty_csv, tmp_path):
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("Zip(<=0) -> City(<=1)\n")
+        journal = tmp_path / "run.jsonl"
+        out1 = tmp_path / "out1.csv"
+        assert main([
+            "impute", str(dirty_csv), "--rfds", str(rfds),
+            "--journal", str(journal), "--out", str(out1),
+        ]) == 0
+        assert journal.exists()
+        # Resuming a *finished* journal replays everything and changes
+        # nothing — the output stays identical.
+        out2 = tmp_path / "out2.csv"
+        assert main([
+            "impute", str(dirty_csv), "--rfds", str(rfds),
+            "--resume", str(journal), "--out", str(out2),
+        ]) == 0
+        assert out1.read_text() == out2.read_text()
+
+    def test_scalar_engine_flag(self, dirty_csv, tmp_path):
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("Zip(<=0) -> City(<=1)\n")
+        out = tmp_path / "clean.csv"
+        assert main([
+            "impute", str(dirty_csv), "--rfds", str(rfds),
+            "--engine", "scalar", "--out", str(out),
+        ]) == 0
+        assert read_csv(out).count_missing() == 0
