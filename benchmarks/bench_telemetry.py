@@ -1,0 +1,205 @@
+"""Telemetry overhead benchmark: disabled vs enabled instrumentation.
+
+Times one full RENUVER run per mode on Restaurant with discovered RFDs
+and 3% injected missing values:
+
+* ``disabled`` — the default: ``NULL_TELEMETRY``, every
+  instrumentation site a no-op method call;
+* ``enabled``  — a live :class:`repro.telemetry.Telemetry` (span tracer
+  plus metrics registry) attached to the run.
+
+Both modes must produce bit-identical imputation outcomes.  The
+contract guarded here is the *disabled* cost: telemetry off must stay
+under :data:`DISABLED_TARGET` (2%) of the run.  Because the no-op cost
+is far below timer noise for a single run, the bench derives it
+analytically — it measures the per-call cost of the no-op spine with a
+tight loop, counts the instrumentation sites the run actually crossed
+(from the enabled run's own telemetry), and reports
+
+    disabled_overhead = sites * per_call_seconds / disabled_seconds
+
+which upper-bounds the true cost honestly instead of reading noise.
+The enabled-mode ratio is reported alongside for reference.  Writes
+``BENCH_telemetry.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from harness import TableWriter, bench_dataset, bench_rfds, scale
+from repro import Renuver, Telemetry, inject_missing
+from repro.dataset.relation import Relation
+from repro.rfd.rfd import RFD
+from repro.telemetry import NULL_METRICS, NULL_TRACER
+
+DEFAULT_RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+)
+DATASETS = ("restaurant",)
+THRESHOLD = 3
+RATE = 0.03
+SEED = 7
+#: The disabled-telemetry overhead contract (docs/OBSERVABILITY.md).
+DISABLED_TARGET = 0.02
+
+Loader = Callable[[str], tuple[Relation, list[RFD]]]
+
+
+def default_loader(name: str) -> tuple[Relation, list[RFD]]:
+    """Scale-aware dataset + discovered RFDs from the shared harness."""
+    return bench_dataset(name), bench_rfds(name, THRESHOLD).all_rfds
+
+
+def noop_call_seconds(iterations: int = 200_000) -> float:
+    """Measured per-call cost of one disabled instrumentation site.
+
+    One "site" is modelled as the most expensive thing the hot path
+    does when telemetry is off: ask the null tracer for a span with
+    keyword attributes, enter/exit it, and bump a null counter.
+    """
+    span = NULL_TRACER.span
+    counter = NULL_METRICS.counter("x_total", engine="bench").inc
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with span("bench", row=0, attribute="x"):
+            counter()
+    return (time.perf_counter() - start) / iterations
+
+
+def instrumentation_sites(telemetry: Telemetry) -> int:
+    """Instrumentation sites one run crosses, counted from its own
+    telemetry: spans (creation + enter/exit), span events, per-cell
+    metric calls, and the cached kernel-counter bump per seam firing."""
+    tracer = telemetry.tracer
+    metrics = telemetry.metrics
+    spans = len(tracer.spans)
+    events = sum(len(span.events) for span in tracer.spans)
+    kernel_calls = sum(
+        instrument.value
+        for family in metrics.families()
+        if family.name == "renuver_kernel_calls_total"
+        for instrument in family.instruments.values()
+    )
+    cells = sum(
+        instrument.value
+        for family in metrics.families()
+        if family.name == "renuver_cells_total"
+        for instrument in family.instruments.values()
+    )
+    # 2 tracer touches per span, 3 metric calls per cell, ~20 run-level
+    # calls (run counters, gauge, kernel-counter absorption).
+    return int(spans * 2 + events + kernel_calls + cells * 3 + 20)
+
+
+def run_bench(
+    datasets: Iterable[str] = DATASETS,
+    *,
+    result_path: Path = DEFAULT_RESULT_PATH,
+    repeats: int = 3,
+    loader: Loader = default_loader,
+) -> dict:
+    """Time disabled vs enabled runs and persist the JSON summary.
+
+    Timings are the minimum over ``repeats`` interleaved runs (one of
+    each mode per repeat) so clock drift hits both modes equally.  A
+    fresh tracer/registry is attached per enabled run so span lists
+    never grow across repeats.
+    """
+    summary: dict = {
+        "bench": "telemetry",
+        "scale": scale(),
+        "missing_rate": RATE,
+        "injection_seed": SEED,
+        "repeats": repeats,
+        "disabled_target": DISABLED_TARGET,
+        "noop_call_seconds": noop_call_seconds(),
+        "datasets": {},
+    }
+    per_call = summary["noop_call_seconds"]
+    for name in datasets:
+        relation, rfds = loader(name)
+        dirty = inject_missing(relation, rate=RATE, seed=SEED).relation
+
+        disabled_engine = Renuver(rfds)
+
+        best_disabled = math.inf
+        best_enabled = math.inf
+        # Warm both paths outside the clock (lazy imports, caches).
+        disabled_engine.impute(dirty)
+        Renuver(rfds, telemetry=Telemetry()).impute(dirty)
+        enabled = None
+        telemetry = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            disabled = disabled_engine.impute(dirty)
+            best_disabled = min(
+                best_disabled, time.perf_counter() - start
+            )
+
+            telemetry = Telemetry()
+            enabled_engine = Renuver(rfds, telemetry=telemetry)
+            start = time.perf_counter()
+            enabled = enabled_engine.impute(dirty)
+            best_enabled = min(
+                best_enabled, time.perf_counter() - start
+            )
+
+        identical = (
+            disabled.report.outcomes == enabled.report.outcomes
+            and disabled.relation.equals(enabled.relation)
+        )
+        sites = instrumentation_sites(telemetry)
+        disabled_overhead = sites * per_call / best_disabled
+        summary["datasets"][name] = {
+            "n_tuples": relation.n_tuples,
+            "n_rfds": len(rfds),
+            "missing_cells": disabled.report.missing_count,
+            "imputed_cells": disabled.report.imputed_count,
+            "disabled_seconds": best_disabled,
+            "enabled_seconds": best_enabled,
+            "enabled_overhead": best_enabled / best_disabled - 1.0,
+            "instrumentation_sites": sites,
+            "spans": len(telemetry.tracer.spans),
+            "disabled_overhead": disabled_overhead,
+            "identical_outcomes": identical,
+        }
+    result_path.write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+    )
+    return summary
+
+
+def test_telemetry_overhead():
+    summary = run_bench()
+
+    writer = TableWriter("telemetry")
+    writer.header("Telemetry overhead: disabled (no-op) vs enabled")
+    writer.row(
+        f"{'dataset':<12}{'tuples':>8}{'sites':>8}"
+        f"{'disabled':>11}{'enabled':>11}{'off-cost':>10}  identical"
+    )
+    for name, entry in summary["datasets"].items():
+        writer.row(
+            f"{name:<12}{entry['n_tuples']:>8}"
+            f"{entry['instrumentation_sites']:>8}"
+            f"{entry['disabled_seconds'] * 1e3:>9.1f}ms"
+            f"{entry['enabled_seconds'] * 1e3:>9.1f}ms"
+            f"{entry['disabled_overhead']:>9.2%}  "
+            f"{entry['identical_outcomes']}"
+        )
+    writer.close()
+
+    for name, entry in summary["datasets"].items():
+        assert entry["identical_outcomes"], name
+        assert entry["missing_cells"] > 0, name
+        assert entry["spans"] > entry["missing_cells"], name
+        if summary["scale"] != "smoke":
+            assert entry["disabled_overhead"] < DISABLED_TARGET, (
+                f"{name}: {entry['disabled_overhead']:.2%}"
+            )
+    assert DEFAULT_RESULT_PATH.exists()

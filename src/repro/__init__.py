@@ -109,6 +109,13 @@ from repro.robustness import (
     load_journal,
     replay_journal,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    configure_logging,
+    get_logger,
+)
 
 __version__ = "1.0.0"
 
@@ -143,6 +150,7 @@ __all__ = [
     "InjectionResult",
     "JournalWriter",
     "MeanModeImputer",
+    "MetricsRegistry",
     "MultiSourceRenuver",
     "OutcomeStatus",
     "PatternCalculator",
@@ -153,15 +161,19 @@ __all__ = [
     "RenuverConfig",
     "ReproError",
     "Scores",
+    "Telemetry",
+    "Tracer",
     "ValueSetRule",
     "build_injection_suite",
     "compare_approaches",
     "config_with_suggested_limits",
+    "configure_logging",
     "dataset_names",
     "dataset_validator",
     "discover_dcs",
     "discover_rfds",
     "fd_as_dc",
+    "get_logger",
     "holds",
     "holds_all",
     "inject_missing",

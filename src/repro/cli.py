@@ -51,6 +51,14 @@ from repro.exceptions import (
     SchemaError,
 )
 from repro.rfd import load_rfds, save_rfds
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    configure_logging,
+    profile_table,
+    write_metrics,
+    write_trace,
+)
 
 #: The CLI error contract: each error family maps to a distinct nonzero
 #: exit code so scripts can branch on *why* a run failed.  Checked in
@@ -83,6 +91,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    _setup_logging(args)
     if args.command is None:
         parser.print_help()
         return 2
@@ -108,7 +117,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--debug", action="store_true",
-        help="show full tracebacks instead of one-line errors",
+        help="show full tracebacks instead of one-line errors "
+             "(implies --log-level debug)",
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable structured logging to stderr at this level",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines (implies --log-level info "
+             "unless --log-level is given)",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -181,6 +201,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay a journal from a killed run and continue "
              "(implies --journal PATH)",
     )
+    _add_telemetry_flags(impute)
     impute.set_defaults(handler=_cmd_impute)
 
     evaluate = sub.add_parser(
@@ -203,6 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--seed", type=int, default=0, help="injection seed (default 0)"
     )
+    _add_telemetry_flags(evaluate)
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     datasets = sub.add_parser(
@@ -223,6 +245,58 @@ def _build_parser() -> argparse.ArgumentParser:
     datasets.set_defaults(handler=_cmd_datasets)
 
     return parser
+
+
+# ----------------------------------------------------------------------
+# Telemetry plumbing
+# ----------------------------------------------------------------------
+def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the run's span tree as a JSONL trace file",
+    )
+    command.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write run metrics in Prometheus text exposition format",
+    )
+    command.add_argument(
+        "--profile", action="store_true",
+        help="print a per-phase time breakdown to stderr",
+    )
+
+
+def _setup_logging(args: argparse.Namespace) -> None:
+    """Map ``--log-level``/``--log-json``/``--debug`` onto the stdlib
+    logging tree.  Logging stays untouched when none are given."""
+    level = args.log_level
+    if level is None and args.debug:
+        level = "debug"
+    if level is None and args.log_json:
+        level = "info"
+    if level is not None:
+        configure_logging(level, json_format=args.log_json)
+
+
+def _telemetry_for(args: argparse.Namespace) -> Telemetry:
+    """A live telemetry spine when any export flag asks for one."""
+    if args.trace or args.metrics or args.profile:
+        return Telemetry()
+    return NULL_TELEMETRY
+
+
+def _emit_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
+    """Write the requested exports; call after the run settles (a
+    partial trace from a budget-aborted run is still written)."""
+    if not telemetry.enabled:
+        return
+    if args.trace:
+        write_trace(telemetry.tracer, args.trace)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        write_metrics(telemetry.metrics, args.metrics)
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    if args.profile:
+        print(profile_table(telemetry.tracer), file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -252,6 +326,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 def _cmd_impute(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv)
     rfds = load_rfds(args.rfds)
+    telemetry = _telemetry_for(args)
     engine = Renuver(
         rfds,
         RenuverConfig(
@@ -262,6 +337,7 @@ def _cmd_impute(args: argparse.Namespace) -> int:
             fallback=args.fallback,
             on_budget=args.on_budget,
         ),
+        telemetry=telemetry,
     )
     try:
         result = engine.impute(
@@ -273,7 +349,9 @@ def _cmd_impute(args: argparse.Namespace) -> int:
         if exc.partial_result is not None and args.out:
             write_csv(exc.partial_result.relation, args.out)
             print(f"wrote partial result to {args.out}", file=sys.stderr)
+        _emit_telemetry(args, telemetry)
         raise
+    _emit_telemetry(args, telemetry)
     print(result.report.summary(), file=sys.stderr)
     if args.report:
         for outcome in result.report:
@@ -291,13 +369,18 @@ def _cmd_impute(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv)
     validator = load_rule_file(args.rules) if args.rules else None
+    telemetry = _telemetry_for(args)
     discovery = discover_rfds(
-        relation, DiscoveryConfig(threshold_limit=args.limit)
+        relation, DiscoveryConfig(threshold_limit=args.limit),
+        telemetry=telemetry,
     )
     print(discovery.summary(), file=sys.stderr)
     injection = inject_missing(relation, rate=args.rate, seed=args.seed)
-    result = Renuver(discovery.all_rfds).impute(injection.relation)
+    result = Renuver(
+        discovery.all_rfds, telemetry=telemetry
+    ).impute(injection.relation)
     scores = score_imputation(result.relation, injection, validator)
+    _emit_telemetry(args, telemetry)
     print(f"injected {injection.count} missing cells at "
           f"{args.rate:.1%}", file=sys.stderr)
     print(scores)

@@ -48,6 +48,8 @@ from repro.rfd.keyness import (
 )
 from repro.rfd.rfd import RFD
 from repro.rfd.violations import Violation
+from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.trace import NULL_SPAN
 
 
 def string_clamp_limits(rfds: Iterable[RFD]) -> dict[str, float]:
@@ -72,7 +74,7 @@ class KernelCallSeam:
     """Observable entry points of a donor-scan engine.
 
     Both engines announce every top-level kernel operation
-    (``cell_scan``, ``is_faultless``, ``first_fault``,
+    (``cell_scan``, ``candidates``, ``is_faultless``, ``first_fault``,
     ``partition_key_rfds``, ``pair_reactivates``) to a list of hooks.
     The fault-tolerant runtime registers a budget watchdog here, and the
     chaos harness registers deterministic fault injectors — the seam
@@ -81,10 +83,21 @@ class KernelCallSeam:
     A hook receives ``(op, target_row, attribute)`` and may raise; the
     exception propagates to the driver exactly like a kernel failure
     would.
+
+    The seam is also the telemetry attachment point: every entry is
+    counted per operation (the unified half of :meth:`counters`), and
+    when a live :class:`~repro.telemetry.Telemetry` is attached via
+    :meth:`set_telemetry`, each entry increments
+    ``renuver_kernel_calls_total{engine=,op=}`` and runs under a
+    ``kernel.<op>`` span nested inside the driver's cell span.
     """
 
     def __init__(self) -> None:
         self._kernel_hooks: list[Callable[[str, int, str], None]] = []
+        self._telemetry = NULL_TELEMETRY
+        #: Seam entries per operation since construction.
+        self.op_counts: dict[str, int] = {}
+        self._op_counters: dict[str, object] = {}
 
     def add_kernel_hook(
         self, hook: Callable[[str, int, str], None]
@@ -92,9 +105,83 @@ class KernelCallSeam:
         """Register a hook fired at every kernel-call entry."""
         self._kernel_hooks.append(hook)
 
+    def set_telemetry(self, telemetry: object) -> None:
+        """Attach the run's telemetry (tracer + metrics registry)."""
+        self._telemetry = telemetry or NULL_TELEMETRY
+        self._op_counters.clear()
+
     def _fire(self, op: str, target_row: int, attribute: str) -> None:
+        counts = self.op_counts
+        counts[op] = counts.get(op, 0) + 1
+        counter = self._op_counters.get(op)
+        if counter is None:
+            counter = self._telemetry.metrics.counter(
+                "renuver_kernel_calls_total",
+                "Kernel-call seam entries by engine and operation.",
+                engine=self.name,
+                op=op,
+            )
+            self._op_counters[op] = counter
+        counter.inc()  # type: ignore[attr-defined]
         for hook in self._kernel_hooks:
             hook(op, target_row, attribute)
+
+    def _kernel_span(self, op: str, target_row: int, attribute: str):
+        """Fire the seam, then open a ``kernel.<op>`` span.
+
+        Hook exceptions (budget watchdog, chaos faults) raise *before*
+        the span opens, exactly as the bare seam behaved.  With tracing
+        disabled this costs one attribute read past :meth:`_fire`.
+        """
+        self._fire(op, target_row, attribute)
+        tracer = self._telemetry.tracer
+        if not tracer.enabled:
+            return NULL_SPAN
+        return tracer.span(
+            f"kernel.{op}",
+            engine=self.name,
+            row=target_row,
+            attribute=attribute,
+        )
+
+    # ------------------------------------------------------------------
+    # Unified counters
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        """Kernel statistics for the imputation report.
+
+        One code path for both engines: the seam's per-operation call
+        counts (``calls_<op>``) merged with whatever engine-specific
+        counters :meth:`_engine_counters` contributes (vector builds,
+        cache hits, DP-blocking stats for the vectorized engine).
+        """
+        merged = {
+            f"calls_{op}": count
+            for op, count in sorted(self.op_counts.items())
+        }
+        merged.update(self._engine_counters())
+        return merged
+
+    def _engine_counters(self) -> dict[str, int]:
+        """Engine-specific counters merged into :meth:`counters`."""
+        return {}
+
+    def _record_candidates(
+        self, cluster: Cluster, found: list, span: object
+    ) -> None:
+        """Telemetry for one cluster's candidate generation."""
+        self._telemetry.metrics.counter(
+            "renuver_candidates_generated_total",
+            "Candidate donor tuples produced by Algorithm 3.",
+            engine=self.name,
+        ).inc(len(found))
+        if span is not NULL_SPAN:
+            span.set_attribute(  # type: ignore[attr-defined]
+                "cluster_threshold", cluster.rhs_threshold
+            )
+            span.set_attribute(  # type: ignore[attr-defined]
+                "candidates", len(found)
+            )
 
 
 class ScalarEngine(KernelCallSeam):
@@ -145,14 +232,14 @@ class ScalarEngine(KernelCallSeam):
         *,
         check_rhs_rfds: bool = False,
     ) -> bool:
-        self._fire("is_faultless", target_row, attribute)
-        return _scalar_is_faultless(
-            self.calculator,
-            target_row,
-            attribute,
-            rfds,
-            check_rhs_rfds=check_rhs_rfds,
-        )
+        with self._kernel_span("is_faultless", target_row, attribute):
+            return _scalar_is_faultless(
+                self.calculator,
+                target_row,
+                attribute,
+                rfds,
+                check_rhs_rfds=check_rhs_rfds,
+            )
 
     def first_fault(
         self,
@@ -162,36 +249,34 @@ class ScalarEngine(KernelCallSeam):
         *,
         check_rhs_rfds: bool = False,
     ) -> Violation | None:
-        self._fire("first_fault", target_row, attribute)
-        return _scalar_first_fault(
-            self.calculator,
-            target_row,
-            attribute,
-            rfds,
-            check_rhs_rfds=check_rhs_rfds,
-        )
+        with self._kernel_span("first_fault", target_row, attribute):
+            return _scalar_first_fault(
+                self.calculator,
+                target_row,
+                attribute,
+                rfds,
+                check_rhs_rfds=check_rhs_rfds,
+            )
 
     def partition_key_rfds(
         self, rfds: Iterable[RFD], *, scope: str = "all"
     ) -> tuple[list[RFD], list[RFD]]:
         """Definition 3.4 split, via the scalar all-pairs scan."""
-        self._fire("partition_key_rfds", -1, "")
-        return _scalar_partition_key_rfds(
-            rfds, self.calculator, scope=scope
-        )
+        with self._kernel_span("partition_key_rfds", -1, ""):
+            return _scalar_partition_key_rfds(
+                rfds, self.calculator, scope=scope
+            )
 
     def pair_reactivates(
         self, rfd: RFD, target_row: int, *, scope: str = "all"
     ) -> bool:
         """Algorithm 1 line 14's incremental re-check, pair-at-a-time."""
-        self._fire("pair_reactivates", target_row, rfd.rhs_attribute)
-        return _scalar_pair_reactivates(
-            rfd, self.calculator, target_row, scope=scope
-        )
-
-    def counters(self) -> dict[str, int]:
-        """Kernel counters (none: this engine builds no vectors)."""
-        return {}
+        with self._kernel_span(
+            "pair_reactivates", target_row, rfd.rhs_attribute
+        ):
+            return _scalar_pair_reactivates(
+                rfd, self.calculator, target_row, scope=scope
+            )
 
     def cache_report(self) -> dict[str, tuple[int, int, int]]:
         """Value-pair memo statistics of the underlying calculator."""
@@ -219,14 +304,20 @@ class _ScalarCellScan:
     def candidates(
         self, cluster: Cluster, *, max_candidates: int | None = None
     ) -> list[Candidate]:
-        return find_candidate_tuples(
-            self._engine.calculator,
-            self._target_row,
-            self._attribute,
-            cluster,
-            max_candidates=max_candidates,
-            pattern_for=self._pattern_for,
-        )
+        engine = self._engine
+        with engine._kernel_span(
+            "candidates", self._target_row, self._attribute
+        ) as span:
+            found = find_candidate_tuples(
+                engine.calculator,
+                self._target_row,
+                self._attribute,
+                cluster,
+                max_candidates=max_candidates,
+                pattern_for=self._pattern_for,
+            )
+            engine._record_candidates(cluster, found, span)
+        return found
 
 
 class VectorizedEngine(KernelCallSeam):
@@ -285,23 +376,23 @@ class VectorizedEngine(KernelCallSeam):
         *,
         check_rhs_rfds: bool = False,
     ) -> bool:
-        self._fire("is_faultless", target_row, attribute)
-        relevant = relevant_rfds(
-            rfds, attribute, check_rhs_rfds=check_rhs_rfds
-        )
-        if not relevant:
+        with self._kernel_span("is_faultless", target_row, attribute):
+            relevant = relevant_rfds(
+                rfds, attribute, check_rhs_rfds=check_rhs_rfds
+            )
+            if not relevant:
+                return True
+            hits = self._fault_hits
+            ordered = sorted(
+                relevant, key=lambda rfd: -hits.get(rfd, 0)
+            )
+            with np.errstate(invalid="ignore"):
+                for rfd in ordered:
+                    mask = self._violation_mask(target_row, rfd)
+                    if mask is not None and mask.any():
+                        hits[rfd] = hits.get(rfd, 0) + 1
+                        return False
             return True
-        hits = self._fault_hits
-        ordered = sorted(
-            relevant, key=lambda rfd: -hits.get(rfd, 0)
-        )
-        with np.errstate(invalid="ignore"):
-            for rfd in ordered:
-                mask = self._violation_mask(target_row, rfd)
-                if mask is not None and mask.any():
-                    hits[rfd] = hits.get(rfd, 0) + 1
-                    return False
-        return True
 
     def first_fault(
         self,
@@ -313,28 +404,30 @@ class VectorizedEngine(KernelCallSeam):
     ) -> Violation | None:
         """Exact Algorithm 4 semantics: the violation with the smallest
         partner row, ties broken by relevant-RFD order."""
-        self._fire("first_fault", target_row, attribute)
-        relevant = relevant_rfds(
-            rfds, attribute, check_rhs_rfds=check_rhs_rfds
-        )
-        best_row: int | None = None
-        best_rfd: RFD | None = None
-        with np.errstate(invalid="ignore"):
-            for rfd in relevant:
-                mask = self._violation_mask(target_row, rfd)
-                if mask is None:
-                    continue
-                rows = np.nonzero(mask)[0]
-                if rows.size and (best_row is None or rows[0] < best_row):
-                    best_row = int(rows[0])
-                    best_rfd = rfd
-        if best_row is None or best_rfd is None:
-            return None
-        return Violation(
-            best_rfd,
-            min(target_row, best_row),
-            max(target_row, best_row),
-        )
+        with self._kernel_span("first_fault", target_row, attribute):
+            relevant = relevant_rfds(
+                rfds, attribute, check_rhs_rfds=check_rhs_rfds
+            )
+            best_row: int | None = None
+            best_rfd: RFD | None = None
+            with np.errstate(invalid="ignore"):
+                for rfd in relevant:
+                    mask = self._violation_mask(target_row, rfd)
+                    if mask is None:
+                        continue
+                    rows = np.nonzero(mask)[0]
+                    if rows.size and (
+                        best_row is None or rows[0] < best_row
+                    ):
+                        best_row = int(rows[0])
+                        best_rfd = rfd
+            if best_row is None or best_rfd is None:
+                return None
+            return Violation(
+                best_rfd,
+                min(target_row, best_row),
+                max(target_row, best_row),
+            )
 
     def _violation_mask(
         self, target_row: int, rfd: RFD
@@ -370,7 +463,12 @@ class VectorizedEngine(KernelCallSeam):
         whole LHS (the same pair predicate as the scalar scan, so the
         partition is identical).
         """
-        self._fire("partition_key_rfds", -1, "")
+        with self._kernel_span("partition_key_rfds", -1, ""):
+            return self._partition_key_rfds(rfds, scope)
+
+    def _partition_key_rfds(
+        self, rfds: Iterable[RFD], scope: str
+    ) -> tuple[list[RFD], list[RFD]]:
         _check_scope(scope)
         rfds = list(rfds)
         kernels = self.kernels
@@ -401,14 +499,16 @@ class VectorizedEngine(KernelCallSeam):
         self, rfd: RFD, target_row: int, *, scope: str = "all"
     ) -> bool:
         """Algorithm 1 line 14's incremental re-check over one mask."""
-        self._fire("pair_reactivates", target_row, rfd.rhs_attribute)
-        _check_scope(scope)
-        in_scope = self._scope_mask(scope)
-        if in_scope is not None and not in_scope[target_row]:
-            return False
-        with np.errstate(invalid="ignore"):
-            mask = self._lhs_pair_mask(target_row, rfd, in_scope)
-        return mask is not None and bool(mask.any())
+        with self._kernel_span(
+            "pair_reactivates", target_row, rfd.rhs_attribute
+        ):
+            _check_scope(scope)
+            in_scope = self._scope_mask(scope)
+            if in_scope is not None and not in_scope[target_row]:
+                return False
+            with np.errstate(invalid="ignore"):
+                mask = self._lhs_pair_mask(target_row, rfd, in_scope)
+            return mask is not None and bool(mask.any())
 
     def _lhs_pair_mask(
         self,
@@ -445,9 +545,9 @@ class VectorizedEngine(KernelCallSeam):
     # ------------------------------------------------------------------
     # Reporting / lifecycle
     # ------------------------------------------------------------------
-    def counters(self) -> dict[str, int]:
-        """Kernel counters for the imputation report."""
-        return self.kernels.counters
+    def _engine_counters(self) -> dict[str, int]:
+        """Vector-layer counters (builds, cache hits, DP blocking)."""
+        return dict(self.kernels.counters)
 
     def cache_report(self) -> dict[str, tuple[int, int, int]]:
         """String-memo statistics of the kernel layer."""
@@ -486,6 +586,19 @@ class _VectorizedCellScan:
                 f"cluster targets {cluster.attribute!r}, "
                 f"expected {attribute!r}"
             )
+        engine = self._engine
+        with engine._kernel_span(
+            "candidates", target_row, attribute
+        ) as span:
+            found = self._scan(cluster, max_candidates)
+            engine._record_candidates(cluster, found, span)
+        return found
+
+    def _scan(
+        self, cluster: Cluster, max_candidates: int | None
+    ) -> list[Candidate]:
+        target_row = self._target_row
+        attribute = self._attribute
         engine = self._engine
         kernels = engine.kernels
         relation = engine.calculator.relation

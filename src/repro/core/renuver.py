@@ -46,6 +46,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from time import perf_counter
 from typing import Iterable, Mapping
 
 from repro.dataset.attribute import AttributeType
@@ -73,8 +74,12 @@ from repro.core.selection import (
     select_rfds_for_attribute,
 )
 from repro.rfd.rfd import RFD
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.logs import get_logger
 from repro.utils.memory import MemoryTracker
 from repro.utils.timer import Timer
+
+logger = get_logger("core.renuver")
 
 
 @dataclass(frozen=True)
@@ -243,12 +248,17 @@ class Renuver:
         config: RenuverConfig | None = None,
         *,
         distance_overrides: Mapping[str, DistanceFunction] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.rfds: tuple[RFD, ...] = tuple(rfds)
         if not self.rfds:
             raise ImputationError("Renuver needs at least one RFD")
         self.config = config or RenuverConfig()
         self._distance_overrides = dict(distance_overrides or {})
+        #: Observability spine (spans + metrics); the no-op default
+        #: costs a method call per instrumentation site.  See
+        #: docs/OBSERVABILITY.md.
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     # Public API
@@ -276,8 +286,87 @@ class Renuver:
         file.  ``chaos`` accepts a
         :class:`~repro.robustness.chaos.ChaosInjector` for deterministic
         fault injection.
+
+        When a live :class:`~repro.telemetry.Telemetry` is attached,
+        the run executes under an ``impute`` root span (with
+        ``preprocess``, per-cell and kernel spans nested below it) and
+        feeds the metrics registry; see docs/OBSERVABILITY.md for the
+        span taxonomy and metric names.
         """
         self._validate_schema(relation)
+        telemetry = self.telemetry
+        with telemetry.tracer.span(
+            "impute",
+            engine=self.config.engine,
+            relation=relation.name,
+            n_tuples=relation.n_tuples,
+            n_rfds=len(self.rfds),
+        ) as span:
+            try:
+                result = self._run(
+                    relation,
+                    inplace=inplace,
+                    journal=journal,
+                    resume_from=resume_from,
+                    chaos=chaos,
+                )
+            except BaseException as exc:
+                telemetry.metrics.counter(
+                    "renuver_runs_total",
+                    "Imputation runs by final status.",
+                    status="error",
+                ).inc()
+                logger.warning(
+                    "imputation run failed: %s: %s",
+                    type(exc).__name__, exc,
+                )
+                raise
+            report = result.report
+            span.set_attribute("missing_cells", report.missing_count)
+            span.set_attribute("imputed_cells", report.imputed_count)
+            span.set_attribute("fill_rate", round(report.fill_rate, 4))
+            self._finish_run_telemetry(report)
+        return result
+
+    def _finish_run_telemetry(self, report: ImputationReport) -> None:
+        """Run-level metrics + logs once a run settles normally."""
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "renuver_runs_total",
+            "Imputation runs by final status.",
+            status="ok",
+        ).inc()
+        metrics.gauge(
+            "renuver_run_elapsed_seconds",
+            "Elapsed seconds of the most recent run.",
+        ).set(report.elapsed_seconds)
+        # Unified kernel counters: both engines' seam/vector statistics
+        # land in the registry under one metric family.
+        for name, value in report.kernel_counters.items():
+            metrics.counter(
+                "renuver_kernel_counter_total",
+                "Engine kernel counters (seam ops and vector layer).",
+                engine=self.config.engine,
+                counter=name,
+            ).inc(value)
+        logger.info(
+            "imputation run finished: %d/%d cells filled in %.3fs "
+            "(%d degradations, %d budget events)",
+            report.filled_count, report.missing_count,
+            report.elapsed_seconds, len(report.degradations),
+            len(report.budget_events),
+        )
+
+    def _run(
+        self,
+        relation: Relation,
+        *,
+        inplace: bool,
+        journal: str | Path | None,
+        resume_from: str | Path | None,
+        chaos: object | None,
+    ) -> ImputationResult:
+        """Algorithm 1 proper, inside the root telemetry span."""
         working = relation if inplace else relation.copy()
 
         replayed: list[CellOutcome] = []
@@ -287,6 +376,17 @@ class Renuver:
             replayed = replay_journal(resume_from, working)
             if journal is None:
                 journal = resume_from
+            self.telemetry.tracer.event(
+                "journal_replay", cells=len(replayed)
+            )
+            self.telemetry.metrics.counter(
+                "renuver_journal_replayed_cells_total",
+                "Cells restored from a checkpoint journal.",
+            ).inc(len(replayed))
+            logger.info(
+                "replayed %d cells from journal %s",
+                len(replayed), resume_from,
+            )
         writer = None
         if journal is not None:
             from repro.robustness.journal import JournalWriter
@@ -388,24 +488,33 @@ class Renuver:
         chaos: object | None = None,
     ) -> _RunState:
         """Step (a): split keys from usable RFDs, set up shared state."""
-        calculator = self._make_calculator(working)
-        engine = self._make_engine(calculator)
-        self._attach_runtime_hooks(engine, timer, chaos)
-        # The keyness partition runs before any cell, so the per-cell
-        # ladder cannot shield it; retry transient faults a few times
-        # (injected or real) before giving up.
-        attempts = 1 if self.config.fallback == "raise" else 5
-        for attempt in range(1, attempts + 1):
-            try:
-                key_rfds, active_rfds = engine.partition_key_rfds(
-                    self.rfds, scope=self.config.keyness_scope
-                )
-                break
-            except BudgetExceededError:
-                raise
-            except Exception:  # noqa: BLE001 - bounded retry
-                if attempt == attempts:
+        with self.telemetry.tracer.span(
+            "preprocess", n_rfds=len(self.rfds)
+        ) as span:
+            calculator = self._make_calculator(working)
+            engine = self._make_engine(calculator)
+            self._attach_runtime_hooks(engine, timer, chaos)
+            # The keyness partition runs before any cell, so the per-cell
+            # ladder cannot shield it; retry transient faults a few times
+            # (injected or real) before giving up.
+            attempts = 1 if self.config.fallback == "raise" else 5
+            for attempt in range(1, attempts + 1):
+                try:
+                    key_rfds, active_rfds = engine.partition_key_rfds(
+                        self.rfds, scope=self.config.keyness_scope
+                    )
+                    break
+                except BudgetExceededError:
                     raise
+                except Exception:  # noqa: BLE001 - bounded retry
+                    if attempt == attempts:
+                        raise
+            span.set_attribute("key_rfds", len(key_rfds))
+            span.set_attribute("active_rfds", len(active_rfds))
+            logger.debug(
+                "preprocess: %d key RFDs, %d active RFDs",
+                len(key_rfds), len(active_rfds),
+            )
         report = ImputationReport(key_rfds_initial=len(key_rfds))
         return _RunState(
             calculator=calculator,
@@ -447,21 +556,37 @@ class Renuver:
             for row in relation.incomplete_rows()
             for attribute in relation.row(row).missing_attributes()
         ]
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
         for row, attribute in cells:
             if (row, attribute) in state.done:
                 continue
-            try:
-                state.timer.check_budget("RENUVER imputation")
-                if state.memory is not None:
-                    state.memory.check_budget("RENUVER imputation")
-                if state.chaos is not None:
-                    state.chaos.on_cell_start(row, attribute)
-                outcome = self._impute_cell_guarded(state, row, attribute)
-            except BudgetExceededError as exc:
-                # Record with cell context, then let impute() settle the
-                # run (partial result or raise, per on_budget).
-                self._record_budget_event(state, exc, row, attribute)
-                raise
+            with tracer.span("cell", row=row, attribute=attribute) as span:
+                started = perf_counter() if metrics.enabled else 0.0
+                try:
+                    state.timer.check_budget("RENUVER imputation")
+                    if state.memory is not None:
+                        state.memory.check_budget("RENUVER imputation")
+                    if state.chaos is not None:
+                        state.chaos.on_cell_start(row, attribute)
+                    outcome = self._impute_cell_guarded(
+                        state, row, attribute
+                    )
+                except BudgetExceededError as exc:
+                    # Record with cell context, then let impute() settle
+                    # the run (partial result or raise, per on_budget).
+                    self._record_budget_event(state, exc, row, attribute)
+                    raise
+                span.set_attribute("status", outcome.status.value)
+                span.set_attribute(
+                    "candidates_tried", outcome.candidates_tried
+                )
+                if outcome.engine_tier is not None:
+                    span.set_attribute("engine_tier", outcome.engine_tier)
+                if metrics.enabled:
+                    self._record_cell_metrics(
+                        outcome, perf_counter() - started
+                    )
             state.report.add(outcome)
             if state.writer is not None:
                 state.writer.record_cell(outcome)
@@ -507,10 +632,10 @@ class Renuver:
                     raise
                 self._record_budget_event(state, exc, row, attribute)
                 last_reason = f"cell deadline: {exc}"
-                state.report.degradations.append(Degradation(
-                    row, attribute, tier_name,
+                self._record_degradation(
+                    state, row, attribute, tier_name,
                     self._last_tier_name(), last_reason,
-                ))
+                )
                 break
             except Exception as exc:  # noqa: BLE001 - fault isolation
                 self._restore_cell(state, row, attribute)
@@ -522,9 +647,10 @@ class Renuver:
                     if tier_index + 1 < len(tiers)
                     else self._last_tier_name()
                 )
-                state.report.degradations.append(Degradation(
-                    row, attribute, tier_name, next_tier, last_reason,
-                ))
+                self._record_degradation(
+                    state, row, attribute, tier_name, next_tier,
+                    last_reason,
+                )
                 continue
             if tier_index > 0:
                 outcome = replace(outcome, engine_tier=tier_name)
@@ -619,9 +745,59 @@ class Renuver:
         relation.set_value(row, attribute, MISSING)
         return False
 
+    def _record_cell_metrics(
+        self, outcome: CellOutcome, seconds: float
+    ) -> None:
+        """Per-cell metrics; called only when the registry is live."""
+        metrics = self.telemetry.metrics
+        metrics.histogram(
+            "renuver_cell_seconds",
+            "Wall time spent settling one missing cell.",
+        ).observe(seconds)
+        metrics.counter(
+            "renuver_cells_total",
+            "Missing cells settled, by outcome status.",
+            status=outcome.status.value,
+        ).inc()
+        metrics.counter(
+            "renuver_candidates_tried_total",
+            "Candidate values attempted across all cells.",
+        ).inc(outcome.candidates_tried)
+
     # ------------------------------------------------------------------
     # Fault-tolerance helpers
     # ------------------------------------------------------------------
+    def _record_degradation(
+        self,
+        state: _RunState,
+        row: int,
+        attribute: str,
+        from_tier: str,
+        to_tier: str,
+        reason: str,
+    ) -> None:
+        """One degradation-ladder downgrade: report + span event +
+        metric + warning, all from a single code path."""
+        state.report.degradations.append(
+            Degradation(row, attribute, from_tier, to_tier, reason)
+        )
+        self.telemetry.tracer.event(
+            "degradation",
+            row=row,
+            attribute=attribute,
+            from_tier=from_tier,
+            to_tier=to_tier,
+        )
+        self.telemetry.metrics.counter(
+            "renuver_degradations_total",
+            "Degradation-ladder downgrades, by the tier degraded from.",
+            stage=from_tier,
+        ).inc()
+        logger.warning(
+            "cell (%d, %s) degraded %s -> %s: %s",
+            row, attribute, from_tier, to_tier, reason,
+        )
+
     def _restore_cell(
         self, state: _RunState, row: int, attribute: str
     ) -> None:
@@ -648,6 +824,7 @@ class Renuver:
         """
         if state.scalar_retry is None:
             engine = ScalarEngine(state.calculator)
+            engine.set_telemetry(self.telemetry)
             self._attach_runtime_hooks(engine, state.timer, state.chaos)
             state.scalar_retry = engine
         return state.scalar_retry
@@ -727,6 +904,25 @@ class Renuver:
         state.report.budget_events.append(event)
         if state.writer is not None:
             state.writer.record_budget(event)
+        self.telemetry.tracer.event(
+            "budget_exceeded",
+            scope=event.scope,
+            kind=event.kind,
+            row=row,
+            attribute=attribute,
+        )
+        self._count_budget_event(event)
+        logger.warning(
+            "budget exceeded at cell (%d, %s): %s", row, attribute, exc
+        )
+
+    def _count_budget_event(self, event: BudgetEvent) -> None:
+        self.telemetry.metrics.counter(
+            "renuver_budget_events_total",
+            "Budget overruns, by scope and kind.",
+            scope=event.scope,
+            kind=event.kind,
+        ).inc()
 
     def _settle_budget_overrun(
         self,
@@ -766,6 +962,11 @@ class Renuver:
             report.budget_events.append(event)
             if writer is not None:
                 writer.record_budget(event)
+            self.telemetry.tracer.event(
+                "budget_exceeded", scope=event.scope, kind=event.kind
+            )
+            self._count_budget_event(event)
+            logger.warning("budget exceeded before first cell: %s", exc)
         report.elapsed_seconds = timer.elapsed
         if self.config.on_budget == "partial" and exc.scope == "run":
             settled = {(o.row, o.attribute) for o in report}
@@ -814,14 +1015,22 @@ class Renuver:
                 # Conservative: keep the RFD keyed; the next imputation
                 # re-checks it.  Auditable via the degradation trail.
                 still_key.append(rfd)
-                state.report.degradations.append(Degradation(
-                    row, attribute, "key-recheck", "deferred",
+                self._record_degradation(
+                    state, row, attribute, "key-recheck", "deferred",
                     f"{type(exc).__name__}: {exc}",
-                ))
+                )
                 continue
             if reactivates:
                 state.active_rfds.append(rfd)
                 state.report.key_rfds_reactivated += 1
+                self.telemetry.metrics.counter(
+                    "renuver_key_rfds_reactivated_total",
+                    "Key RFDs re-activated (Algorithm 1 line 14).",
+                ).inc()
+                logger.debug(
+                    "key RFD reactivated by cell (%d, %s): %s",
+                    row, attribute, rfd,
+                )
             else:
                 still_key.append(rfd)
         state.key_rfds = still_key
@@ -840,13 +1049,17 @@ class Renuver:
         self, calculator: PatternCalculator
     ) -> ScalarEngine | VectorizedEngine:
         """The configured donor-scan engine, bound to one calculator."""
+        engine: ScalarEngine | VectorizedEngine
         if self.config.engine == "scalar":
-            return ScalarEngine(calculator)
-        return VectorizedEngine(
-            calculator,
-            self.rfds,
-            override_names=set(self._distance_overrides),
-        )
+            engine = ScalarEngine(calculator)
+        else:
+            engine = VectorizedEngine(
+                calculator,
+                self.rfds,
+                override_names=set(self._distance_overrides),
+            )
+        engine.set_telemetry(self.telemetry)
+        return engine
 
     def _scan_clusters(
         self,
@@ -894,4 +1107,5 @@ class Renuver:
             self.rfds,
             replace(self.config, **changes),  # type: ignore[arg-type]
             distance_overrides=self._distance_overrides,
+            telemetry=self.telemetry,
         )

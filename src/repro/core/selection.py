@@ -20,6 +20,9 @@ from functools import cached_property
 from typing import Iterable, Sequence
 
 from repro.rfd.rfd import RFD
+from repro.telemetry.logs import get_logger
+
+logger = get_logger("core.selection")
 
 
 @dataclass(frozen=True)
@@ -97,10 +100,17 @@ def cluster_by_rhs_threshold(
             )
         grouped.setdefault(rfd.rhs_threshold, []).append(rfd)
     thresholds = sorted(grouped, reverse=(order == "descending"))
-    return [
+    clusters = [
         Cluster(attribute, threshold, tuple(grouped[threshold]))
         for threshold in thresholds
     ]
+    if logger.isEnabledFor(10):  # DEBUG; guard the threshold formatting
+        logger.debug(
+            "clustered %d RFDs for %s into %d thresholds: %s",
+            len(rfds), attribute, len(clusters),
+            [cluster.rhs_threshold for cluster in clusters],
+        )
+    return clusters
 
 
 def build_cluster_plan(

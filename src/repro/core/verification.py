@@ -18,6 +18,9 @@ from __future__ import annotations
 from repro.distance.pattern import PatternCalculator
 from repro.rfd.rfd import RFD
 from repro.rfd.violations import Violation
+from repro.telemetry.logs import get_logger
+
+logger = get_logger("core.verification")
 
 
 def relevant_rfds(
@@ -96,6 +99,10 @@ def first_fault(
         pattern = calculator.pattern(target_row, row, union)
         for rfd in relevant:
             if rfd.violated_by(pattern):
+                logger.debug(
+                    "imputation of (%d, %s) violates %s against row %d",
+                    target_row, attribute, rfd, row,
+                )
                 return Violation(rfd, min(target_row, row),
                                  max(target_row, row))
     return None

@@ -37,7 +37,11 @@ from repro.discovery.pattern_matrix import PairDistanceMatrix
 from repro.discovery.pruning import remove_dominated
 from repro.rfd.constraint import Constraint
 from repro.rfd.rfd import RFD
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.logs import get_logger
 from repro.utils.timer import Timer
+
+logger = get_logger("discovery.dime")
 
 
 @dataclass
@@ -77,71 +81,115 @@ class DiscoveryResult:
 def discover_rfds(
     relation: Relation,
     config: DiscoveryConfig | None = None,
+    *,
+    telemetry: Telemetry | None = None,
 ) -> DiscoveryResult:
     """Discover RFDc dependencies holding on ``relation``.
 
     See the module docstring for the method.  Returns non-key RFDs in
-    :attr:`DiscoveryResult.rfds` and key RFDs separately.
+    :attr:`DiscoveryResult.rfds` and key RFDs separately.  A live
+    ``telemetry`` wraps the run in a ``discover`` span with one child
+    span per RHS attribute's lattice walk (docs/OBSERVABILITY.md).
     """
     config = config or DiscoveryConfig()
+    telemetry = telemetry or NULL_TELEMETRY
     timer = Timer()
     timer.start()
 
-    string_limit = max(config.threshold_limit, config.effective_lhs_limit)
-    matrix = PairDistanceMatrix(
-        relation,
-        string_limit=string_limit,
-        max_pairs=config.max_pairs,
-        seed=config.seed,
-    )
-    names = list(relation.attribute_names)
-    grids = {
-        name: _threshold_grid(
-            matrix.distances(name),
-            config.lhs_limit_for(name),
-            config.grid_size,
+    with telemetry.tracer.span(
+        "discover",
+        relation=relation.name,
+        n_tuples=relation.n_tuples,
+        max_lhs_size=config.max_lhs_size,
+    ) as span:
+        string_limit = max(
+            config.threshold_limit, config.effective_lhs_limit
         )
-        for name in names
-    }
-    match_masks = {
-        name: _grid_masks(matrix.distances(name), grids[name])
-        for name in names
-    }
-
-    emitted: list[RFD] = []
-    keys: list[RFD] = []
-    for rhs in names:
-        d_rhs = matrix.distances(rhs)
-        rhs_defined = ~np.isnan(d_rhs)
-        for lhs_set in iter_lhs_sets(names, rhs, config.max_lhs_size):
-            _discover_for_lhs(
-                lhs_set,
-                rhs,
-                d_rhs,
-                rhs_defined,
-                grids,
-                match_masks,
-                config,
-                emitted,
-                keys,
+        matrix = PairDistanceMatrix(
+            relation,
+            string_limit=string_limit,
+            max_pairs=config.max_pairs,
+            seed=config.seed,
+        )
+        span.set_attribute("n_pairs", matrix.n_pairs)
+        names = list(relation.attribute_names)
+        grids = {
+            name: _threshold_grid(
+                matrix.distances(name),
+                config.lhs_limit_for(name),
+                config.grid_size,
             )
+            for name in names
+        }
+        match_masks = {
+            name: _grid_masks(matrix.distances(name), grids[name])
+            for name in names
+        }
 
-    rfds = remove_dominated(emitted)
-    keys = remove_dominated(keys)
-    if config.max_per_rhs is not None:
-        rfds = _cap_per_rhs(rfds, config.max_per_rhs)
-    per_rhs: dict[str, int] = {}
-    for rfd in rfds:
-        per_rhs[rfd.rhs_attribute] = per_rhs.get(rfd.rhs_attribute, 0) + 1
-    result = DiscoveryResult(
-        rfds=rfds,
-        key_rfds=keys if config.include_keys else [],
-        config=config,
-        n_pairs=matrix.n_pairs,
-        exact=matrix.exact,
-        per_rhs_counts=per_rhs,
+        emitted: list[RFD] = []
+        keys: list[RFD] = []
+        for rhs in names:
+            with telemetry.tracer.span("discover_rhs", rhs=rhs) as child:
+                d_rhs = matrix.distances(rhs)
+                rhs_defined = ~np.isnan(d_rhs)
+                before = len(emitted)
+                lhs_sets = 0
+                for lhs_set in iter_lhs_sets(
+                    names, rhs, config.max_lhs_size
+                ):
+                    lhs_sets += 1
+                    _discover_for_lhs(
+                        lhs_set,
+                        rhs,
+                        d_rhs,
+                        rhs_defined,
+                        grids,
+                        match_masks,
+                        config,
+                        emitted,
+                        keys,
+                    )
+                child.set_attribute("lhs_sets", lhs_sets)
+                child.set_attribute("emitted", len(emitted) - before)
+            telemetry.metrics.counter(
+                "renuver_discovery_lhs_sets_total",
+                "Candidate LHS sets walked by RFD discovery.",
+            ).inc(lhs_sets)
+
+        rfds = remove_dominated(emitted)
+        keys = remove_dominated(keys)
+        if config.max_per_rhs is not None:
+            rfds = _cap_per_rhs(rfds, config.max_per_rhs)
+        per_rhs: dict[str, int] = {}
+        for rfd in rfds:
+            per_rhs[rfd.rhs_attribute] = (
+                per_rhs.get(rfd.rhs_attribute, 0) + 1
+            )
+        result = DiscoveryResult(
+            rfds=rfds,
+            key_rfds=keys if config.include_keys else [],
+            config=config,
+            n_pairs=matrix.n_pairs,
+            exact=matrix.exact,
+            per_rhs_counts=per_rhs,
+        )
+        result.elapsed_seconds = timer.stop()
+        span.set_attribute("rfds", len(result.rfds))
+        span.set_attribute("key_rfds", len(result.key_rfds))
+    metrics = telemetry.metrics
+    metrics.counter(
+        "renuver_discovery_rfds_total",
+        "RFDs emitted by discovery runs (after pruning).",
+    ).inc(len(result.rfds))
+    metrics.gauge(
+        "renuver_discovery_elapsed_seconds",
+        "Elapsed seconds of the most recent discovery run.",
+    ).set(result.elapsed_seconds)
+    logger.info(
+        "discovered %d RFDs (+%d keys) over %d pairs in %.3fs",
+        len(result.rfds), len(result.key_rfds),
+        result.n_pairs, result.elapsed_seconds,
     )
-    result.elapsed_seconds = timer.stop()
     return result
 
 

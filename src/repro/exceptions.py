@@ -53,6 +53,11 @@ class JournalError(ReproError):
     """An imputation journal is unreadable or does not match the run."""
 
 
+class TelemetryError(ReproError):
+    """The telemetry layer was misused (bad metric name, type clash,
+    non-monotonic histogram buckets, malformed trace file)."""
+
+
 class InjectedFaultError(ReproError):
     """A deterministic fault raised by the chaos harness.
 

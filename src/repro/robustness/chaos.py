@@ -40,7 +40,10 @@ from typing import Any
 from repro.dataset.missing import MISSING, is_missing
 from repro.dataset.relation import Relation
 from repro.exceptions import ImputationError, InjectedFaultError
+from repro.telemetry.logs import get_logger
 from repro.utils.rng import spawn_rng
+
+logger = get_logger("robustness.chaos")
 
 
 class ChaosKill(BaseException):
@@ -117,6 +120,10 @@ class ChaosInjector:
         if not self._exhausted() and rate > 0.0 \
                 and self._kernel_rng.random() < rate:
             self.faults_injected += 1
+            logger.debug(
+                "injecting kernel fault #%d in %s at (%d, %s)",
+                self.faults_injected, op, target_row, attribute,
+            )
             raise InjectedFaultError(
                 f"injected kernel fault in {op} at "
                 f"({target_row}, {attribute!r})"
@@ -173,6 +180,10 @@ class ChaosInjector:
             value = relation.value(row, name)
             relation.set_value(row, name, _scrambled(value))
             self.corrupted.append((row, name))
+        logger.info(
+            "chaos: corrupted %d cells of %s",
+            len(self.corrupted), relation.name,
+        )
 
     # ------------------------------------------------------------------
     def _exhausted(self) -> bool:

@@ -45,6 +45,9 @@ from repro.dataset.relation import Relation
 from repro.exceptions import JournalError
 from repro.rfd.parser import parse_rfd
 from repro.rfd.rfd import RFD
+from repro.telemetry.logs import get_logger
+
+logger = get_logger("robustness.journal")
 
 JOURNAL_VERSION = 1
 
@@ -93,6 +96,10 @@ class JournalWriter:
             "engine": engine,
         })
         self._fresh = False
+        logger.info(
+            "journaling run on %s (%d tuples) to %s",
+            relation.name, relation.n_tuples, self.path,
+        )
 
     def record_cell(self, outcome: CellOutcome) -> None:
         """Journal one settled cell."""
@@ -217,6 +224,9 @@ def replay_journal(
         if outcome.filled:
             relation.set_value(row, attribute, outcome.value)
         outcomes.append(outcome)
+    logger.info(
+        "replayed %d settled cells from %s", len(outcomes), path
+    )
     return outcomes
 
 

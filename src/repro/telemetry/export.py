@@ -1,0 +1,192 @@
+"""Telemetry exporters: JSONL traces, Prometheus text, profile tables.
+
+Three renderings of one run's telemetry:
+
+* :func:`write_trace` — the tracer's spans as JSON Lines, one span per
+  line in trace order (start time, then span id), written atomically so
+  a killed run never leaves a torn trace file.  :func:`read_trace`
+  round-trips the file for tests and offline analysis.
+* :func:`prometheus_text` / :func:`write_metrics` — the registry in the
+  Prometheus text exposition format (``# HELP`` / ``# TYPE`` preamble,
+  cumulative ``_bucket{le=...}`` histogram series).
+* :func:`profile_table` — the human ``--profile`` phase breakdown:
+  span counts, total/mean duration and share of the run, aggregated by
+  span name.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Span, Tracer
+from repro.utils.atomic import atomic_write_text
+from repro.utils.timer import format_duration
+
+__all__ = [
+    "trace_to_jsonl",
+    "write_trace",
+    "read_trace",
+    "prometheus_text",
+    "write_metrics",
+    "profile_table",
+]
+
+
+# ----------------------------------------------------------------------
+# JSONL traces
+# ----------------------------------------------------------------------
+def trace_to_jsonl(tracer: Tracer) -> str:
+    """The tracer's completed spans as JSON Lines, in trace order."""
+    lines = [
+        json.dumps(span.to_dict(), sort_keys=True, default=str)
+        for span in tracer.ordered_spans()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_trace(tracer: Tracer, path: str | Path) -> int:
+    """Write the trace atomically; returns the number of spans written."""
+    text = trace_to_jsonl(tracer)
+    atomic_write_text(path, text)
+    return len(tracer.spans)
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file back into span dicts (trace order)."""
+    spans: list[dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(
+                f"{path}:{lineno}: malformed trace line: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "name" not in record:
+            raise TelemetryError(
+                f"{path}:{lineno}: trace line is not a span object"
+            )
+        spans.append(record)
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key in sorted(family.instruments):
+            instrument = family.instruments[key]
+            if family.kind == "histogram":
+                _render_histogram(lines, instrument)
+            else:
+                lines.append(
+                    f"{family.name}{_render_labels(key)} "
+                    f"{_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str | Path) -> None:
+    """Write the exposition text atomically."""
+    atomic_write_text(path, prometheus_text(registry))
+
+
+def _render_histogram(lines: list[str], histogram: Any) -> None:
+    base = list(histogram.labels)
+    cumulative = histogram.cumulative_counts()
+    bounds = [*histogram.buckets, math.inf]
+    for bound, count in zip(bounds, cumulative):
+        le = "+Inf" if math.isinf(bound) else _format_value(bound)
+        labels = _render_labels((*base, ("le", le)))
+        lines.append(f"{histogram.name}_bucket{labels} {count}")
+    labels = _render_labels(tuple(base))
+    lines.append(
+        f"{histogram.name}_sum{labels} {_format_value(histogram.sum)}"
+    )
+    lines.append(f"{histogram.name}_count{labels} {histogram.count}")
+
+
+def _render_labels(items: Iterable[tuple[str, str]]) -> str:
+    rendered = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in items
+    )
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+# ----------------------------------------------------------------------
+# Profile table
+# ----------------------------------------------------------------------
+def profile_table(tracer: Tracer, *, top: int | None = None) -> str:
+    """Aggregate spans by name into a phase-breakdown table.
+
+    Shares are computed against the longest root span (usually the
+    ``impute`` phase span); nested spans can sum past 100% since a
+    parent's time contains its children's.
+    """
+    spans = list(tracer.spans)
+    if not spans:
+        return "profile: no spans recorded"
+    totals: dict[str, list[float]] = {}
+    order: list[str] = []
+    for span in tracer.ordered_spans():
+        entry = totals.get(span.name)
+        if entry is None:
+            totals[span.name] = [1, span.duration_seconds]
+            order.append(span.name)
+        else:
+            entry[0] += 1
+            entry[1] += span.duration_seconds
+    roots = [span for span in spans if span.parent_id is None]
+    wall = max(
+        (span.duration_seconds for span in roots),
+        default=max(entry[1] for entry in totals.values()),
+    )
+    wall = wall or 1e-12
+    rows = order[:top] if top else order
+    width = max(4, max(len(name) for name in rows))
+    lines = [
+        f"{'span':<{width}}  {'count':>7}  {'total':>9}  "
+        f"{'mean':>9}  {'share':>6}"
+    ]
+    for name in rows:
+        count, total = totals[name]
+        count = int(count)
+        lines.append(
+            f"{name:<{width}}  {count:>7}  "
+            f"{format_duration(total):>9}  "
+            f"{format_duration(total / count):>9}  "
+            f"{total / wall:>6.1%}"
+        )
+    return "\n".join(lines)

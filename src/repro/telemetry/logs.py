@@ -1,0 +1,130 @@
+"""Structured logging for the ``repro`` logger hierarchy.
+
+Every module logs through ``repro.<subsystem>`` loggers obtained from
+:func:`get_logger`; the library itself never configures handlers beyond
+a :class:`logging.NullHandler` on the root ``repro`` logger (standard
+library etiquette), so embedding applications stay in control.
+
+The CLI (and tests) call :func:`configure_logging` to attach one
+stream handler — plain single-line text by default, JSON Lines with
+:class:`JsonLogFormatter` under ``--log-json``.  JSON records carry the
+wall-clock timestamp, level, logger name, message, and any ``extra``
+fields passed to the logging call; exception info is rendered into an
+``exc_info`` string field.
+
+Hot paths must guard expensive message building with
+``logger.isEnabledFor(logging.DEBUG)`` — the donor-scan inner loops run
+millions of times on the stress datasets.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+__all__ = [
+    "get_logger",
+    "configure_logging",
+    "reset_logging",
+    "JsonLogFormatter",
+    "LOG_LEVELS",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: CLI-facing level names, in increasing severity.
+LOG_LEVELS: tuple[str, ...] = ("debug", "info", "warning", "error")
+
+#: LogRecord attributes that are structure, not user-supplied extras.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        "x", logging.INFO, "x", 0, "x", None, None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or a ``repro.<name>`` child.
+
+    ``get_logger("core.renuver")`` is the conventional call from module
+    level: ``logger = get_logger(__name__.removeprefix("repro."))``.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message,
+    user extras, and rendered exception info."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "timestamp": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class _TextFormatter(logging.Formatter):
+    """Terse single-line text: ``HH:MM:SS level logger: message``."""
+
+    default_format = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+    def __init__(self) -> None:
+        super().__init__(self.default_format, datefmt="%H:%M:%S")
+        self.converter = time.localtime
+
+
+def configure_logging(
+    level: str = "warning",
+    *,
+    json_format: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Attach one managed handler to the ``repro`` logger.
+
+    Idempotent: a handler installed by a previous call is replaced, so
+    repeated CLI invocations in one process (tests) do not stack
+    handlers.  Returns the configured root ``repro`` logger.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"level must be one of {LOG_LEVELS}, got {level!r}"
+        )
+    logger = get_logger()
+    reset_logging()
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        JsonLogFormatter() if json_format else _TextFormatter()
+    )
+    handler._repro_managed = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
+    return logger
+
+
+def reset_logging() -> None:
+    """Remove handlers previously installed by :func:`configure_logging`."""
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_managed", False):
+            logger.removeHandler(handler)
+            handler.close()
+
+
+# Library etiquette: silence "No handlers could be found" warnings for
+# embedders that never configure logging.
+get_logger().addHandler(logging.NullHandler())

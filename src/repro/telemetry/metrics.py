@@ -1,0 +1,324 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per run (or per process) absorbs every
+quantitative signal of the pipeline — kernel calls, candidates
+generated, per-cell latencies, degradations — under Prometheus-style
+names and labels::
+
+    registry = MetricsRegistry()
+    registry.counter(
+        "renuver_kernel_calls_total", engine="vectorized", op="cell_scan"
+    ).inc()
+    registry.histogram("renuver_cell_seconds").observe(0.0042)
+
+Instruments are get-or-create: asking for the same (name, labels) pair
+returns the same object, so hot paths can cache the handle and skip the
+lookup.  Names and labels follow the Prometheus data model (metric and
+label name charset, one type per metric name); the exposition renderer
+lives in :mod:`repro.telemetry.export`.
+
+:class:`NullMetrics` is the disabled twin: the same factory API handing
+out shared no-op instruments, for the default telemetry-off path.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator
+
+from repro.exceptions import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds): sub-millisecond cells through the
+#: paper's minutes-long stress runs.
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary histogram (Prometheus classic histogram).
+
+    ``buckets`` are inclusive upper bounds in strictly increasing
+    order; the implicit ``+Inf`` bucket is always present.  Per-bucket
+    counts are kept non-cumulative internally and cumulated at
+    exposition time.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        buckets: tuple[float, ...],
+    ):
+        self.name = name
+        self.labels = labels
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last = overflow (+Inf)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Per-bucket cumulative counts, ending with the +Inf bucket."""
+        out: list[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+
+class _Family:
+    """All instruments sharing one metric name (and therefore one type)."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "instruments")
+
+    def __init__(
+        self, name: str, kind: str, help_text: str,
+        buckets: tuple[float, ...] | None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.instruments: dict[tuple[tuple[str, str], ...], Any] = {}
+
+
+class MetricsRegistry:
+    """Process- or run-local collection of metric instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # -- factories -------------------------------------------------------
+    def counter(
+        self, name: str, help_text: str = "", **labels: str
+    ) -> Counter:
+        """Get or create the counter for ``(name, labels)``."""
+        return self._instrument(Counter, name, help_text, None, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        """Get or create the gauge for ``(name, labels)``."""
+        return self._instrument(Gauge, name, help_text, None, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        *,
+        buckets: tuple[float, ...] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create the histogram for ``(name, labels)``.
+
+        ``buckets`` defaults to :data:`DEFAULT_SECONDS_BUCKETS` and must
+        match the family's boundaries on every later call.
+        """
+        chosen = tuple(buckets) if buckets else DEFAULT_SECONDS_BUCKETS
+        if list(chosen) != sorted(set(chosen)):
+            raise TelemetryError(
+                f"histogram {name} buckets must be strictly increasing, "
+                f"got {chosen}"
+            )
+        return self._instrument(Histogram, name, help_text, chosen, labels)
+
+    # -- reading ---------------------------------------------------------
+    def families(self) -> Iterator[_Family]:
+        """Metric families, sorted by name (exposition order)."""
+        for name in sorted(self._families):
+            yield self._families[name]
+
+    def get(self, name: str, **labels: str) -> Any | None:
+        """The existing instrument for ``(name, labels)``, or ``None``."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.instruments.get(_label_key(labels))
+
+    def value(self, name: str, **labels: str) -> float | None:
+        """Shortcut: the current value of a counter/gauge, or ``None``."""
+        instrument = self.get(name, **labels)
+        return None if instrument is None else instrument.value
+
+    def __len__(self) -> int:
+        return sum(
+            len(family.instruments)
+            for family in self._families.values()
+        )
+
+    # -- internals -------------------------------------------------------
+    def _instrument(
+        self,
+        cls: type,
+        name: str,
+        help_text: str,
+        buckets: tuple[float, ...] | None,
+        labels: dict[str, str],
+    ) -> Any:
+        family = self._families.get(name)
+        if family is None:
+            if not _NAME_RE.match(name):
+                raise TelemetryError(f"invalid metric name {name!r}")
+            for label in labels:
+                if not _LABEL_RE.match(label):
+                    raise TelemetryError(
+                        f"invalid label name {label!r} on metric {name}"
+                    )
+            family = _Family(name, cls.kind, help_text, buckets)
+            self._families[name] = family
+        else:
+            if family.kind != cls.kind:
+                raise TelemetryError(
+                    f"metric {name} is a {family.kind}, "
+                    f"requested as {cls.kind}"
+                )
+            if buckets is not None and family.buckets != buckets:
+                raise TelemetryError(
+                    f"histogram {name} re-declared with different "
+                    f"buckets ({family.buckets} vs {buckets})"
+                )
+            if help_text and not family.help:
+                family.help = help_text
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            if cls is Histogram:
+                instrument = Histogram(name, key, family.buckets or ())
+            else:
+                instrument = cls(name, key)
+            family.instruments[key] = instrument
+        return instrument
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: same factory API, shared no-op instruments."""
+
+    enabled = False
+
+    def counter(
+        self, name: str, help_text: str = "", **labels: str
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(
+        self, name: str, help_text: str = "", **labels: str
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, help_text: str = "", *,
+        buckets: tuple[float, ...] | None = None, **labels: str,
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def families(self) -> Iterator:
+        return iter(())
+
+    def get(self, name: str, **labels: str) -> None:
+        return None
+
+    def value(self, name: str, **labels: str) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_METRICS = NullMetrics()

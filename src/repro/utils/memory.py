@@ -131,12 +131,19 @@ class MemoryTracker:
         return self.peak_bytes > self.budget_bytes
 
     def check_budget(self, context: str = "operation") -> None:
-        """Raise :class:`BudgetExceededError` if the budget is exhausted."""
+        """Raise :class:`BudgetExceededError` if the budget is exhausted.
+
+        Mirrors :meth:`repro.utils.timer.Timer.check_budget`: the
+        message carries both the budget and the measured peak, each
+        rendered through :func:`format_bytes`.
+        """
         if self.expired:
+            peak = self.peak_bytes
             raise BudgetExceededError(
                 f"{context} exceeded memory budget of "
-                f"{format_bytes(self.budget_bytes or 0)}",
-                peak_bytes=self.peak_bytes,
+                f"{format_bytes(self.budget_bytes or 0)} "
+                f"(peak {format_bytes(peak)})",
+                peak_bytes=peak,
                 scope="run",
                 kind="memory",
             )

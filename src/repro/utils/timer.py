@@ -1,9 +1,16 @@
-"""Wall-clock timing helpers used by the evaluation harness.
+"""Monotonic timing helpers used by the runtime and evaluation harness.
 
 The paper reports execution times per imputation run (Tables 4 and 5) and
 enforces a 48-hour budget.  :class:`Timer` provides both: a context manager
-that measures elapsed wall time and an optional budget that marks the run
+that measures elapsed time and an optional budget that marks the run
 as expired.
+
+Every reading comes from one clock source — :func:`time.perf_counter`
+(monotonic), never the wall clock — so budgets survive system clock
+adjustments, and telemetry spans (:mod:`repro.telemetry.trace`, built on
+the same clock family) line up with budget bookkeeping.
+:attr:`Timer.elapsed_ns` exposes the same measurement as integer
+nanoseconds for span arithmetic.
 """
 
 from __future__ import annotations
@@ -13,9 +20,11 @@ from typing import Callable
 
 from repro.exceptions import BudgetExceededError
 
+_NS_PER_SECOND = 1_000_000_000
+
 
 class Timer:
-    """Measure elapsed wall-clock time, optionally against a budget.
+    """Measure elapsed monotonic time, optionally against a budget.
 
     Usage::
 
@@ -84,6 +93,15 @@ class Timer:
         return self._clock() - self._start
 
     @property
+    def elapsed_ns(self) -> int:
+        """:attr:`elapsed` as integer nanoseconds (same monotonic clock).
+
+        Telemetry spans and budget checks share this one clock source;
+        do not mix with wall-clock (:func:`time.time`) readings.
+        """
+        return int(self.elapsed * _NS_PER_SECOND)
+
+    @property
     def expired(self) -> bool:
         """Whether the configured budget has been exhausted."""
         if self.budget_seconds is None:
@@ -91,12 +109,19 @@ class Timer:
         return self.elapsed > self.budget_seconds
 
     def check_budget(self, context: str = "operation") -> None:
-        """Raise :class:`BudgetExceededError` if the budget is exhausted."""
+        """Raise :class:`BudgetExceededError` if the budget is exhausted.
+
+        The message renders both the budget and the measured elapsed
+        time through :func:`format_duration`, so run logs and the
+        paper-style "TL" entries read consistently.
+        """
         if self.expired:
+            elapsed = self.elapsed
             raise BudgetExceededError(
                 f"{context} exceeded time budget of "
-                f"{format_duration(self.budget_seconds or 0.0)}",
-                elapsed_seconds=self.elapsed,
+                f"{format_duration(self.budget_seconds or 0.0)} "
+                f"(elapsed {format_duration(elapsed)})",
+                elapsed_seconds=elapsed,
                 scope=self.scope,
                 kind="time",
             )

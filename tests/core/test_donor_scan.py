@@ -257,7 +257,12 @@ class TestEngineConfig:
         result = Renuver(
             paper_rfds, RenuverConfig(engine="scalar")
         ).impute(restaurant_sample)
-        assert result.report.kernel_counters == {}
+        # Unified seam counters: the scalar engine reports per-op kernel
+        # call counts through the same code path as the vectorized one.
+        counters = result.report.kernel_counters
+        assert counters["calls_cell_scan"] > 0
+        assert counters["calls_candidates"] > 0
+        assert "vector_builds" not in counters  # no vector layer
         assert result.report.imputed_count > 0
 
     def test_engines_agree_on_paper_example(

@@ -1,0 +1,153 @@
+"""Tests for the telemetry exporters (repro.telemetry.export)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    profile_table,
+    prometheus_text,
+    read_trace,
+    trace_to_jsonl,
+    write_metrics,
+    write_trace,
+)
+
+
+class FakeClock:
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def populated_tracer():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("impute", engine="vectorized") as root:
+        with tracer.span("cell", row=0, attribute="City") as cell:
+            cell.event("degradation", from_tier="vectorized")
+    return tracer
+
+
+class TestJsonlTrace:
+    def test_round_trip_through_a_file(self, tmp_path):
+        tracer = populated_tracer()
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(tracer, path) == 2
+        spans = read_trace(path)
+        assert [s["name"] for s in spans] == ["impute", "cell"]
+        cell = spans[1]
+        assert cell["parent_id"] == spans[0]["span_id"]
+        assert cell["attributes"] == {"row": 0, "attribute": "City"}
+        assert cell["events"][0]["name"] == "degradation"
+
+    def test_jsonl_lines_are_independent_json(self):
+        text = trace_to_jsonl(populated_tracer())
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_empty_tracer_writes_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(Tracer(), path) == 0
+        assert path.read_text() == ""
+        assert read_trace(path) == []
+
+    def test_read_trace_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "ok", "span_id": 1}\n{oops\n')
+        with pytest.raises(TelemetryError):
+            read_trace(path)
+
+    def test_read_trace_rejects_non_span_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('[1, 2, 3]\n')
+        with pytest.raises(TelemetryError):
+            read_trace(path)
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "renuver_kernel_calls_total", "Kernel calls.",
+            engine="scalar", op="cell_scan",
+        ).inc(7)
+        registry.gauge("renuver_run_elapsed_seconds").set(1.5)
+        text = prometheus_text(registry)
+        assert "# HELP renuver_kernel_calls_total Kernel calls." in text
+        assert "# TYPE renuver_kernel_calls_total counter" in text
+        assert (
+            'renuver_kernel_calls_total'
+            '{engine="scalar",op="cell_scan"} 7'
+        ) in text
+        assert "# TYPE renuver_run_elapsed_seconds gauge" in text
+        assert "renuver_run_elapsed_seconds 1.5" in text
+
+    def test_histogram_exposition_is_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "renuver_cell_seconds", "Cell time.", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = prometheus_text(registry)
+        assert 'renuver_cell_seconds_bucket{le="0.1"} 1' in text
+        assert 'renuver_cell_seconds_bucket{le="1"} 2' in text
+        assert 'renuver_cell_seconds_bucket{le="+Inf"} 3' in text
+        assert "renuver_cell_seconds_sum 5.55" in text
+        assert "renuver_cell_seconds_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", path='a"b\\c\nd').inc()
+        text = prometheus_text(registry)
+        assert r'path="a\"b\\c\nd"' in text
+
+    def test_write_metrics_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(3)
+        path = tmp_path / "metrics.prom"
+        write_metrics(registry, path)
+        assert "a_total 3" in path.read_text()
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestProfileTable:
+    def test_aggregates_by_span_name(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("impute"):
+            with tracer.span("cell"):
+                pass
+            with tracer.span("cell"):
+                pass
+        table = profile_table(tracer)
+        lines = table.splitlines()
+        assert lines[0].split() == [
+            "span", "count", "total", "mean", "share"
+        ]
+        impute_row = next(l for l in lines if l.startswith("impute"))
+        cell_row = next(l for l in lines if l.startswith("cell"))
+        assert "100.0%" in impute_row
+        assert cell_row.split()[1] == "2"
+
+    def test_top_limits_rows(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        table = profile_table(tracer, top=1)
+        assert "a" in table and "\nb" not in table
+
+    def test_empty_tracer_has_a_placeholder(self):
+        assert "no spans" in profile_table(Tracer())

@@ -1,0 +1,105 @@
+"""Tests for structured logging (repro.telemetry.logs)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.telemetry import configure_logging, get_logger, reset_logging
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    yield
+    reset_logging()
+    get_logger().setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_names_live_under_the_repro_hierarchy(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core.renuver").name == "repro.core.renuver"
+        assert get_logger("repro.cli").name == "repro.cli"
+
+    def test_root_has_a_null_handler(self):
+        assert any(
+            isinstance(h, logging.NullHandler)
+            for h in get_logger().handlers
+        )
+
+
+class TestConfigureLogging:
+    def test_text_format(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("core.renuver").info("hello %s", "world")
+        line = stream.getvalue().strip()
+        assert "INFO" in line
+        assert "repro.core.renuver" in line
+        assert "hello world" in line
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("x").info("dropped")
+        get_logger("x").warning("kept")
+        assert "dropped" not in stream.getvalue()
+        assert "kept" in stream.getvalue()
+
+    def test_idempotent_reconfiguration(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        configure_logging("info", stream=stream)
+        get_logger("x").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("verbose")
+
+
+class TestJsonFormat:
+    def test_records_are_json_with_extras(self):
+        stream = io.StringIO()
+        configure_logging("debug", json_format=True, stream=stream)
+        get_logger("core.renuver").info(
+            "cell settled", extra={"row": 3, "attribute": "City"}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.core.renuver"
+        assert record["message"] == "cell settled"
+        assert record["row"] == 3
+        assert record["attribute"] == "City"
+        assert "timestamp" in record
+
+    def test_exceptions_render_into_exc_info(self):
+        stream = io.StringIO()
+        configure_logging("error", json_format=True, stream=stream)
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("x").exception("failed")
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "failed"
+        assert "ValueError: boom" in record["exc_info"]
+
+
+class TestResetLogging:
+    def test_reset_removes_only_managed_handlers(self):
+        stream = io.StringIO()
+        foreign = logging.StreamHandler(io.StringIO())
+        logger = get_logger()
+        logger.addHandler(foreign)
+        try:
+            configure_logging("info", stream=stream)
+            reset_logging()
+            managed = [
+                h for h in logger.handlers
+                if getattr(h, "_repro_managed", False)
+            ]
+            assert managed == []
+            assert foreign in logger.handlers
+        finally:
+            logger.removeHandler(foreign)

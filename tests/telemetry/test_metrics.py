@@ -1,0 +1,135 @@
+"""Tests for the metrics registry (repro.telemetry.metrics)."""
+
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry import (
+    DEFAULT_SECONDS_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("renuver_kernel_calls_total", op="scan")
+        b = registry.counter("renuver_kernel_calls_total", op="scan")
+        assert a is b
+        a.inc()
+        b.inc(2)
+        assert registry.value(
+            "renuver_kernel_calls_total", op="scan"
+        ) == 3
+
+    def test_labels_partition_the_family(self):
+        registry = MetricsRegistry()
+        registry.counter("calls_total", engine="scalar").inc()
+        registry.counter("calls_total", engine="vectorized").inc(5)
+        assert registry.value("calls_total", engine="scalar") == 1
+        assert registry.value("calls_total", engine="vectorized") == 5
+
+    def test_counters_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.counter("x_total").inc(-1)
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("t", a="1", b="2")
+        b = registry.counter("t", b="2", a="1")
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("renuver_run_elapsed_seconds")
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec(0.5)
+        assert registry.value("renuver_run_elapsed_seconds") == 12.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "latency", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.1, 0.5, 5.0, 100.0):
+            histogram.observe(value)
+        # non-cumulative: (<=0.1)=2, (<=1.0)=1, (<=10.0)=1, +Inf=1
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.cumulative_counts() == [2, 3, 4, 5]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(105.65)
+
+    def test_default_buckets_cover_seconds(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("renuver_cell_seconds")
+        assert histogram.buckets == DEFAULT_SECONDS_BUCKETS
+
+    def test_buckets_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.histogram("bad", buckets=(1.0, 1.0, 2.0))
+
+    def test_redeclared_buckets_must_match(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(TelemetryError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+
+class TestRegistry:
+    def test_type_clash_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("metric_total")
+        with pytest.raises(TelemetryError):
+            registry.gauge("metric_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.counter("9starts_with_digit")
+        with pytest.raises(TelemetryError):
+            registry.counter("ok_name", **{"bad-label": "x"})
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.counter("a_total")
+        assert [f.name for f in registry.families()] == [
+            "a_total", "b_total"
+        ]
+
+    def test_get_and_value_for_missing_metric(self):
+        registry = MetricsRegistry()
+        assert registry.get("nope") is None
+        assert registry.value("nope") is None
+
+    def test_len_counts_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a", x="1")
+        registry.counter("a", x="2")
+        registry.gauge("b")
+        assert len(registry) == 3
+
+
+class TestNullMetrics:
+    def test_shared_noop_instruments(self):
+        counter = NULL_METRICS.counter("a_total", status="ok")
+        gauge = NULL_METRICS.gauge("b")
+        histogram = NULL_METRICS.histogram("c")
+        assert counter is gauge is histogram
+        counter.inc()
+        gauge.set(5)
+        gauge.dec()
+        histogram.observe(1.0)
+        assert counter.value == 0.0
+        assert not NULL_METRICS.enabled
+        assert len(NULL_METRICS) == 0
+        assert list(NULL_METRICS.families()) == []
+        assert NULL_METRICS.get("a_total") is None
+        assert NULL_METRICS.value("a_total") is None

@@ -1,0 +1,85 @@
+"""Tier-1 smoke test for the telemetry-overhead benchmark.
+
+Runs ``benchmarks/bench_telemetry.py``'s ``run_bench`` with a tiny
+loader (40 Restaurant tuples, a hand-written RFD set, one repeat) so the
+bench's code path — disabled vs enabled timing, the analytic no-op cost
+model, the outcome-equality check, JSON artifact — is exercised on every
+test run without the cost of RFD discovery.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import load_dataset
+from repro.rfd import parse_rfd
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def bench_module(monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCHMARKS_DIR))
+    sys.modules.pop("bench_telemetry", None)
+    import bench_telemetry
+
+    yield bench_telemetry
+    sys.modules.pop("bench_telemetry", None)
+
+
+def tiny_loader(name):
+    assert name == "restaurant"
+    relation = load_dataset("restaurant", n_tuples=40, seed=0)
+    rfds = [
+        parse_rfd(text)
+        for text in [
+            "Name(<=4) -> Phone(<=1)",
+            "Address(<=3), City(<=2) -> Phone(<=2)",
+            "Phone(<=1) -> Class(<=0)",
+            "Class(<=0) -> Type(<=5)",
+            "Name(<=6), City(<=2) -> Address(<=8)",
+            "Phone(<=2) -> City(<=2)",
+            "City(<=0), Type(<=3) -> Name(<=12)",
+        ]
+    ]
+    return relation, rfds
+
+
+def test_run_bench_smoke(bench_module, tmp_path):
+    result_path = tmp_path / "BENCH_telemetry.json"
+    summary = bench_module.run_bench(
+        ("restaurant",),
+        result_path=result_path,
+        repeats=1,
+        loader=tiny_loader,
+    )
+
+    assert result_path.exists()
+    assert json.loads(result_path.read_text(encoding="utf-8")) == summary
+
+    assert summary["noop_call_seconds"] > 0
+    entry = summary["datasets"]["restaurant"]
+    assert entry["n_tuples"] == 40
+    assert entry["missing_cells"] > 0
+    # Attaching telemetry must not change a run's outcomes.
+    assert entry["identical_outcomes"] is True
+    # Root span + one span per missing cell, at least.
+    assert entry["spans"] > entry["missing_cells"]
+    assert entry["instrumentation_sites"] > entry["spans"]
+    assert entry["disabled_seconds"] > 0
+    assert entry["enabled_seconds"] > 0
+    assert entry["disabled_overhead"] == pytest.approx(
+        entry["instrumentation_sites"]
+        * summary["noop_call_seconds"]
+        / entry["disabled_seconds"]
+    )
+
+
+def test_noop_call_cost_is_sub_microsecond(bench_module):
+    # The disabled spine is a handful of attribute lookups; if a single
+    # no-op site ever costs more than 5µs something regressed badly.
+    assert bench_module.noop_call_seconds(20_000) < 5e-6

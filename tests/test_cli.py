@@ -247,3 +247,153 @@ class TestRobustnessFlags:
             "--engine", "scalar", "--out", str(out),
         ]) == 0
         assert read_csv(out).count_missing() == 0
+
+
+class TestTelemetryFlags:
+    """--trace / --metrics / --profile and the logging flags."""
+
+    @pytest.fixture()
+    def rfds(self, tmp_path):
+        path = tmp_path / "rfds.txt"
+        path.write_text("Zip(<=0) -> City(<=1)\n")
+        return path
+
+    def test_trace_and_metrics_files(self, dirty_csv, rfds, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.prom"
+        code = main([
+            "impute", str(dirty_csv), "--rfds", str(rfds),
+            "--out", str(tmp_path / "clean.csv"),
+            "--trace", str(trace), "--metrics", str(metrics),
+        ])
+        assert code == 0
+        from repro.telemetry import read_trace
+
+        spans = read_trace(trace)
+        assert {s["name"] for s in spans} >= {
+            "impute", "preprocess", "cell"
+        }
+        text = metrics.read_text()
+        assert "# TYPE renuver_cell_seconds histogram" in text
+        assert 'renuver_runs_total{status="ok"} 1' in text
+
+    def test_profile_prints_phase_table(self, dirty_csv, rfds, capsys):
+        code = main([
+            "impute", str(dirty_csv), "--rfds", str(rfds), "--profile",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "span" in err and "share" in err
+        assert "impute" in err and "cell" in err
+
+    def test_evaluate_accepts_telemetry_flags(
+        self, clean_csv, tmp_path, capsys
+    ):
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "evaluate", str(clean_csv), "--rate", "0.1",
+            "--trace", str(trace), "--profile",
+        ])
+        assert code == 0
+        from repro.telemetry import read_trace
+
+        names = {s["name"] for s in read_trace(trace)}
+        assert "discover" in names and "impute" in names
+
+    def test_trace_written_even_on_budget_abort(
+        self, dirty_csv, rfds, tmp_path, capsys
+    ):
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "impute", str(dirty_csv), "--rfds", str(rfds),
+            "--budget", "1e-9", "--trace", str(trace),
+        ])
+        assert code == 3  # exit-code contract unchanged
+        assert trace.exists()
+
+    def test_no_flags_means_no_files(self, dirty_csv, rfds, tmp_path):
+        code = main([
+            "impute", str(dirty_csv), "--rfds", str(rfds),
+            "--out", str(tmp_path / "clean.csv"),
+        ])
+        assert code == 0
+        assert list(tmp_path.glob("*.jsonl")) == []
+        assert list(tmp_path.glob("*.prom")) == []
+
+
+class TestLoggingFlags:
+    @pytest.fixture(autouse=True)
+    def _clean_logging(self):
+        import logging
+
+        from repro.telemetry import get_logger, reset_logging
+
+        yield
+        reset_logging()
+        get_logger().setLevel(logging.NOTSET)
+
+    def test_log_level_attaches_a_handler(self, dirty_csv, tmp_path):
+        import logging
+
+        from repro.telemetry import get_logger
+
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("Zip(<=0) -> City(<=1)\n")
+        assert main([
+            "--log-level", "info", "impute", str(dirty_csv),
+            "--rfds", str(rfds), "--out", str(tmp_path / "c.csv"),
+        ]) == 0
+        logger = get_logger()
+        assert logger.level == logging.INFO
+        assert any(
+            getattr(h, "_repro_managed", False) for h in logger.handlers
+        )
+
+    def test_debug_implies_debug_log_level(self, tmp_path):
+        import logging
+
+        from repro.telemetry import get_logger
+
+        main(["--debug", "datasets"])
+        assert get_logger().level == logging.DEBUG
+
+    def test_explicit_log_level_wins_over_debug(self, tmp_path):
+        import logging
+
+        from repro.telemetry import get_logger
+
+        main(["--debug", "--log-level", "error", "datasets"])
+        assert get_logger().level == logging.ERROR
+
+    def test_log_json_emits_json_records(
+        self, dirty_csv, tmp_path, capsys
+    ):
+        import json
+
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("Zip(<=0) -> City(<=1)\n")
+        assert main([
+            "--log-json", "impute", str(dirty_csv),
+            "--rfds", str(rfds), "--out", str(tmp_path / "c.csv"),
+        ]) == 0
+        err = capsys.readouterr().err
+        json_lines = [
+            line for line in err.splitlines()
+            if line.startswith("{")
+        ]
+        assert json_lines
+        record = json.loads(json_lines[-1])
+        assert record["logger"].startswith("repro.")
+        assert "message" in record and "timestamp" in record
+
+    def test_exit_codes_unchanged_with_logging_enabled(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("A,B\n1,2,3\n")
+        rfds = tmp_path / "rfds.txt"
+        rfds.write_text("A(<=0) -> B(<=0)\n")
+        assert main([
+            "--log-level", "debug", "impute", str(bad),
+            "--rfds", str(rfds),
+        ]) == 4

@@ -21,7 +21,8 @@ class TestDocumentsExist:
     @pytest.mark.parametrize(
         "name",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-         "docs/ALGORITHMS.md"],
+         "docs/ALGORITHMS.md", "docs/ROBUSTNESS.md",
+         "docs/OBSERVABILITY.md"],
     )
     def test_present_and_nonempty(self, name):
         path = ROOT / name
@@ -75,6 +76,54 @@ class TestExperimentsReferences:
             "bench_extensions.py",
         }
         assert expected <= names
+
+
+class TestObservabilityDoc:
+    @pytest.fixture(scope="class")
+    def text(self) -> str:
+        return (ROOT / "docs" / "OBSERVABILITY.md").read_text(
+            encoding="utf-8"
+        )
+
+    def test_cross_linked_from_the_other_docs(self):
+        for name in ["README.md", "docs/ALGORITHMS.md",
+                     "docs/ROBUSTNESS.md"]:
+            text = (ROOT / name).read_text(encoding="utf-8")
+            assert "OBSERVABILITY.md" in text, (
+                f"{name} does not link docs/OBSERVABILITY.md"
+            )
+
+    def test_documented_metrics_exist_in_the_code(self, text):
+        src = ROOT / "src" / "repro"
+        code = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in src.rglob("*.py")
+        )
+        for metric in re.findall(r"`(renuver_[a-z_]+)`", text):
+            assert metric in code, (
+                f"OBSERVABILITY.md documents unknown metric {metric}"
+            )
+
+    def test_documented_cli_flags_exist(self, text):
+        cli = (ROOT / "src" / "repro" / "cli.py").read_text(
+            encoding="utf-8"
+        )
+        for flag in ["--trace", "--metrics", "--profile",
+                     "--log-level", "--log-json"]:
+            assert flag in text
+            assert f'"{flag}"' in cli, f"cli.py misses {flag}"
+
+    def test_documented_span_names_emitted(self, text):
+        src = ROOT / "src" / "repro"
+        code = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in src.rglob("*.py")
+        )
+        for span in ["impute", "preprocess", "cell", "discover",
+                     "discover_rhs", "kernel."]:
+            assert f'"{span}' in code, (
+                f"OBSERVABILITY.md documents unemitted span {span!r}"
+            )
 
 
 class TestReadmeReferences:

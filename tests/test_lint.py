@@ -1,0 +1,49 @@
+"""Repo lint: no bare ``print`` calls outside the sanctioned modules.
+
+Library code must log through :mod:`repro.telemetry.logs` so embedders
+control verbosity; only the CLI and the evaluation report renderer talk
+to stdout/stderr directly.  The check walks the AST (not grep) so
+``print`` appearing in docstrings or comments does not trip it.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Modules whose job is writing to the console.
+ALLOWED = {
+    SRC / "cli.py",
+    SRC / "evaluation" / "reporting.py",
+}
+
+
+def bare_print_calls(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def test_no_bare_prints_outside_cli_and_reporting():
+    offenders = {}
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        lines = bare_print_calls(path)
+        if lines:
+            offenders[str(path.relative_to(SRC))] = lines
+    assert not offenders, (
+        f"bare print() calls found (use repro.telemetry.logs instead): "
+        f"{offenders}"
+    )
+
+
+def test_the_allowed_modules_exist():
+    # Guard the allowlist against renames silently voiding the lint.
+    for path in ALLOWED:
+        assert path.exists(), f"allowlisted module moved: {path}"
