@@ -1,0 +1,161 @@
+"""Supervised-runtime benchmark: sequential vs workers=1 vs workers=2.
+
+Times one full RENUVER run per mode on Restaurant with discovered RFDs
+and 3% injected missing values:
+
+* ``sequential``  — the default in-process path (``RenuverConfig()``);
+* ``workers1``    — ``workers=1``, which by design *is* the sequential
+  path (the supervisor only engages at two or more workers), so its
+  overhead must stay under the 5% target;
+* ``workers2``    — the real supervised runtime: two worker
+  subprocesses, batching, round barrier, merge.  Reported for the
+  record; on a single-core box the barrier plus process churn makes it
+  slower than sequential — the supervisor buys crash isolation, not
+  single-node speed.
+
+All three modes must produce bit-identical imputation outcomes.  Writes
+``BENCH_supervisor.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from harness import TableWriter, bench_dataset, bench_rfds, scale
+from repro import Renuver, RenuverConfig, inject_missing
+from repro.dataset.relation import Relation
+from repro.rfd.rfd import RFD
+
+DEFAULT_RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_supervisor.json"
+)
+DATASETS = ("restaurant",)
+THRESHOLD = 3
+RATE = 0.03
+SEED = 7
+OVERHEAD_TARGET = 0.05
+
+Loader = Callable[[str], tuple[Relation, list[RFD]]]
+
+
+def default_loader(name: str) -> tuple[Relation, list[RFD]]:
+    """Scale-aware dataset + discovered RFDs from the shared harness."""
+    return bench_dataset(name), bench_rfds(name, THRESHOLD).all_rfds
+
+
+def run_bench(
+    datasets: Iterable[str] = DATASETS,
+    *,
+    result_path: Path = DEFAULT_RESULT_PATH,
+    repeats: int = 3,
+    loader: Loader = default_loader,
+) -> dict:
+    """Time the three modes and persist the JSON summary.
+
+    Timings are the minimum over ``repeats`` interleaved runs of
+    :meth:`Renuver.impute` (one run per mode per repeat, so clock drift
+    and thermal effects hit every mode equally).
+    """
+    summary: dict = {
+        "bench": "supervisor",
+        "scale": scale(),
+        "missing_rate": RATE,
+        "injection_seed": SEED,
+        "repeats": repeats,
+        "overhead_target": OVERHEAD_TARGET,
+        "datasets": {},
+    }
+    for name in datasets:
+        relation, rfds = loader(name)
+        dirty = inject_missing(relation, rate=RATE, seed=SEED).relation
+
+        engines = {
+            "sequential": Renuver(rfds),
+            "workers1": Renuver(rfds, RenuverConfig(workers=1)),
+            "workers2": Renuver(
+                rfds, RenuverConfig(workers=2, worker_batch_size=8)
+            ),
+        }
+        best = {mode: math.inf for mode in engines}
+        results = {}
+        for engine in engines.values():  # warm caches outside the clock
+            engine.impute(dirty)
+        for _ in range(repeats):
+            for mode, engine in engines.items():
+                start = time.perf_counter()
+                results[mode] = engine.impute(dirty)
+                best[mode] = min(best[mode], time.perf_counter() - start)
+
+        sequential = results["sequential"]
+        identical = all(
+            sequential.report.cell_outcomes == result.report.cell_outcomes
+            and sequential.relation.equals(result.relation)
+            for result in results.values()
+        )
+        summary["datasets"][name] = {
+            "n_tuples": relation.n_tuples,
+            "n_rfds": len(rfds),
+            "missing_cells": sequential.report.missing_count,
+            "imputed_cells": sequential.report.imputed_count,
+            "sequential_seconds": best["sequential"],
+            "workers1_seconds": best["workers1"],
+            "workers2_seconds": best["workers2"],
+            "workers1_overhead": (
+                best["workers1"] / best["sequential"] - 1.0
+            ),
+            "workers2_rounds": results[
+                "workers2"
+            ].report.supervisor_rounds,
+            "workers2_accepted": results[
+                "workers2"
+            ].report.worker_cells_accepted,
+            "workers2_recomputed": results[
+                "workers2"
+            ].report.worker_cells_recomputed,
+            "identical_outcomes": identical,
+        }
+    result_path.write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+    )
+    return summary
+
+
+def test_supervisor_overhead():
+    summary = run_bench()
+
+    writer = TableWriter("supervisor")
+    writer.header(
+        "Supervised runtime: sequential vs workers=1 vs workers=2"
+    )
+    writer.row(
+        f"{'dataset':<12}{'tuples':>8}{'cells':>7}"
+        f"{'seq':>10}{'w=1':>10}{'w=2':>10}{'w1 ovh':>9}  identical"
+    )
+    for name, entry in summary["datasets"].items():
+        writer.row(
+            f"{name:<12}{entry['n_tuples']:>8}"
+            f"{entry['missing_cells']:>7}"
+            f"{entry['sequential_seconds'] * 1e3:>8.1f}ms"
+            f"{entry['workers1_seconds'] * 1e3:>8.1f}ms"
+            f"{entry['workers2_seconds'] * 1e3:>8.1f}ms"
+            f"{entry['workers1_overhead']:>8.1%}  "
+            f"{entry['identical_outcomes']}"
+        )
+    writer.close()
+
+    for name, entry in summary["datasets"].items():
+        assert entry["identical_outcomes"], name
+        assert entry["missing_cells"] > 0, name
+        assert (
+            entry["workers2_accepted"] + entry["workers2_recomputed"]
+            == entry["missing_cells"]
+        ), name
+        if summary["scale"] != "smoke":
+            assert entry["workers1_overhead"] < OVERHEAD_TARGET, (
+                f"{name}: {entry['workers1_overhead']:.1%}"
+            )
+    assert DEFAULT_RESULT_PATH.exists()

@@ -84,7 +84,11 @@ from repro.evaluation import (
     save_rule_file,
     score_imputation,
 )
-from repro.exceptions import BudgetExceededError, ReproError
+from repro.exceptions import (
+    BudgetExceededError,
+    ReproError,
+    WorkerPoolError,
+)
 from repro.extensions import (
     ImputationSession,
     MultiSourceRenuver,
@@ -164,6 +168,7 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "ValueSetRule",
+    "WorkerPoolError",
     "build_injection_suite",
     "compare_approaches",
     "config_with_suggested_limits",

@@ -24,6 +24,7 @@ evaluation protocol)::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Sequence
 
@@ -49,6 +50,7 @@ from repro.exceptions import (
     RFDValidationError,
     RuleFileError,
     SchemaError,
+    WorkerPoolError,
 )
 from repro.rfd import load_rfds, save_rfds
 from repro.telemetry import (
@@ -76,6 +78,7 @@ _EXIT_CODES: tuple[tuple[type, int], ...] = (
     (ImputationError, 6),
     (EvaluationError, 6),
     (InjectedFaultError, 6),
+    (WorkerPoolError, 7),       # supervised worker pool exhausted retries
 )
 
 
@@ -95,8 +98,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+    restore = _install_sigterm_handler()
     try:
         return args.handler(args)
+    except KeyboardInterrupt:
+        # SIGINT or SIGTERM: by the time the interrupt propagates here,
+        # the driver's finally blocks have flushed the journal and the
+        # supervisor has reaped its workers — exit with the
+        # conventional 128+SIGINT code.
+        print("interrupted; journal flushed, workers reaped",
+              file=sys.stderr)
+        return 130
     except ReproError as exc:
         if args.debug:
             raise
@@ -107,6 +119,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             raise
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        restore()
+
+
+def _install_sigterm_handler():
+    """Make SIGTERM unwind like Ctrl-C so ``finally`` blocks run.
+
+    Returns a zero-argument restore callable.  No-ops (and restores
+    nothing) outside the main thread or when SIGTERM is unavailable.
+    """
+    def on_sigterm(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt("SIGTERM")
+
+    try:
+        previous = signal.signal(signal.SIGTERM, on_sigterm)
+    except (ValueError, OSError, AttributeError):
+        return lambda: None
+    return lambda: signal.signal(signal.SIGTERM, previous)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -191,6 +221,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--on-budget", choices=("raise", "partial"), default="raise",
         help="run-budget overrun: abort with exit 3, or keep the "
              "partial result and exit 0",
+    )
+    impute.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker subprocesses for the supervised parallel runtime "
+             "(default 1 = sequential; outcomes are bit-identical "
+             "either way; total pool failure exits 7)",
+    )
+    impute.add_argument(
+        "--worker-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="heartbeat staleness after which a worker is declared "
+             "hung and retried (default 30)",
     )
     impute.add_argument(
         "--journal", default=None, metavar="PATH",
@@ -336,6 +377,8 @@ def _cmd_impute(args: argparse.Namespace) -> int:
             cell_time_budget_seconds=args.cell_budget,
             fallback=args.fallback,
             on_budget=args.on_budget,
+            workers=args.workers,
+            worker_timeout_seconds=args.worker_timeout,
         ),
         telemetry=telemetry,
     )

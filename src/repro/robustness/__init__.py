@@ -9,6 +9,10 @@ Three pieces, matching the runtime's robustness pillars:
   (kernel faults, listener faults, clock skips, donor corruption, a
   kill switch) that exercise the degradation ladder and the journal in
   tests.
+* :mod:`repro.robustness.supervisor` — the supervised parallel runtime
+  behind ``RenuverConfig(workers=N)``: crash-isolated worker
+  subprocesses with heartbeats, timeouts, retry/backoff and a
+  deterministic round-barrier merge.
 * Budget enforcement itself lives with the driver
   (:class:`~repro.core.renuver.RenuverConfig` time/memory/cell budgets)
   and the watchdogs in :mod:`repro.utils.timer` / :mod:`repro.utils.memory`.
@@ -20,10 +24,14 @@ from repro.robustness.chaos import ChaosConfig, ChaosInjector, ChaosKill
 from repro.robustness.journal import (
     JOURNAL_VERSION,
     JournalWriter,
+    WorkerCellResult,
+    fingerprint_matches,
     load_journal,
+    read_shard,
     relation_fingerprint,
     replay_journal,
 )
+from repro.robustness.supervisor import Supervisor
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -31,7 +39,11 @@ __all__ = [
     "ChaosInjector",
     "ChaosKill",
     "JournalWriter",
+    "Supervisor",
+    "WorkerCellResult",
+    "fingerprint_matches",
     "load_journal",
+    "read_shard",
     "relation_fingerprint",
     "replay_journal",
 ]

@@ -23,7 +23,14 @@ cell corruption:
 * **kill switch** — ``kill_after_cells`` raises :class:`ChaosKill`
   (a ``BaseException``, so nothing on the recovery ladder can swallow
   it) when the driver starts cell N+1, simulating a hard kill for
-  journal-resume tests.
+  journal-resume tests;
+* **worker faults** — ``worker_kill_rate`` / ``worker_hang_rate`` /
+  ``worker_slow_rate`` target the supervised runtime's worker
+  *subprocesses* (``RenuverConfig.workers > 1``): a killed worker
+  SIGKILLs itself mid-batch, a hung worker stops heartbeating until the
+  supervisor reaps it, a slow worker sleeps before every cell.  Draws
+  are keyed on ``(round, batch, attempt)`` so the plan is independent
+  of scheduling (see :meth:`ChaosInjector.worker_fault`).
 
 Every channel draws from its own ``random.Random`` stream derived from
 ``seed``, so two runs with the same config, relation and RFDs inject
@@ -73,21 +80,45 @@ class ChaosConfig:
     kill_after_cells: int | None = None
     #: Cap on injected kernel+listener faults (None = unlimited).
     max_faults: int | None = None
+    #: Probability that a dispatched worker batch gets SIGKILLed
+    #: mid-batch (supervised runtime only).
+    worker_kill_rate: float = 0.0
+    #: Probability that a dispatched worker batch hangs (stops
+    #: heartbeating) mid-batch until the supervisor kills it.
+    worker_hang_rate: float = 0.0
+    #: Probability that a dispatched worker batch sleeps before every
+    #: cell (heartbeats keep flowing; no failure should be declared).
+    worker_slow_rate: float = 0.0
+    #: Per-cell sleep of a slow worker.
+    worker_slow_seconds: float = 0.02
+    #: Cells a killed/hung worker completes before the fault fires.
+    worker_fault_cells: int = 1
 
     def __post_init__(self) -> None:
         for name in ("kernel_fault_rate", "listener_fault_rate",
-                     "clock_skip_rate"):
+                     "clock_skip_rate", "worker_kill_rate",
+                     "worker_hang_rate", "worker_slow_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ImputationError(
                     f"{name} must be in [0, 1], got {rate!r}"
                 )
+        worker_total = (self.worker_kill_rate + self.worker_hang_rate
+                        + self.worker_slow_rate)
+        if worker_total > 1.0:
+            raise ImputationError(
+                f"worker fault rates must sum to <= 1, got {worker_total}"
+            )
         if self.corrupt_cells < 0:
             raise ImputationError("corrupt_cells must be >= 0")
         if self.kill_after_cells is not None and self.kill_after_cells < 0:
             raise ImputationError(
                 "kill_after_cells must be >= 0 when given"
             )
+        if self.worker_fault_cells < 0:
+            raise ImputationError("worker_fault_cells must be >= 0")
+        if self.worker_slow_seconds < 0:
+            raise ImputationError("worker_slow_seconds must be >= 0")
 
 
 class ChaosInjector:
@@ -109,6 +140,7 @@ class ChaosInjector:
         self.cells_started = 0
         self.faults_injected = 0
         self.clock_skips = 0
+        self.worker_faults_planned = 0
         self.corrupted: list[tuple[int, str]] = []
 
     # ------------------------------------------------------------------
@@ -156,6 +188,48 @@ class ChaosInjector:
                 f"(at cell ({row}, {attribute!r}))"
             )
         self.cells_started += 1
+
+    def worker_fault(
+        self, round_index: int, batch_index: int, attempt: int
+    ) -> dict[str, Any] | None:
+        """The fault plan for one worker-batch dispatch, or ``None``.
+
+        Unlike the streaming channels above, the draw is *keyed* on
+        ``(round, batch, attempt)`` rather than consumed from a stream:
+        the supervisor dispatches and retries batches at wall-clock-
+        dependent moments, and a keyed derivation keeps the injected
+        fault a pure function of the dispatch coordinates — two runs
+        with the same seed fault the exact same attempts regardless of
+        scheduling.
+        """
+        config = self.config
+        total = (config.worker_kill_rate + config.worker_hang_rate
+                 + config.worker_slow_rate)
+        if total <= 0.0:
+            return None
+        rng = spawn_rng(
+            config.seed, "chaos", "worker",
+            round_index, batch_index, attempt,
+        )
+        draw = rng.random()
+        fault: dict[str, Any] | None = None
+        if draw < config.worker_kill_rate:
+            fault = {"kind": "kill",
+                     "after_cells": config.worker_fault_cells}
+        elif draw < config.worker_kill_rate + config.worker_hang_rate:
+            fault = {"kind": "hang",
+                     "after_cells": config.worker_fault_cells}
+        elif draw < total:
+            fault = {"kind": "slow",
+                     "seconds": config.worker_slow_seconds}
+        if fault is not None:
+            self.worker_faults_planned += 1
+            logger.debug(
+                "planning worker fault %s for round %d batch %d "
+                "attempt %d", fault["kind"], round_index, batch_index,
+                attempt,
+            )
+        return fault
 
     def corrupt(self, relation: Relation) -> None:
         """Scramble ``corrupt_cells`` present cells of ``relation``.

@@ -12,19 +12,41 @@ one.
 Record types (one JSON object per line):
 
 ``header``
-    Written once when the journal file is created: schema, tuple count,
-    missing-cell count and an MD5 fingerprint of the dirty relation.
-    Resume refuses to replay onto a relation with a different
-    fingerprint.
+    Written once when the journal file is created: schema (attribute
+    names), tuple count, missing-cell count and a SHA-256 fingerprint
+    of the dirty relation.  Resume refuses to replay onto a relation
+    with a different schema or fingerprint.  Journals written before
+    the SHA-256 switch carry an MD5 fingerprint (32 hex chars); replay
+    still accepts those by digest length.
 ``cell``
     One terminal :class:`~repro.core.report.CellOutcome`: coordinates,
     status, value, source row, RFD (re-parseable text), distance,
-    engine tier, candidates tried and rollback count.
+    engine tier, candidates tried and rollback count.  Cells settled by
+    the supervised runtime additionally carry a ``worker`` tag naming
+    the batch that computed them (``None`` for in-process recomputes).
 ``budget``
     A :class:`~repro.core.report.BudgetEvent` (run- or cell-scope).
+``degradation``
+    A :class:`~repro.core.report.Degradation` (audit only; replay
+    ignores it).
+``reactivation``
+    Key RFDs re-activated by a fill (Algorithm 1 line 14).  Written by
+    supervised workers into their shards so the round barrier can
+    compare worker-local reactivations against the authoritative ones;
+    replay ignores it.
 ``end``
     The run finished normally.  Absent after a crash — which is fine:
     replay only needs the prefix.
+
+Worker shards
+-------------
+The supervised runtime's worker subprocesses journal their batch into
+per-attempt *shard* files (``<journal>.shards/r<round>.b<batch>.a<n>``)
+using the same record vocabulary, minus the header.  The supervisor
+merges settled shards into the main journal at the round barrier — the
+main journal therefore stays an ordered, replayable, crash-safe prefix
+even when the cells were computed out-of-order across processes.
+:func:`read_shard` parses one shard back into per-cell results.
 
 A truncated final line (the record being written when the process died)
 is tolerated and ignored; corruption anywhere else raises
@@ -39,7 +61,14 @@ import os
 from pathlib import Path
 from typing import Any, TextIO
 
-from repro.core.report import BudgetEvent, CellOutcome, OutcomeStatus
+from dataclasses import dataclass, field
+
+from repro.core.report import (
+    BudgetEvent,
+    CellOutcome,
+    Degradation,
+    OutcomeStatus,
+)
 from repro.dataset.missing import is_missing
 from repro.dataset.relation import Relation
 from repro.exceptions import JournalError
@@ -53,16 +82,40 @@ JOURNAL_VERSION = 1
 
 
 def relation_fingerprint(relation: Relation) -> str:
-    """MD5 over schema and cells — identifies the dirty instance.
+    """SHA-256 over schema and cells — identifies the dirty instance.
 
     Computed over the same rendering `to_csv_text` produces, so the
-    fingerprint is stable across copies and process restarts.
+    fingerprint is stable across copies and process restarts.  Earlier
+    journal versions used MD5, which raises under FIPS-enabled Python
+    builds; :func:`fingerprint_matches` still verifies those legacy
+    journals by digest length.
     """
     from repro.dataset.csv_io import to_csv_text
 
-    digest = hashlib.md5()
+    digest = hashlib.sha256()
     digest.update(to_csv_text(relation).encode("utf-8"))
     return digest.hexdigest()
+
+
+def fingerprint_matches(expected: str, relation: Relation) -> bool:
+    """Whether ``expected`` (SHA-256, or legacy MD5) matches ``relation``.
+
+    A 32-hex-char fingerprint is from a pre-SHA-256 journal; it is
+    re-verified with ``hashlib.md5(usedforsecurity=False)``, which stays
+    available under FIPS.  Any other length only matches SHA-256.
+    """
+    if not isinstance(expected, str):
+        return False
+    if len(expected) == 32:
+        from repro.dataset.csv_io import to_csv_text
+
+        try:
+            digest = hashlib.md5(usedforsecurity=False)
+        except (TypeError, ValueError):  # pragma: no cover - exotic builds
+            return False
+        digest.update(to_csv_text(relation).encode("utf-8"))
+        return digest.hexdigest() == expected
+    return expected == relation_fingerprint(relation)
 
 
 class JournalWriter:
@@ -91,6 +144,7 @@ class JournalWriter:
             "relation": relation.name,
             "n_tuples": relation.n_tuples,
             "n_attributes": relation.n_attributes,
+            "attributes": list(relation.attribute_names),
             "missing": relation.count_missing(),
             "fingerprint": relation_fingerprint(relation),
             "engine": engine,
@@ -101,10 +155,17 @@ class JournalWriter:
             relation.name, relation.n_tuples, self.path,
         )
 
-    def record_cell(self, outcome: CellOutcome) -> None:
-        """Journal one settled cell."""
+    def record_cell(
+        self, outcome: CellOutcome, *, worker: str | None = None
+    ) -> None:
+        """Journal one settled cell.
+
+        ``worker`` attributes the outcome to the supervised batch that
+        computed it (e.g. ``"r2.b1"``); omitted for sequential runs and
+        for cells the supervisor recomputed in-process.
+        """
         rollbacks = outcome.candidates_tried - (1 if outcome.filled else 0)
-        self._write({
+        record = {
             "type": "cell",
             "row": outcome.row,
             "attribute": outcome.attribute,
@@ -118,6 +179,36 @@ class JournalWriter:
             "rollbacks": max(0, rollbacks),
             "engine_tier": outcome.engine_tier,
             "reason": outcome.reason,
+        }
+        if worker is not None:
+            record["worker"] = worker
+        self._write(record)
+
+    def record_degradation(
+        self, degradation: Degradation, *, worker: str | None = None
+    ) -> None:
+        """Journal one degradation-ladder downgrade (audit only)."""
+        record = {
+            "type": "degradation",
+            "row": degradation.row,
+            "attribute": degradation.attribute,
+            "from_tier": degradation.from_tier,
+            "to_tier": degradation.to_tier,
+            "reason": degradation.reason,
+        }
+        if worker is not None:
+            record["worker"] = worker
+        self._write(record)
+
+    def record_reactivation(
+        self, row: int, attribute: str, rfds: list[str]
+    ) -> None:
+        """Journal key RFDs re-activated by the fill at one cell."""
+        self._write({
+            "type": "reactivation",
+            "row": row,
+            "attribute": attribute,
+            "rfds": rfds,
         })
 
     def record_budget(self, event: BudgetEvent) -> None:
@@ -153,9 +244,8 @@ class JournalWriter:
             os.fsync(self._handle.fileno())
 
 
-def load_journal(path: str | Path) -> list[dict[str, Any]]:
-    """Parse a journal into records, tolerating a truncated last line."""
-    path = Path(path)
+def _parse_records(path: Path) -> list[dict[str, Any]]:
+    """JSONL records of ``path``, tolerating a truncated last line."""
     try:
         lines = path.read_text(encoding="utf-8").splitlines()
     except OSError as exc:
@@ -177,9 +267,70 @@ def load_journal(path: str | Path) -> list[dict[str, Any]]:
                 f"journal {path} line {number} is not a journal record"
             )
         records.append(record)
+    return records
+
+
+def load_journal(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a journal into records, tolerating a truncated last line."""
+    path = Path(path)
+    records = _parse_records(path)
     if not records or records[0].get("type") != "header":
         raise JournalError(f"journal {path} has no header record")
     return records
+
+
+@dataclass
+class WorkerCellResult:
+    """One cell as settled by a supervised worker batch (shard replay)."""
+
+    outcome: CellOutcome
+    degradations: list[Degradation] = field(default_factory=list)
+    budget_events: list[BudgetEvent] = field(default_factory=list)
+    #: ``str(rfd)`` of key RFDs the worker re-activated after this fill.
+    reactivated: list[str] = field(default_factory=list)
+
+
+def read_shard(path: str | Path) -> list[WorkerCellResult]:
+    """Parse a worker journal shard into per-cell results, in order.
+
+    Shards carry no header; a truncated tail (the worker died or was
+    killed mid-record) is tolerated — the supervisor retries the batch,
+    so a partial shard is never replayed as complete.  Degradation and
+    budget records are attached to the *following* cell record (workers
+    write them while the cell is being settled); reactivation records
+    attach to the preceding cell.
+    """
+    results: list[WorkerCellResult] = []
+    pending_degradations: list[Degradation] = []
+    pending_budget: list[BudgetEvent] = []
+    for record in _parse_records(Path(path)):
+        kind = record.get("type")
+        if kind == "cell":
+            results.append(WorkerCellResult(
+                outcome=_outcome_from_record(record),
+                degradations=pending_degradations,
+                budget_events=pending_budget,
+            ))
+            pending_degradations, pending_budget = [], []
+        elif kind == "degradation":
+            pending_degradations.append(Degradation(
+                record["row"], record["attribute"],
+                record.get("from_tier", ""), record.get("to_tier", ""),
+                record.get("reason", ""),
+            ))
+        elif kind == "budget":
+            pending_budget.append(BudgetEvent(
+                scope=record.get("scope", "cell"),
+                kind=record.get("kind", "time"),
+                context=record.get("context", ""),
+                elapsed_seconds=record.get("elapsed_seconds"),
+                peak_bytes=record.get("peak_bytes"),
+                row=record.get("row"),
+                attribute=record.get("attribute"),
+            ))
+        elif kind == "reactivation" and results:
+            results[-1].reactivated = list(record.get("rfds", ()))
+    return results
 
 
 def replay_journal(
@@ -187,12 +338,15 @@ def replay_journal(
 ) -> list[CellOutcome]:
     """Replay a journal onto ``relation`` (mutating it in place).
 
-    Verifies the header fingerprint against ``relation`` — the caller
-    must pass the same dirty instance the journaled run started from —
-    then re-applies every filled value and returns the replayed
-    outcomes in journal order.  Cells the journal settled without a fill
-    (skipped, no candidates, ...) are returned too so the driver knows
-    not to retry them.
+    Verifies the header against ``relation`` — schema first (tuple and
+    attribute counts, attribute names), with a located
+    :class:`~repro.exceptions.JournalError` naming the mismatching
+    field, then the fingerprint (the caller must pass the same dirty
+    instance the journaled run started from).  On success re-applies
+    every filled value and returns the replayed outcomes in journal
+    order.  Cells the journal settled without a fill (skipped, no
+    candidates, ...) are returned too so the driver knows not to retry
+    them.
     """
     records = load_journal(path)
     header = records[0]
@@ -201,12 +355,25 @@ def replay_journal(
             f"journal {path} has version {header.get('version')!r}, "
             f"expected {JOURNAL_VERSION}"
         )
+    schema_checks = (
+        ("n_tuples", relation.n_tuples),
+        ("n_attributes", relation.n_attributes),
+        ("attributes", list(relation.attribute_names)),
+    )
+    for name, actual in schema_checks:
+        expected = header.get(name)
+        if expected is not None and expected != actual:
+            raise JournalError(
+                f"journal {path} header mismatch: {name} is "
+                f"{expected!r} but relation {relation.name!r} has "
+                f"{actual!r}"
+            )
     expected = header.get("fingerprint")
-    actual = relation_fingerprint(relation)
-    if expected != actual:
+    if not fingerprint_matches(expected, relation):
         raise JournalError(
             f"journal {path} was written for a different relation "
-            f"(fingerprint {expected} != {actual}); resume must start "
+            f"(fingerprint {expected} != "
+            f"{relation_fingerprint(relation)}); resume must start "
             f"from the same dirty instance"
         )
     outcomes: list[CellOutcome] = []

@@ -1,0 +1,711 @@
+"""Supervised parallel imputation: crash-isolated workers, exact merge.
+
+``RenuverConfig(workers=N)`` with ``N > 1`` routes the imputation loop
+through :class:`Supervisor` instead of the sequential cell loop.  Each
+*round* takes the next ``workers * worker_batch_size`` unsettled cells
+(in the sequential cell order), freezes a snapshot of the relation,
+ships contiguous batches to worker subprocesses, and merges the results
+back at a deterministic round barrier.
+
+Determinism by construction
+---------------------------
+The sequential engine is single-pass with immediate fill visibility:
+cell *k*'s outcome may depend on every fill and key-RFD re-activation
+produced by cells ``0..k-1``.  Workers only see the round snapshot plus
+their *own* batch's earlier fills (they replicate the sequential loop
+locally, including key re-activation).  The merge therefore replays the
+global sequential order and accepts a worker outcome **only when a
+conservative footprint argument proves the worker saw everything that
+could have affected it**:
+
+* a cell is invalidated when a *foreign* batch (or an in-process
+  recompute) filled any attribute in the cell's footprint —
+  ``footprint[A] = {A} ∪ attrs(φ)`` for every RFD φ containing ``A``,
+  which covers candidate generation (RHS = A), verification (A on a
+  LHS) and key re-activation; under ``keyness_scope="complete"`` the
+  footprint widens to all attributes (tuple completeness sees every
+  column);
+* a batch *diverges* when an authoritative merge result differs from
+  what its worker computed (different fill, or different key
+  re-activations) — every later cell of that batch is invalidated;
+* any authoritative re-activation invalidates the remaining cells of
+  every *other* batch (their workers ran against the old RFD split).
+
+Invalidated cells are recomputed in-process against the live relation —
+which is, by definition, the sequential result.  By induction over the
+merge order the final relation and every
+:class:`~repro.core.report.CellOutcome` are bit-identical to a
+``workers=1`` run.  ``workers=1`` itself *is* the sequential path; the
+supervisor only engages at two or more workers.
+
+Failure containment
+-------------------
+The supervisor owns worker robustness: heartbeats (per cell, plus a
+throttled in-cell pulse through the engines' kernel-call seam),
+wall-clock timeouts, crash detection (exit code / signal / incomplete
+shard), bounded retry with exponential backoff + jitter (timing only —
+never outcomes), and a terminal degradation that recomputes a poisoned
+batch in-process on the scalar reference engine, audited via
+``ImputationReport.degradations``.  Only a pool that cannot even spawn
+workers raises :class:`~repro.exceptions.WorkerPoolError` (CLI exit
+code 7).  See ``docs/ROBUSTNESS.md`` for the failure taxonomy.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import tempfile
+import time
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+from queue import Empty
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.dataset.missing import is_missing
+from repro.dataset.relation import Relation
+from repro.exceptions import DataError, WorkerPoolError
+from repro.robustness.journal import (
+    JournalWriter,
+    WorkerCellResult,
+    read_shard,
+)
+from repro.rfd.rfd import RFD
+from repro.telemetry.logs import get_logger
+from repro.utils.rng import spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.renuver import Renuver, RenuverConfig, _RunState
+
+logger = get_logger("robustness.supervisor")
+
+#: Seconds between in-cell heartbeat pulses through the kernel seam.
+HEARTBEAT_SECONDS = 0.2
+#: Grace period for a worker that exited 0 before its shard is judged.
+EXIT_GRACE_SECONDS = 1.0
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+@dataclass
+class _BatchPayload:
+    """Everything a worker subprocess needs — plain picklable data."""
+
+    snapshot: Relation
+    rfds: tuple[RFD, ...]
+    config: "RenuverConfig"
+    active_rfds: list[RFD]
+    key_rfds: list[RFD]
+    cells: list[tuple[int, str]]
+    shard_path: str
+    batch_key: str
+    attempt: int
+    fault: dict[str, Any] | None
+    distance_overrides: dict[str, Any]
+
+
+def _worker_main(payload: _BatchPayload, queue: Any) -> None:
+    """Entry point of one worker subprocess: impute one batch.
+
+    Replicates the sequential loop over the batch's cells against the
+    shipped snapshot — fills become visible to later cells of the same
+    batch, and key RFDs re-activate locally — journaling every settled
+    cell (plus its degradations, budget trips and re-activations) into
+    the shard, and heartbeating through ``queue``.  The chaos fault
+    plan, when present, is applied here: a *kill* SIGKILLs the process
+    mid-batch, a *hang* stops heartbeating forever, a *slow* worker
+    sleeps before every cell but keeps heartbeating.
+    """
+    # The supervisor owns shutdown: Ctrl-C must reach the parent, which
+    # then reaps workers deliberately instead of racing their deaths.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from repro.core.renuver import Renuver, _RunState
+    from repro.core.report import ImputationReport
+    from repro.utils.timer import Timer
+
+    fault = payload.fault or {}
+    renuver = Renuver(
+        payload.rfds,
+        payload.config,
+        distance_overrides=payload.distance_overrides,
+    )
+    relation = payload.snapshot
+    calculator = renuver._make_calculator(relation)
+    engine = renuver._make_engine(calculator)
+    timer = Timer(None)
+    timer.start()
+    state = _RunState(
+        calculator=calculator,
+        engine=engine,
+        active_rfds=list(payload.active_rfds),
+        key_rfds=list(payload.key_rfds),
+        report=ImputationReport(),
+        timer=timer,
+    )
+    last_pulse = [time.monotonic()]
+
+    def pulse(op: str, row: int, attribute: str) -> None:
+        now = time.monotonic()
+        if now - last_pulse[0] >= HEARTBEAT_SECONDS:
+            last_pulse[0] = now
+            queue.put(("hb", payload.batch_key, payload.attempt, -1))
+
+    engine.add_kernel_hook(pulse)
+    writer = JournalWriter(payload.shard_path)
+    try:
+        for index, (row, attribute) in enumerate(payload.cells):
+            kind = fault.get("kind")
+            if kind in ("kill", "hang") and index >= fault["after_cells"]:
+                writer.close()
+                if kind == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                while True:  # hang: alive but silent until reaped
+                    time.sleep(3600)
+            queue.put(("hb", payload.batch_key, payload.attempt, index))
+            if kind == "slow":
+                time.sleep(fault["seconds"])
+            seen_degradations = len(state.report.degradations)
+            seen_budget = len(state.report.budget_events)
+            outcome = renuver._impute_cell_guarded(state, row, attribute)
+            for degradation in state.report.degradations[seen_degradations:]:
+                writer.record_degradation(degradation)
+            for event in state.report.budget_events[seen_budget:]:
+                writer.record_budget(event)
+            writer.record_cell(outcome)
+            if outcome.filled and payload.config.recheck_keys:
+                before = len(state.active_rfds)
+                renuver._reactivate_keys(state, row, attribute)
+                reactivated = [
+                    str(rfd) for rfd in state.active_rfds[before:]
+                ]
+                if reactivated:
+                    writer.record_reactivation(row, attribute, reactivated)
+        queue.put(("done", payload.batch_key, payload.attempt))
+    finally:
+        writer.close()
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Supervisor side
+# ----------------------------------------------------------------------
+@dataclass
+class _Batch:
+    """One contiguous slice of a round's cells and its dispatch state."""
+
+    index: int
+    key: str
+    cells: list[tuple[int, str]]
+    attempt: int = 0
+    process: Any = None
+    shard_path: Path | None = None
+    started_at: float = 0.0
+    last_heartbeat: float = 0.0
+    next_spawn_at: float = 0.0
+    done_at: float | None = None
+    results: list[WorkerCellResult] | None = None
+    poisoned: bool = False
+    poison_reason: str = ""
+    attempts_used: int = 0
+
+    @property
+    def settled(self) -> bool:
+        return self.results is not None or self.poisoned
+
+
+class Supervisor:
+    """Drives one supervised run on behalf of a :class:`Renuver`.
+
+    Built by the driver's imputation loop when ``config.workers > 1``;
+    owns worker processes, the heartbeat queue, shard files and the
+    round-barrier merge.  All mutations of the live relation and the
+    report go through the same helpers the sequential path uses.
+    """
+
+    def __init__(self, renuver: "Renuver", state: "_RunState") -> None:
+        self.renuver = renuver
+        self.state = state
+        self.config = renuver.config
+        self.telemetry = renuver.telemetry
+        self._ctx = get_context()
+        self._queue = self._ctx.Queue()
+        self._jitter_rng = spawn_rng(0, "supervisor", "backoff")
+        writer = state.writer
+        if writer is not None:
+            self._shard_dir = Path(str(writer.path) + ".shards")
+        else:
+            self._shard_dir = Path(tempfile.mkdtemp(prefix="renuver-shards-"))
+        self._shard_dir.mkdir(parents=True, exist_ok=True)
+        self._live: list[_Batch] = []
+
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[tuple[int, str]]) -> None:
+        """Impute ``cells`` (global sequential order) round by round."""
+        config = self.config
+        state = self.state
+        round_size = config.workers * config.worker_batch_size
+        round_index = 0
+        position = 0
+        try:
+            while position < len(cells):
+                round_cells = list(cells[position:position + round_size])
+                with self.telemetry.tracer.span(
+                    "supervisor.round",
+                    round=round_index,
+                    cells=len(round_cells),
+                ) as span:
+                    batches = self._run_round(round_index, round_cells)
+                    span.set_attribute("batches", len(batches))
+                    span.set_attribute(
+                        "poisoned",
+                        sum(1 for batch in batches if batch.poisoned),
+                    )
+                position += len(round_cells)
+                round_index += 1
+                state.report.supervisor_rounds = round_index
+        finally:
+            self._reap_all()
+            # Shards are merge inputs, not checkpoints: once a round is
+            # merged (or abandoned) they are dead weight — resume only
+            # needs the main journal.
+            shutil.rmtree(self._shard_dir, ignore_errors=True)
+        logger.info(
+            "supervised run: %d rounds, %d batches (%d accepted, "
+            "%d recomputed, %d retries, %d crashes)",
+            state.report.supervisor_rounds, state.report.worker_batches,
+            state.report.worker_cells_accepted,
+            state.report.worker_cells_recomputed,
+            state.report.worker_retries, state.report.worker_crashes,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_round(
+        self, round_index: int, round_cells: list[tuple[int, str]]
+    ) -> list[_Batch]:
+        """Dispatch one round's batches, wait at the barrier, merge."""
+        config = self.config
+        snapshot = self.state.calculator.relation.copy()
+        batches = []
+        for index in range(0, len(round_cells), config.worker_batch_size):
+            batch_index = index // config.worker_batch_size
+            batches.append(_Batch(
+                index=batch_index,
+                key=f"r{round_index}.b{batch_index}",
+                cells=round_cells[index:index + config.worker_batch_size],
+            ))
+        self.state.report.worker_batches += len(batches)
+        try:
+            self._drive_batches(round_index, snapshot, batches)
+        finally:
+            self._reap_all()
+        self._merge_round(batches)
+        return batches
+
+    def _drive_batches(
+        self,
+        round_index: int,
+        snapshot: Relation,
+        batches: list[_Batch],
+    ) -> None:
+        """The dispatch event loop: spawn, heartbeat, detect, retry."""
+        self._live = batches
+        while not all(batch.settled for batch in batches):
+            now = time.monotonic()
+            for batch in batches:
+                if (batch.process is None and not batch.settled
+                        and now >= batch.next_spawn_at):
+                    self._spawn(round_index, snapshot, batch)
+            self._drain_queue(batches)
+            now = time.monotonic()
+            for batch in batches:
+                self._check_liveness(batch, now)
+
+    def _spawn(
+        self, round_index: int, snapshot: Relation, batch: _Batch
+    ) -> None:
+        """Dispatch one attempt of one batch to a fresh subprocess."""
+        config = self.config
+        state = self.state
+        batch.attempt += 1
+        batch.attempts_used = batch.attempt
+        fault = None
+        chaos = state.chaos
+        worker_fault = getattr(chaos, "worker_fault", None)
+        if worker_fault is not None:
+            fault = worker_fault(round_index, batch.index, batch.attempt)
+        shard = self._shard_dir / f"{batch.key}.a{batch.attempt}.jsonl"
+        if shard.exists():
+            shard.unlink()
+        from dataclasses import replace
+
+        payload = _BatchPayload(
+            snapshot=snapshot,
+            rfds=self.renuver.rfds,
+            config=replace(
+                config,
+                workers=1,
+                time_budget_seconds=None,
+                memory_budget_bytes=None,
+                track_memory=False,
+            ),
+            active_rfds=list(state.active_rfds),
+            key_rfds=list(state.key_rfds),
+            cells=list(batch.cells),
+            shard_path=str(shard),
+            batch_key=batch.key,
+            attempt=batch.attempt,
+            fault=fault,
+            distance_overrides=dict(self.renuver._distance_overrides),
+        )
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(payload, self._queue),
+            daemon=True,
+            name=f"renuver-{batch.key}.a{batch.attempt}",
+        )
+        try:
+            self._start_process(process)
+        except OSError as exc:
+            self._worker_failed(batch, "spawn", f"{exc}")
+            return
+        now = time.monotonic()
+        batch.process = process
+        batch.shard_path = shard
+        batch.started_at = now
+        batch.last_heartbeat = now
+        batch.done_at = None
+        logger.debug(
+            "dispatched batch %s attempt %d (%d cells%s)",
+            batch.key, batch.attempt, len(batch.cells),
+            f", fault={fault['kind']}" if fault else "",
+        )
+
+    def _start_process(self, process: Any) -> None:
+        """Seam for tests to inject spawn failures."""
+        process.start()
+
+    def _drain_queue(self, batches: list[_Batch]) -> None:
+        """Pull heartbeat/done messages; stale attempts are ignored."""
+        by_key = {batch.key: batch for batch in batches}
+        deadline = time.monotonic() + 0.02
+        while True:
+            timeout = max(0.0, deadline - time.monotonic())
+            try:
+                message = self._queue.get(timeout=timeout)
+            except (Empty, OSError):
+                return
+            kind, key, attempt = message[0], message[1], message[2]
+            batch = by_key.get(key)
+            if batch is None or attempt != batch.attempt:
+                continue  # echo of a reaped attempt
+            batch.last_heartbeat = time.monotonic()
+            if kind == "done":
+                batch.done_at = batch.last_heartbeat
+
+    def _check_liveness(self, batch: _Batch, now: float) -> None:
+        """Settle, fail or keep waiting on one in-flight batch."""
+        process = batch.process
+        if process is None or batch.settled:
+            return
+        exitcode = process.exitcode
+        if batch.done_at is not None:
+            process.join(timeout=1.0)
+            self._collect(batch)
+            return
+        if exitcode is not None:
+            if exitcode == 0:
+                # Exited cleanly but the done message may still be in
+                # the queue's feeder pipe; give it a moment.
+                if now - batch.last_heartbeat < EXIT_GRACE_SECONDS:
+                    return
+                # No done message: judge the shard directly.
+                self._collect(batch)
+                return
+            self._kill(batch)
+            self._worker_failed(
+                batch, "crash", f"worker exited with code {exitcode}"
+            )
+            return
+        if now - batch.last_heartbeat > self.config.worker_timeout_seconds:
+            self._kill(batch)
+            self._worker_failed(
+                batch, "hang",
+                f"no heartbeat for {now - batch.last_heartbeat:.2f}s",
+            )
+
+    def _collect(self, batch: _Batch) -> None:
+        """Validate and absorb a finished worker's shard."""
+        results = (
+            read_shard(batch.shard_path)
+            if batch.shard_path is not None and batch.shard_path.exists()
+            else []
+        )
+        expected = batch.cells
+        actual = [
+            (result.outcome.row, result.outcome.attribute)
+            for result in results
+        ]
+        if actual != expected:
+            self._worker_failed(
+                batch, "crash",
+                f"shard covers {len(actual)}/{len(expected)} cells",
+            )
+            return
+        batch.results = results
+        seconds = time.monotonic() - batch.started_at
+        batch.process = None
+        self.telemetry.metrics.histogram(
+            "renuver_batch_seconds",
+            "Wall time from batch dispatch to a settled shard.",
+        ).observe(seconds)
+        with self.telemetry.tracer.span(
+            "supervisor.batch",
+            batch=batch.key,
+            cells=len(batch.cells),
+            attempts=batch.attempt,
+            seconds=round(seconds, 4),
+        ):
+            pass
+        logger.debug(
+            "batch %s settled after %.3fs (attempt %d)",
+            batch.key, seconds, batch.attempt,
+        )
+
+    def _worker_failed(
+        self, batch: _Batch, reason: str, detail: str
+    ) -> None:
+        """One failed attempt: count, then retry, poison, or give up."""
+        state = self.state
+        metrics = self.telemetry.metrics
+        batch.process = None
+        batch.done_at = None
+        if reason in ("crash", "hang"):
+            state.report.worker_crashes += 1
+            metrics.counter(
+                "renuver_worker_crashes_total",
+                "Worker attempts lost to a crash or hang.",
+            ).inc()
+        self.telemetry.tracer.event(
+            "worker_failure",
+            batch=batch.key,
+            attempt=batch.attempt,
+            reason=reason,
+        )
+        logger.warning(
+            "batch %s attempt %d failed (%s): %s",
+            batch.key, batch.attempt, reason, detail,
+        )
+        if batch.attempt > self.config.max_retries:
+            if reason == "spawn":
+                raise WorkerPoolError(
+                    f"cannot start worker processes after "
+                    f"{batch.attempt} attempts: {detail}"
+                )
+            batch.poisoned = True
+            batch.poison_reason = (
+                f"batch {batch.key} exhausted {batch.attempt} attempts; "
+                f"last failure: {reason}: {detail}"
+            )
+            return
+        state.report.worker_retries += 1
+        metrics.counter(
+            "renuver_worker_retries_total",
+            "Worker batch retries, by failure reason.",
+            reason=reason,
+        ).inc()
+        backoff = (
+            self.config.worker_backoff_seconds
+            * (2 ** (batch.attempt - 1))
+            * (1.0 + 0.25 * self._jitter_rng.random())
+        )
+        batch.next_spawn_at = time.monotonic() + backoff
+
+    def _kill(self, batch: _Batch) -> None:
+        """Tear down one batch's process, escalating terminate→kill."""
+        process = batch.process
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+        else:
+            process.join(timeout=1.0)
+        batch.process = None
+
+    def _reap_all(self) -> None:
+        """Kill every in-flight worker (shutdown / barrier cleanup)."""
+        for batch in self._live:
+            self._kill(batch)
+
+    # ------------------------------------------------------------------
+    # The round barrier
+    # ------------------------------------------------------------------
+    def _merge_round(self, batches: list[_Batch]) -> None:
+        """Replay the round in global sequential order (see module doc).
+
+        Accepts worker outcomes whose footprint was untouched by foreign
+        fills/re-activations and whose batch has not diverged; recomputes
+        everything else in-process on the live relation.
+        """
+        renuver = self.renuver
+        state = self.state
+        config = self.config
+        relation = state.calculator.relation
+        footprints = self._attribute_footprints(relation)
+        unseen: dict[int, set[str]] = {b.index: set() for b in batches}
+        stale_rfds: set[int] = set()
+        diverged: set[int] = set()
+        tracer = self.telemetry.tracer
+        for batch in batches:
+            for position, (row, attribute) in enumerate(batch.cells):
+                state.timer.check_budget("RENUVER imputation")
+                if state.memory is not None:
+                    state.memory.check_budget("RENUVER imputation")
+                if state.chaos is not None:
+                    state.chaos.on_cell_start(row, attribute)
+                worker_result = (
+                    batch.results[position]
+                    if batch.results is not None else None
+                )
+                accept = (
+                    worker_result is not None
+                    and batch.index not in diverged
+                    and batch.index not in stale_rfds
+                    and not (footprints[attribute] & unseen[batch.index])
+                )
+                with tracer.span(
+                    "cell", row=row, attribute=attribute
+                ) as span:
+                    started = time.perf_counter()
+                    if accept:
+                        outcome = self._accept(batch, worker_result)
+                        span.set_attribute("merge", "accepted")
+                    else:
+                        outcome = self._recompute(batch, row, attribute)
+                        span.set_attribute("merge", "recomputed")
+                    span.set_attribute("status", outcome.status.value)
+                    if self.telemetry.metrics.enabled:
+                        renuver._record_cell_metrics(
+                            outcome, time.perf_counter() - started
+                        )
+                state.report.add(outcome)
+                if state.writer is not None:
+                    state.writer.record_cell(
+                        outcome,
+                        worker=batch.key if accept else None,
+                    )
+                reactivated: list[str] = []
+                if outcome.filled and config.recheck_keys:
+                    before = len(state.active_rfds)
+                    renuver._reactivate_keys(state, row, attribute)
+                    reactivated = [
+                        str(rfd) for rfd in state.active_rfds[before:]
+                    ]
+                if outcome.filled:
+                    for other in batches:
+                        if other.index != batch.index:
+                            unseen[other.index].add(attribute)
+                if reactivated:
+                    for other in batches:
+                        if other.index != batch.index:
+                            stale_rfds.add(other.index)
+                if worker_result is not None and batch.index not in diverged:
+                    if not self._matches_worker(
+                        outcome, reactivated, worker_result
+                    ):
+                        diverged.add(batch.index)
+
+    def _accept(
+        self, batch: _Batch, worker_result: WorkerCellResult
+    ) -> Any:
+        """Admit one worker-computed cell: apply the fill, absorb audit
+        records, keep the books."""
+        state = self.state
+        outcome = worker_result.outcome
+        if outcome.filled:
+            relation = state.calculator.relation
+            try:
+                relation.set_value(
+                    outcome.row, outcome.attribute, outcome.value
+                )
+            except DataError:
+                pass  # write applied; listener failure already audited
+        for degradation in worker_result.degradations:
+            self.renuver._record_degradation(
+                state, degradation.row, degradation.attribute,
+                degradation.from_tier, degradation.to_tier,
+                degradation.reason,
+            )
+        for event in worker_result.budget_events:
+            state.report.budget_events.append(event)
+            if state.writer is not None:
+                state.writer.record_budget(event)
+            self.renuver._count_budget_event(event)
+        state.report.worker_cells_accepted += 1
+        return outcome
+
+    def _recompute(self, batch: _Batch, row: int, attribute: str) -> Any:
+        """Settle one cell in-process on the live relation.
+
+        Poisoned batches recompute on the scalar reference engine (the
+        terminal degradation rung) and record the downgrade; stale or
+        diverged cells rerun the normal ladder — definitionally the
+        sequential outcome.
+        """
+        renuver = self.renuver
+        state = self.state
+        tiers = None
+        if batch.poisoned:
+            renuver._record_degradation(
+                state, row, attribute, "worker", "scalar",
+                batch.poison_reason,
+            )
+            tiers = [("scalar", renuver._scalar_retry_engine(state))]
+        outcome = renuver._impute_cell_guarded(
+            state, row, attribute, tiers=tiers
+        )
+        state.report.worker_cells_recomputed += 1
+        return outcome
+
+    @staticmethod
+    def _matches_worker(
+        outcome: Any, reactivated: list[str], worker_result: WorkerCellResult
+    ) -> bool:
+        """Whether the authoritative result equals the worker's view.
+
+        A mismatch means the worker's *later* cells ran against a state
+        the merge never reached — the batch has diverged.
+        """
+        theirs = worker_result.outcome
+        if outcome.filled != theirs.filled:
+            return False
+        if outcome.filled:
+            ours_value, theirs_value = outcome.value, theirs.value
+            if is_missing(ours_value) != is_missing(theirs_value):
+                return False
+            if not is_missing(ours_value) and ours_value != theirs_value:
+                return False
+        return sorted(reactivated) == sorted(worker_result.reactivated)
+
+    def _attribute_footprints(
+        self, relation: Relation
+    ) -> dict[str, set[str]]:
+        """``footprint[A]``: attributes whose fills can affect cell
+        outcomes for attribute ``A`` (see the module docstring)."""
+        names = list(relation.attribute_names)
+        if self.config.keyness_scope == "complete":
+            everything = set(names)
+            return {name: everything for name in names}
+        footprints = {name: {name} for name in names}
+        for rfd in self.renuver.rfds:
+            attrs = set(rfd.attributes)
+            for name in attrs:
+                if name in footprints:
+                    footprints[name] |= attrs
+        return footprints

@@ -2,16 +2,20 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 import pytest
 
-from repro.core import Renuver
+from repro.core import CellOutcome, Degradation, OutcomeStatus, Renuver
 from repro.dataset.csv_io import to_csv_text
 from repro.exceptions import JournalError
 from repro.robustness import (
     JOURNAL_VERSION,
+    JournalWriter,
+    fingerprint_matches,
     load_journal,
+    read_shard,
     relation_fingerprint,
     replay_journal,
 )
@@ -97,7 +101,9 @@ class TestReplay:
     ):
         path = tmp_path / "run.jsonl"
         Renuver(paper_rfds).impute(restaurant_sample, journal=path)
-        with pytest.raises(JournalError, match="fingerprint"):
+        # The schema checks run before the fingerprint and locate the
+        # first mismatching header field.
+        with pytest.raises(JournalError, match="header mismatch"):
             replay_journal(path, zip_city_relation)
 
 
@@ -111,3 +117,153 @@ class TestResume:
         resumed = engine.impute(restaurant_sample, resume_from=path)
         assert resumed.report.replayed_count == 4
         assert to_csv_text(resumed.relation) == to_csv_text(done.relation)
+
+
+class TestFingerprint:
+    def test_fingerprint_is_sha256(self, restaurant_sample):
+        digest = relation_fingerprint(restaurant_sample)
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_fingerprint_matches_current(self, restaurant_sample):
+        digest = relation_fingerprint(restaurant_sample)
+        assert fingerprint_matches(digest, restaurant_sample)
+        assert not fingerprint_matches("0" * 64, restaurant_sample)
+        assert not fingerprint_matches(None, restaurant_sample)
+
+    def test_legacy_md5_journal_still_replays(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        done = Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        # Rewrite the header with the digest a pre-SHA-256 journal
+        # would have carried (32 hex chars).
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        legacy = hashlib.md5(usedforsecurity=False)
+        legacy.update(to_csv_text(restaurant_sample).encode("utf-8"))
+        header["fingerprint"] = legacy.hexdigest()
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        fresh = restaurant_sample.copy()
+        outcomes = replay_journal(path, fresh)
+        assert len(outcomes) == 4
+        assert to_csv_text(fresh) == to_csv_text(done.relation)
+
+    def test_wrong_md5_fingerprint_rejected(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["fingerprint"] = "f" * 32
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="fingerprint"):
+            replay_journal(path, restaurant_sample.copy())
+
+
+class TestResumeEdgeCases:
+    def test_resume_from_empty_file_raises(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(JournalError, match="no header"):
+            Renuver(paper_rfds).impute(restaurant_sample, resume_from=path)
+
+    def test_resume_from_end_record_only_raises(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "end-only.jsonl"
+        path.write_text(json.dumps({"type": "end"}) + "\n")
+        with pytest.raises(JournalError, match="no header"):
+            Renuver(paper_rfds).impute(restaurant_sample, resume_from=path)
+
+    def test_resume_from_header_only_runs_everything(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "header-only.jsonl"
+        writer = JournalWriter(path)
+        writer.write_header(restaurant_sample, engine="vectorized")
+        writer.close()
+        engine = Renuver(paper_rfds)
+        baseline = engine.impute(restaurant_sample)
+        resumed = engine.impute(restaurant_sample, resume_from=path)
+        assert resumed.report.replayed_count == 0
+        assert resumed.report.missing_count == 4
+        assert to_csv_text(resumed.relation) == to_csv_text(
+            baseline.relation
+        )
+
+    def test_schema_mismatch_is_located(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["n_tuples"] = header["n_tuples"] + 3
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(
+            JournalError, match="header mismatch: n_tuples"
+        ):
+            replay_journal(path, restaurant_sample.copy())
+
+    def test_attribute_mismatch_is_located(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["attributes"] = list(reversed(header["attributes"]))
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(
+            JournalError, match="header mismatch: attributes"
+        ):
+            replay_journal(path, restaurant_sample.copy())
+
+
+class TestShards:
+    def test_read_shard_groups_records_per_cell(self, tmp_path):
+        path = tmp_path / "r0.b0.a1.jsonl"
+        writer = JournalWriter(path)
+        writer.record_degradation(
+            Degradation(0, "City", "vectorized", "scalar", "boom")
+        )
+        writer.record_cell(
+            CellOutcome(0, "City", OutcomeStatus.IMPUTED, value="rome")
+        )
+        writer.record_reactivation(0, "City", ["Zip(0.0) -> City(2.0)"])
+        writer.record_cell(
+            CellOutcome(2, "Phone", OutcomeStatus.NO_CANDIDATES)
+        )
+        writer.close()
+        results = read_shard(path)
+        assert len(results) == 2
+        first, second = results
+        assert first.outcome.value == "rome"
+        assert [d.reason for d in first.degradations] == ["boom"]
+        assert first.reactivated == ["Zip(0.0) -> City(2.0)"]
+        assert second.outcome.row == 2
+        assert not second.degradations and not second.reactivated
+
+    def test_read_shard_tolerates_truncated_tail(self, tmp_path):
+        path = tmp_path / "r0.b1.a1.jsonl"
+        writer = JournalWriter(path)
+        writer.record_cell(
+            CellOutcome(1, "Type", OutcomeStatus.IMPUTED, value="bar")
+        )
+        writer.record_cell(
+            CellOutcome(3, "Class", OutcomeStatus.IMPUTED, value="5")
+        )
+        writer.close()
+        text = path.read_text()
+        path.write_text(text[: len(text) - 10])  # cut into the tail
+        results = read_shard(path)
+        assert len(results) == 1
+        assert results[0].outcome.row == 1

@@ -1,0 +1,126 @@
+"""Graceful shutdown of the supervised CLI: SIGINT/SIGTERM → exit 130.
+
+Runs ``python -m repro impute --workers 2`` as a real subprocess in its
+own process group, interrupts it mid-run, and checks the contract: exit
+code 130, a replayable journal prefix on disk, and no orphaned worker
+processes left in the group.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    DiscoveryConfig,
+    discover_rfds,
+    inject_missing,
+    load_dataset,
+    save_rfds,
+    write_csv,
+)
+from repro.robustness import load_journal
+
+pytestmark = pytest.mark.supervisor
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def cli_inputs(tmp_path_factory):
+    """A dirty CSV and RFD file big enough to interrupt mid-run.
+
+    400 tuples keep the supervised run around two seconds, so the
+    signal sent after the first journaled cell always lands mid-run
+    (at 150 tuples the whole run could finish first and exit 0).
+    """
+    base = tmp_path_factory.mktemp("shutdown")
+    clean = load_dataset("restaurant", n_tuples=400)
+    rfds = discover_rfds(
+        clean, DiscoveryConfig(threshold_limit=4)
+    ).all_rfds
+    dirty = inject_missing(clean, rate=0.08, seed=3)
+    csv_path = base / "dirty.csv"
+    rfd_path = base / "rfds.txt"
+    write_csv(dirty.relation, csv_path)
+    save_rfds(rfds, rfd_path)
+    return csv_path, rfd_path
+
+
+def _group_is_empty(pgid: int) -> bool:
+    try:
+        os.killpg(pgid, 0)
+    except ProcessLookupError:
+        return True
+    except PermissionError:
+        return False
+    return False
+
+
+@pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+def test_interrupt_flushes_journal_and_reaps_workers(
+    cli_inputs, tmp_path, signum
+):
+    csv_path, rfd_path = cli_inputs
+    journal = tmp_path / f"run-{signum}.jsonl"
+    out = tmp_path / f"out-{signum}.csv"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "impute", str(csv_path),
+            "--rfds", str(rfd_path), "--workers", "2",
+            "--worker-timeout", "30", "--journal", str(journal),
+            "--out", str(out),
+        ],
+        env=env,
+        start_new_session=True,  # its own process group, checkable later
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    pgid = os.getpgid(process.pid)
+    try:
+        # Wait for the run to get going — ideally until the first round
+        # has merged a cell into the journal.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                pytest.fail(
+                    "run finished before it could be interrupted: "
+                    + process.stderr.read()
+                )
+            if journal.exists() and any(
+                '"type": "cell"' in line
+                for line in journal.read_text().splitlines()
+            ):
+                break
+            time.sleep(0.02)
+        process.send_signal(signum)
+        _, stderr = process.communicate(timeout=60)
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup path
+            os.killpg(pgid, signal.SIGKILL)
+            process.wait()
+    assert process.returncode == 130, stderr
+    assert "interrupted" in stderr
+    # The journal on disk is a valid, replayable prefix.
+    records = load_journal(journal)
+    assert records[0]["type"] == "header"
+    assert all("type" in record for record in records)
+    assert any(record["type"] == "cell" for record in records)
+    assert json.loads(journal.read_text().splitlines()[0])
+    # No orphaned workers: the whole process group is gone.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if _group_is_empty(pgid):
+            break
+        time.sleep(0.1)
+    assert _group_is_empty(pgid), "worker processes were orphaned"

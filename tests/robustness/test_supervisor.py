@@ -1,0 +1,253 @@
+"""The supervised parallel runtime: determinism, failure containment.
+
+Marked ``supervisor`` (registered in pyproject.toml) so CI can run the
+multiprocess suite on its own; everything here is deterministic — the
+chaos faults are keyed draws, so kills and hangs land on the same
+attempts every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ChaosConfig,
+    ChaosInjector,
+    ChaosKill,
+    DiscoveryConfig,
+    Renuver,
+    RenuverConfig,
+    Telemetry,
+    WorkerPoolError,
+    discover_rfds,
+    inject_missing,
+    load_dataset,
+)
+from repro.cli import exit_code_for
+from repro.exceptions import ImputationError
+from repro.robustness import Supervisor, load_journal
+
+pytestmark = pytest.mark.supervisor
+
+
+@pytest.fixture(scope="module")
+def town():
+    """A 120-tuple restaurant slice with RFDs and a dirty instance."""
+    clean = load_dataset("restaurant").head(120)
+    rfds = discover_rfds(
+        clean, DiscoveryConfig(threshold_limit=4)
+    ).all_rfds
+    dirty = inject_missing(clean, rate=0.06, seed=11)
+    return rfds, dirty.relation
+
+
+@pytest.fixture(scope="module")
+def town_sequential(town):
+    rfds, dirty = town
+    return Renuver(rfds).impute(dirty)
+
+
+def _assert_identical(sequential, supervised):
+    assert sequential.relation.equals(supervised.relation)
+    assert (
+        sequential.report.cell_outcomes
+        == supervised.report.cell_outcomes
+    )
+
+
+class TestConfig:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ImputationError, match="workers"):
+            RenuverConfig(workers=0)
+
+    def test_workers_incompatible_with_raise_fallback(self):
+        with pytest.raises(ImputationError, match="fallback"):
+            RenuverConfig(workers=2, fallback="raise")
+
+    def test_worker_knobs_validated(self):
+        with pytest.raises(ImputationError, match="worker_timeout"):
+            RenuverConfig(worker_timeout_seconds=0)
+        with pytest.raises(ImputationError, match="max_retries"):
+            RenuverConfig(max_retries=-1)
+        with pytest.raises(ImputationError, match="worker_batch_size"):
+            RenuverConfig(worker_batch_size=0)
+
+
+class TestDeterminism:
+    def test_supervised_matches_sequential(
+        self, restaurant_sample, paper_rfds
+    ):
+        sequential = Renuver(paper_rfds).impute(restaurant_sample)
+        supervised = Renuver(
+            paper_rfds, RenuverConfig(workers=2, worker_batch_size=1)
+        ).impute(restaurant_sample)
+        _assert_identical(sequential, supervised)
+        report = supervised.report
+        assert report.supervisor_rounds > 1
+        assert (
+            report.worker_cells_accepted + report.worker_cells_recomputed
+            == report.missing_count
+        )
+
+    def test_supervised_matches_sequential_large(
+        self, town, town_sequential
+    ):
+        rfds, dirty = town
+        supervised = Renuver(
+            rfds, RenuverConfig(workers=4, worker_batch_size=3)
+        ).impute(dirty)
+        _assert_identical(town_sequential, supervised)
+
+    def test_chaos_kill_hang_slow_still_identical(
+        self, town, town_sequential
+    ):
+        rfds, dirty = town
+        chaos = ChaosInjector(ChaosConfig(
+            seed=5,
+            worker_kill_rate=0.2,
+            worker_hang_rate=0.1,
+            worker_slow_rate=0.1,
+            worker_slow_seconds=0.01,
+        ))
+        supervised = Renuver(rfds, RenuverConfig(
+            workers=4,
+            worker_batch_size=3,
+            worker_timeout_seconds=2.0,
+            worker_backoff_seconds=0.01,
+        )).impute(dirty, chaos=chaos)
+        assert chaos.worker_faults_planned > 0
+        assert supervised.report.worker_crashes > 0
+        _assert_identical(town_sequential, supervised)
+
+    def test_slow_workers_are_not_declared_hung(
+        self, restaurant_sample, paper_rfds
+    ):
+        sequential = Renuver(paper_rfds).impute(restaurant_sample)
+        chaos = ChaosInjector(ChaosConfig(
+            seed=3, worker_slow_rate=1.0, worker_slow_seconds=0.05
+        ))
+        supervised = Renuver(paper_rfds, RenuverConfig(
+            workers=2, worker_batch_size=2, worker_timeout_seconds=5.0
+        )).impute(restaurant_sample, chaos=chaos)
+        assert supervised.report.worker_crashes == 0
+        assert supervised.report.worker_retries == 0
+        _assert_identical(sequential, supervised)
+
+
+class TestFailureContainment:
+    def test_retry_exhaustion_degrades_to_scalar(
+        self, restaurant_sample, paper_rfds
+    ):
+        sequential = Renuver(paper_rfds).impute(restaurant_sample)
+        # Every attempt of every batch is killed: all batches poison
+        # and every cell recomputes in-process on the scalar engine.
+        chaos = ChaosInjector(ChaosConfig(
+            seed=1, worker_kill_rate=1.0, worker_fault_cells=0
+        ))
+        supervised = Renuver(paper_rfds, RenuverConfig(
+            workers=2,
+            worker_batch_size=2,
+            max_retries=1,
+            worker_backoff_seconds=0.01,
+        )).impute(restaurant_sample, chaos=chaos)
+        report = supervised.report
+        assert report.worker_cells_accepted == 0
+        assert report.worker_cells_recomputed == report.missing_count
+        poisoned = [
+            d for d in report.degradations
+            if d.from_tier == "worker" and d.to_tier == "scalar"
+        ]
+        assert len(poisoned) == report.missing_count
+        for outcome in report:
+            if outcome.filled:
+                assert outcome.engine_tier == "scalar"
+        # Statuses and the relation still match the sequential run —
+        # the scalar engine is outcome-identical by construction.
+        _assert_identical(sequential, supervised)
+
+    def test_spawn_failure_exhaustion_raises_pool_error(
+        self, restaurant_sample, paper_rfds, monkeypatch
+    ):
+        def refuse(self, process):
+            raise OSError("fork: resource temporarily unavailable")
+
+        monkeypatch.setattr(Supervisor, "_start_process", refuse)
+        engine = Renuver(paper_rfds, RenuverConfig(
+            workers=2,
+            worker_batch_size=2,
+            max_retries=1,
+            worker_backoff_seconds=0.0,
+        ))
+        with pytest.raises(WorkerPoolError, match="cannot start"):
+            engine.impute(restaurant_sample)
+
+    def test_pool_error_maps_to_exit_code_7(self):
+        assert exit_code_for(WorkerPoolError("pool dead")) == 7
+
+
+class TestJournalIntegration:
+    def test_cell_records_carry_worker_attribution(
+        self, town, tmp_path
+    ):
+        rfds, dirty = town
+        path = tmp_path / "supervised.jsonl"
+        Renuver(rfds, RenuverConfig(
+            workers=3, worker_batch_size=4
+        )).impute(dirty, journal=path)
+        records = load_journal(path)
+        cells = [r for r in records if r["type"] == "cell"]
+        workers = {r.get("worker") for r in cells}
+        tagged = workers - {None}
+        assert tagged, "no cell was attributed to a worker batch"
+        for tag in tagged:
+            assert tag.startswith("r") and ".b" in tag
+        assert not (path.parent / (path.name + ".shards")).exists()
+
+    def test_kill_and_resume_converge_across_round_boundary(
+        self, town, town_sequential, tmp_path
+    ):
+        rfds, dirty = town
+        path = tmp_path / "killed.jsonl"
+        config = RenuverConfig(workers=3, worker_batch_size=4)
+        # One round is 12 cells; kill during the second round's merge.
+        chaos = ChaosInjector(ChaosConfig(seed=1, kill_after_cells=14))
+        with pytest.raises(ChaosKill):
+            Renuver(rfds, config).impute(
+                dirty, journal=path, chaos=chaos
+            )
+        resumed = Renuver(rfds, config).impute(dirty, resume_from=path)
+        assert resumed.report.replayed_count == 14
+        _assert_identical(town_sequential, resumed)
+
+
+class TestTelemetry:
+    def test_supervisor_spans_and_metrics(
+        self, restaurant_sample, paper_rfds
+    ):
+        telemetry = Telemetry()
+        chaos = ChaosInjector(ChaosConfig(
+            seed=7, worker_kill_rate=0.5, worker_fault_cells=0
+        ))
+        result = Renuver(
+            paper_rfds,
+            RenuverConfig(
+                workers=2,
+                worker_batch_size=2,
+                worker_backoff_seconds=0.01,
+            ),
+            telemetry=telemetry,
+        ).impute(restaurant_sample, chaos=chaos)
+        names = {span.name for span in telemetry.tracer.spans}
+        assert "supervisor.round" in names
+        assert "supervisor.batch" in names
+        metrics = telemetry.metrics
+        batch_hist = metrics.get("renuver_batch_seconds")
+        assert batch_hist is not None and batch_hist.count > 0
+        if result.report.worker_retries:
+            assert metrics.value(
+                "renuver_worker_retries_total", reason="crash"
+            ) == result.report.worker_retries
+        if result.report.worker_crashes:
+            assert metrics.value(
+                "renuver_worker_crashes_total"
+            ) == result.report.worker_crashes

@@ -1,0 +1,80 @@
+"""Tier-1 smoke test for the supervised-runtime benchmark.
+
+Runs ``benchmarks/bench_supervisor.py``'s ``run_bench`` with a tiny
+loader (40 Restaurant tuples, a hand-written RFD set, one repeat) so the
+bench's code path — three-mode timing, outcome-equality check, JSON
+artifact — is exercised on every test run without the cost of RFD
+discovery.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import load_dataset
+from repro.rfd import parse_rfd
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def bench_module(monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCHMARKS_DIR))
+    sys.modules.pop("bench_supervisor", None)
+    import bench_supervisor
+
+    yield bench_supervisor
+    sys.modules.pop("bench_supervisor", None)
+
+
+def tiny_loader(name):
+    assert name == "restaurant"
+    relation = load_dataset("restaurant", n_tuples=40, seed=0)
+    rfds = [
+        parse_rfd(text)
+        for text in [
+            "Name(<=4) -> Phone(<=1)",
+            "Address(<=3), City(<=2) -> Phone(<=2)",
+            "Phone(<=1) -> Class(<=0)",
+            "Class(<=0) -> Type(<=5)",
+            "Name(<=6), City(<=2) -> Address(<=8)",
+            "Phone(<=2) -> City(<=2)",
+            "City(<=0), Type(<=3) -> Name(<=12)",
+        ]
+    ]
+    return relation, rfds
+
+
+def test_run_bench_smoke(bench_module, tmp_path):
+    result_path = tmp_path / "BENCH_supervisor.json"
+    summary = bench_module.run_bench(
+        ("restaurant",),
+        result_path=result_path,
+        repeats=1,
+        loader=tiny_loader,
+    )
+
+    assert result_path.exists()
+    assert json.loads(result_path.read_text(encoding="utf-8")) == summary
+
+    entry = summary["datasets"]["restaurant"]
+    assert entry["n_tuples"] == 40
+    assert entry["missing_cells"] > 0
+    # Every mode — sequential, workers=1, workers=2 — must converge on
+    # the same relation and per-cell outcomes.
+    assert entry["identical_outcomes"] is True
+    assert entry["sequential_seconds"] > 0
+    assert entry["workers1_seconds"] > 0
+    assert entry["workers2_seconds"] > 0
+    assert entry["workers2_rounds"] > 0
+    assert (
+        entry["workers2_accepted"] + entry["workers2_recomputed"]
+        == entry["missing_cells"]
+    )
+    assert entry["workers1_overhead"] == pytest.approx(
+        entry["workers1_seconds"] / entry["sequential_seconds"] - 1.0
+    )
