@@ -1,0 +1,199 @@
+"""Imputation-service benchmark: cold vs warm requests, throughput.
+
+Boots the HTTP service in-process (the same server ``python -m repro
+serve`` runs) with a fingerprint-keyed artifact cache and measures the
+two properties the service exists for:
+
+* **cold vs warm latency** — the first ``POST /v1/impute`` without a
+  pinned RFD set pays discovery; every later request for the same
+  relation + config hits the artifact cache and must be materially
+  faster (and provably discovery-free: the cache-hit counter moves,
+  the discovery counters do not);
+* **sustained throughput** — concurrent stdlib clients hammering the
+  one-shot endpoint with pinned RFDs, reported as requests/second.
+
+Writes ``BENCH_service.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Callable
+
+from harness import TableWriter, bench_dataset, scale
+from repro import inject_missing
+from repro.dataset.csv_io import to_csv_text
+from repro.dataset.relation import Relation
+from repro.service import build_server
+
+DEFAULT_RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_service.json"
+)
+DATASET = "restaurant"
+RATE = 0.03
+SEED = 7
+PINNED_RFDS = [
+    "Name(<=4) -> Phone(<=1)",
+    "Phone(<=1) -> Class(<=0)",
+    "Name(<=6), City(<=2) -> Address(<=8)",
+]
+
+Loader = Callable[[], Relation]
+
+
+def default_loader() -> Relation:
+    """Scale-aware dataset from the shared harness."""
+    return bench_dataset(DATASET)
+
+
+def _post(base: str, path: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _counter_total(base: str, name: str) -> float:
+    with urllib.request.urlopen(base + "/metrics") as response:
+        text = response.read().decode("utf-8")
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def run_bench(
+    *,
+    result_path: Path = DEFAULT_RESULT_PATH,
+    warm_repeats: int = 3,
+    clients: int = 4,
+    requests_per_client: int = 5,
+    loader: Loader = default_loader,
+) -> dict:
+    """Measure cold/warm latency and throughput; persist the summary."""
+    relation = loader()
+    dirty = inject_missing(relation, rate=RATE, seed=SEED).relation
+    csv_text = to_csv_text(dirty)
+    discovery_options = {"limit": 3, "max_lhs": 1, "grid_size": 3,
+                         "max_per_rhs": 15}
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-service-")
+    server = build_server("127.0.0.1", 0, artifact_dir=cache_dir)
+    accept = threading.Thread(target=server.serve_forever, daemon=True)
+    accept.start()
+    base = f"http://127.0.0.1:{server.port}"
+    try:
+        # --- cold: discovery runs, artifacts get written ---------------
+        start = time.perf_counter()
+        cold = _post(base, "/v1/impute", {
+            "csv": csv_text, "discovery": discovery_options,
+        })
+        cold_seconds = time.perf_counter() - start
+        assert cold["rfd_source"] == "discovered", cold["rfd_source"]
+
+        # --- warm: every repeat must come from the artifact cache ------
+        hits_before = _counter_total(
+            base, "renuver_artifact_cache_hits_total"
+        )
+        warm_seconds = float("inf")
+        warm = cold
+        for _ in range(warm_repeats):
+            start = time.perf_counter()
+            warm = _post(base, "/v1/impute", {
+                "csv": csv_text, "discovery": discovery_options,
+            })
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+            assert warm["rfd_source"] == "cache", warm["rfd_source"]
+        cache_hits = _counter_total(
+            base, "renuver_artifact_cache_hits_total"
+        ) - hits_before
+
+        # --- throughput: concurrent clients, pinned RFDs ---------------
+        errors: list[BaseException] = []
+
+        def client() -> None:
+            try:
+                for _ in range(requests_per_client):
+                    out = _post(base, "/v1/impute", {
+                        "csv": csv_text, "rfds": PINNED_RFDS,
+                    })
+                    assert out["rfd_source"] == "provided"
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client) for _ in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        total_requests = clients * requests_per_client
+
+        summary = {
+            "bench": "service",
+            "scale": scale(),
+            "dataset": DATASET,
+            "n_tuples": dirty.n_tuples,
+            "missing_rate": RATE,
+            "injection_seed": SEED,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "cold_over_warm": cold_seconds / warm_seconds,
+            "warm_cache_hits": cache_hits,
+            "warm_identical_csv": warm["csv"] == cold["csv"],
+            "throughput": {
+                "clients": clients,
+                "requests": total_requests,
+                "elapsed_seconds": elapsed,
+                "requests_per_second": total_requests / elapsed,
+            },
+        }
+    finally:
+        server.drain()
+    result_path.write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+    )
+    return summary
+
+
+def test_service_latency_and_throughput():
+    summary = run_bench()
+
+    writer = TableWriter("service")
+    writer.header("Imputation service: cold vs warm, throughput")
+    writer.row(
+        f"{'dataset':<12}{'tuples':>8}{'cold':>10}{'warm':>10}"
+        f"{'speedup':>9}{'req/s':>9}"
+    )
+    throughput = summary["throughput"]
+    writer.row(
+        f"{summary['dataset']:<12}{summary['n_tuples']:>8}"
+        f"{summary['cold_seconds'] * 1e3:>8.1f}ms"
+        f"{summary['warm_seconds'] * 1e3:>8.1f}ms"
+        f"{summary['cold_over_warm']:>8.1f}x"
+        f"{throughput['requests_per_second']:>9.1f}"
+    )
+    writer.close()
+
+    # A warm request answers from the cache with the same bytes.
+    assert summary["warm_cache_hits"] >= 1
+    assert summary["warm_identical_csv"] is True
+    assert throughput["requests_per_second"] > 0
+    if summary["scale"] != "smoke":
+        # Skipping discovery must be visible in wall-clock terms.
+        assert summary["cold_over_warm"] > 1.0, summary["cold_over_warm"]
+    assert DEFAULT_RESULT_PATH.exists()

@@ -1,0 +1,114 @@
+"""The imputation service driven by a pure-stdlib HTTP client.
+
+Boots the service in-process on a free port (the same server
+``python -m repro serve`` runs), then exercises the full API with
+nothing but :mod:`urllib`:
+
+1. a **one-shot** ``POST /v1/impute`` with a pinned RFD set;
+2. the same request *without* RFDs, twice — the second hit comes from
+   the fingerprint-keyed artifact cache with zero discovery work;
+3. a **warm-start session**: open, stream tuples in, impute the queued
+   cells, read the per-cell provenance, close;
+4. a peek at ``GET /metrics`` for the cache-hit and request counters.
+
+Run with::
+
+    python examples/service_client.py
+
+See ``docs/SERVICE.md`` for the API reference.
+"""
+
+import json
+import tempfile
+import threading
+import urllib.request
+
+from repro.service import build_server
+
+CSV = (
+    "Name,City,Phone\n"
+    "arnie morton's,los angeles,310-246-1501\n"
+    "arnie morton's,los angeles,\n"
+    "art's deli,studio city,818-762-1221\n"
+    "art's deli,studio city,818-762-1221\n"
+    "campanile,los angeles,213-938-1447\n"
+)
+
+
+def call(base: str, method: str, path: str, body: dict | None = None):
+    """One JSON request/response round trip via urllib."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def main() -> None:
+    cache_dir = tempfile.mkdtemp(prefix="renuver-cache-")
+    server = build_server("127.0.0.1", 0, artifact_dir=cache_dir)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.port}"
+    print(f"service up at {base} (cache: {cache_dir})")
+
+    # --- 1. one-shot imputation with a pinned RFD set -----------------
+    out = call(base, "POST", "/v1/impute", {
+        "csv": CSV,
+        "rfds": ["Name(<=0),City(<=0) -> Phone(<=0)"],
+    })
+    report = out["report"]
+    print(f"\n--- one-shot ({out['rfd_source']} RFDs) ---")
+    print(f"imputed {report['imputed_cells']}/{report['missing_cells']} "
+          f"cells, fill rate {report['fill_rate']:.0%}")
+    print(out["csv"].strip().splitlines()[2])  # the repaired tuple
+
+    # --- 2. discovery, cold then warm ---------------------------------
+    print("\n--- discovery path: cold vs warm ---")
+    for attempt in ("cold", "warm"):
+        out = call(base, "POST", "/v1/impute", {
+            "csv": CSV, "discovery": {"limit": 0, "max_lhs": 2},
+        })
+        print(f"{attempt}: rfd_source={out['rfd_source']}, "
+              f"imputed {out['report']['imputed_cells']}")
+
+    # --- 3. a warm-start session --------------------------------------
+    print("\n--- session: append and impute ---")
+    session = call(base, "POST", "/v1/sessions", {
+        "csv": CSV, "rfds": ["Name(<=0),City(<=0) -> Phone(<=0)"],
+    })
+    sid = session["id"]
+    appended = call(base, "POST", f"/v1/sessions/{sid}/tuples", {
+        "rows": [
+            ["campanile", "los angeles", None],
+            ["spago", "west hollywood", "310-652-4025"],
+        ],
+    })
+    print(f"appended rows {appended['rows']}, "
+          f"{appended['pending']} cells pending")
+    round_out = call(base, "POST", f"/v1/sessions/{sid}/impute")
+    for outcome in round_out["outcomes"]:
+        print(f"  row {outcome['row']} {outcome['attribute']}: "
+              f"{outcome['status']} -> {outcome['value']!r} "
+              f"(donor row {outcome['source_row']})")
+    call(base, "DELETE", f"/v1/sessions/{sid}")
+
+    # --- 4. the metrics endpoint --------------------------------------
+    with urllib.request.urlopen(base + "/metrics") as response:
+        exposition = response.read().decode("utf-8")
+    interesting = [
+        line for line in exposition.splitlines()
+        if line.startswith(("renuver_http_requests_total",
+                            "renuver_artifact_cache_hits_total"))
+    ]
+    print("\n--- /metrics (excerpt) ---")
+    print("\n".join(interesting))
+
+    server.drain()
+    print("\nserver drained cleanly")
+
+
+if __name__ == "__main__":
+    main()

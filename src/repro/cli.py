@@ -19,6 +19,11 @@ evaluation protocol)::
 ``datasets``  List or export the bundled synthetic datasets::
 
     python -m repro datasets --export restaurant --out restaurant.csv
+
+``serve``     Run the long-lived imputation HTTP service
+(``docs/SERVICE.md``)::
+
+    python -m repro serve --port 8080 --artifact-dir .renuver-cache
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from __future__ import annotations
 import argparse
 import signal
 import sys
+import threading
 from typing import Sequence
 
 from repro.core import Renuver, RenuverConfig
@@ -50,6 +56,7 @@ from repro.exceptions import (
     RFDValidationError,
     RuleFileError,
     SchemaError,
+    ServiceError,
     WorkerPoolError,
 )
 from repro.rfd import load_rfds, save_rfds
@@ -79,6 +86,7 @@ _EXIT_CODES: tuple[tuple[type, int], ...] = (
     (EvaluationError, 6),
     (InjectedFaultError, 6),
     (WorkerPoolError, 7),       # supervised worker pool exhausted retries
+    (ServiceError, 8),          # HTTP service cannot start or operate
 )
 
 
@@ -285,6 +293,45 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     datasets.set_defaults(handler=_cmd_datasets)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived imputation HTTP service",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks a free one (default 8080)",
+    )
+    serve.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="fingerprint-keyed artifact cache directory; enables "
+             "warm starts that skip rediscovery",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="imputation requests admitted concurrently; excess gets "
+             "429 (default 8)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=64, metavar="N",
+        help="live warm-start sessions held before POST /v1/sessions "
+             "answers 429 (default 64)",
+    )
+    serve.add_argument(
+        "--request-budget", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline; overruns return partial "
+             "results, never 500s",
+    )
+    serve.add_argument(
+        "--limit", type=float, default=3.0,
+        help="default discovery threshold limit for requests without "
+             "a pinned RFD set (default 3)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     return parser
 
 
@@ -448,6 +495,43 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
         from repro.dataset import to_csv_text
 
         sys.stdout.write(to_csv_text(relation))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, build_server
+
+    config = ServiceConfig(
+        discovery=DiscoveryConfig(threshold_limit=args.limit),
+        request_budget_seconds=args.request_budget,
+        max_inflight=args.max_inflight,
+        max_sessions=args.max_sessions,
+    )
+    server = build_server(
+        args.host, args.port,
+        config=config,
+        artifact_dir=args.artifact_dir,
+    )
+    # The accept loop runs in a worker thread so the main thread stays
+    # free to take SIGTERM/SIGINT (raised as KeyboardInterrupt by the
+    # handler installed in main()) and run the drain — calling
+    # ``shutdown()`` from the serve_forever thread would deadlock.
+    accept = threading.Thread(
+        target=server.serve_forever, name="serve-accept"
+    )
+    accept.start()
+    print(f"serving on http://{args.host}:{server.port}",
+          file=sys.stderr, flush=True)
+    try:
+        while accept.is_alive():
+            accept.join(timeout=0.2)
+    except KeyboardInterrupt:
+        # Graceful drain, then a *clean* exit: stop accepting, finish
+        # every in-flight request, release the socket.
+        print("draining in-flight requests", file=sys.stderr)
+        server.drain()
+        accept.join()
+        print("drained cleanly", file=sys.stderr)
     return 0
 
 

@@ -35,6 +35,7 @@ from repro.discovery.config import DiscoveryConfig
 from repro.discovery.lattice import iter_lhs_sets
 from repro.discovery.pattern_matrix import PairDistanceMatrix
 from repro.discovery.pruning import remove_dominated
+from repro.exceptions import DiscoveryError
 from repro.rfd.constraint import Constraint
 from repro.rfd.rfd import RFD
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -77,12 +78,55 @@ class DiscoveryResult:
             lines.append(f"  RHS {rhs}: {count}")
         return "\n".join(lines)
 
+    def to_json(self) -> dict:
+        """A JSON-serializable payload round-tripping the result.
+
+        RFDs render in the paper's textual notation (the same grammar
+        :func:`repro.rfd.parser.parse_rfd` reads back), so persisted
+        artifacts stay human-inspectable and versionable.
+        """
+        from dataclasses import asdict
+
+        config = asdict(self.config)
+        if config.get("attribute_limits") is not None:
+            config["attribute_limits"] = dict(config["attribute_limits"])
+        return {
+            "rfds": [str(rfd) for rfd in self.rfds],
+            "key_rfds": [str(rfd) for rfd in self.key_rfds],
+            "config": config,
+            "n_pairs": self.n_pairs,
+            "exact": self.exact,
+            "elapsed_seconds": self.elapsed_seconds,
+            "per_rhs_counts": dict(self.per_rhs_counts),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DiscoveryResult":
+        """Restore a result persisted with :meth:`to_json`.
+
+        Textual RFDs are re-parsed with the standard parser; a malformed
+        payload raises the parser's / config's own validation errors
+        (the artifact cache treats any of them as a cache miss).
+        """
+        from repro.rfd.parser import parse_rfd
+
+        return cls(
+            rfds=[parse_rfd(text) for text in payload["rfds"]],
+            key_rfds=[parse_rfd(text) for text in payload["key_rfds"]],
+            config=DiscoveryConfig(**payload["config"]),
+            n_pairs=int(payload["n_pairs"]),
+            exact=bool(payload["exact"]),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            per_rhs_counts=dict(payload.get("per_rhs_counts", {})),
+        )
+
 
 def discover_rfds(
     relation: Relation,
     config: DiscoveryConfig | None = None,
     *,
     telemetry: Telemetry | None = None,
+    matrix: PairDistanceMatrix | None = None,
 ) -> DiscoveryResult:
     """Discover RFDc dependencies holding on ``relation``.
 
@@ -90,6 +134,12 @@ def discover_rfds(
     :attr:`DiscoveryResult.rfds` and key RFDs separately.  A live
     ``telemetry`` wraps the run in a ``discover`` span with one child
     span per RHS attribute's lattice walk (docs/OBSERVABILITY.md).
+
+    ``matrix`` reuses a pre-materialized :class:`PairDistanceMatrix`
+    (the service's artifact cache persists them): it must cover
+    ``relation`` with a ``string_limit`` at least the run's and, when
+    ``config.max_pairs`` samples, the same pair sample — the caller is
+    responsible for keying cached matrices by those parameters.
     """
     config = config or DiscoveryConfig()
     telemetry = telemetry or NULL_TELEMETRY
@@ -105,12 +155,25 @@ def discover_rfds(
         string_limit = max(
             config.threshold_limit, config.effective_lhs_limit
         )
-        matrix = PairDistanceMatrix(
-            relation,
-            string_limit=string_limit,
-            max_pairs=config.max_pairs,
-            seed=config.seed,
-        )
+        if matrix is not None:
+            if matrix.string_limit < string_limit:
+                raise DiscoveryError(
+                    f"supplied pattern matrix clamps strings at "
+                    f"{matrix.string_limit}, run needs {string_limit}"
+                )
+            if matrix.relation.n_tuples != relation.n_tuples:
+                raise DiscoveryError(
+                    "supplied pattern matrix was built for a different "
+                    "relation"
+                )
+            span.set_attribute("matrix_reused", True)
+        else:
+            matrix = PairDistanceMatrix(
+                relation,
+                string_limit=string_limit,
+                max_pairs=config.max_pairs,
+                seed=config.seed,
+            )
         span.set_attribute("n_pairs", matrix.n_pairs)
         names = list(relation.attribute_names)
         grids = {

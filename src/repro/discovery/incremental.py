@@ -65,18 +65,24 @@ class IncrementalDiscovery:
     config:
         Discovery configuration; the initial set is computed with the
         batch algorithm.
+    initial:
+        Optional precomputed :class:`DiscoveryResult` for ``relation``
+        under ``config`` — the service's warm-start path passes a
+        cached result here so opening a session performs no discovery
+        work.  The caller vouches that it matches; no re-check is done.
     """
 
     def __init__(
         self,
         relation: Relation,
         config: DiscoveryConfig | None = None,
+        *,
+        initial: DiscoveryResult | None = None,
     ) -> None:
         self.config = config or DiscoveryConfig()
         self._relation = relation.copy(name=f"{relation.name}@inc")
-        initial: DiscoveryResult = discover_rfds(
-            self._relation, self.config
-        )
+        if initial is None:
+            initial = discover_rfds(self._relation, self.config)
         self._rfds: list[RFD] = list(initial.rfds)
         self._keys: list[RFD] = list(initial.key_rfds)
         self._calculator = PatternCalculator(self._relation)

@@ -78,6 +78,18 @@ class WorkerPoolError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The imputation service could not start or operate.
+
+    Raised by :mod:`repro.service` for server-level failures — the
+    listen socket cannot bind, the artifact directory is unusable, a
+    session store overflow the caller asked to treat as fatal.  Request-
+    level problems (bad payloads, unknown sessions, backpressure) are
+    answered with HTTP status codes instead and never raise this.  The
+    CLI maps this error to exit code 8.
+    """
+
+
 class BudgetExceededError(ReproError):
     """A configured time or memory budget was exhausted.
 

@@ -130,6 +130,19 @@ class ImputationSession:
         """Cells that failed in past rounds and await retry."""
         return sorted(self._failed)
 
+    def update_rfds(self, rfds: Iterable[RFD]) -> None:
+        """Replace the RFD set used by subsequent rounds.
+
+        The service's warm-start sessions pair this with
+        :class:`~repro.discovery.incremental.IncrementalDiscovery`:
+        as appended tuples loosen, drop or de-key dependencies, the
+        maintained set is pushed back into the session so the next
+        :meth:`impute_pending` round runs against it.
+        """
+        self._engine = Renuver(
+            rfds, self._engine.config, telemetry=self._engine.telemetry
+        )
+
 
 def _append_rows(
     relation: Relation,

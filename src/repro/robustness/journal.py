@@ -55,7 +55,6 @@ is tolerated and ignored; corruption anywhere else raises
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from pathlib import Path
@@ -76,46 +75,17 @@ from repro.rfd.parser import parse_rfd
 from repro.rfd.rfd import RFD
 from repro.telemetry.logs import get_logger
 
+# Relation fingerprinting moved to repro.utils.fingerprint so the
+# service's artifact cache shares it; re-exported here for backward
+# compatibility (several callers import it from the journal).
+from repro.utils.fingerprint import (  # noqa: F401 - re-export
+    fingerprint_matches,
+    relation_fingerprint,
+)
+
 logger = get_logger("robustness.journal")
 
 JOURNAL_VERSION = 1
-
-
-def relation_fingerprint(relation: Relation) -> str:
-    """SHA-256 over schema and cells — identifies the dirty instance.
-
-    Computed over the same rendering `to_csv_text` produces, so the
-    fingerprint is stable across copies and process restarts.  Earlier
-    journal versions used MD5, which raises under FIPS-enabled Python
-    builds; :func:`fingerprint_matches` still verifies those legacy
-    journals by digest length.
-    """
-    from repro.dataset.csv_io import to_csv_text
-
-    digest = hashlib.sha256()
-    digest.update(to_csv_text(relation).encode("utf-8"))
-    return digest.hexdigest()
-
-
-def fingerprint_matches(expected: str, relation: Relation) -> bool:
-    """Whether ``expected`` (SHA-256, or legacy MD5) matches ``relation``.
-
-    A 32-hex-char fingerprint is from a pre-SHA-256 journal; it is
-    re-verified with ``hashlib.md5(usedforsecurity=False)``, which stays
-    available under FIPS.  Any other length only matches SHA-256.
-    """
-    if not isinstance(expected, str):
-        return False
-    if len(expected) == 32:
-        from repro.dataset.csv_io import to_csv_text
-
-        try:
-            digest = hashlib.md5(usedforsecurity=False)
-        except (TypeError, ValueError):  # pragma: no cover - exotic builds
-            return False
-        digest.update(to_csv_text(relation).encode("utf-8"))
-        return digest.hexdigest() == expected
-    return expected == relation_fingerprint(relation)
 
 
 class JournalWriter:

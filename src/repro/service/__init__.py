@@ -1,0 +1,38 @@
+"""repro.service — the long-running imputation service.
+
+Turns the batch reproduction into a servable engine (the ROADMAP's
+"heavy traffic" north star).  Four pieces:
+
+* :mod:`repro.service.artifacts` — a fingerprint-keyed on-disk store
+  for discovery results and pattern matrices, so a warm engine skips
+  RFD discovery entirely on repeated instances.
+* :mod:`repro.service.engine` — :class:`PreparedEngine`: one-shot
+  imputation (bit-identical to the CLI) plus warm-start sessions over
+  :class:`~repro.extensions.incremental.ImputationSession` and
+  :class:`~repro.discovery.incremental.IncrementalDiscovery`, with
+  per-request deadlines riding the budget/degradation machinery.
+* :mod:`repro.service.sessions` — the bounded, thread-safe session
+  registry behind the ``/v1/sessions`` API.
+* :mod:`repro.service.http` — the stdlib ``ThreadingHTTPServer`` JSON
+  API with admission control (429 backpressure), per-request
+  ``service.request`` spans, Prometheus ``/metrics`` and a graceful
+  drain for the CLI ``serve`` subcommand.
+
+See ``docs/SERVICE.md`` for the API reference and operational story.
+"""
+
+from repro.service.artifacts import ARTIFACT_VERSION, ArtifactStore
+from repro.service.engine import PreparedEngine, ServiceConfig
+from repro.service.http import ImputationHTTPServer, build_server
+from repro.service.sessions import ServiceSession, SessionManager
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactStore",
+    "ImputationHTTPServer",
+    "PreparedEngine",
+    "ServiceConfig",
+    "ServiceSession",
+    "SessionManager",
+    "build_server",
+]

@@ -1,0 +1,279 @@
+"""Fingerprint-keyed on-disk artifact store for the imputation service.
+
+RFD discovery dominates a cold run's wall clock, yet its output depends
+only on the exact relation instance and the discovery configuration.
+The store persists two artifact kinds under a cache directory:
+
+``discovery``
+    A serialized :class:`~repro.discovery.dime.DiscoveryResult`
+    (textual RFDs plus run metadata) keyed by the relation fingerprint
+    and the full discovery config.  A hit makes a warm engine skip
+    discovery entirely — provable from telemetry: the counter
+    ``renuver_artifact_cache_hits_total`` increments and no ``discover``
+    span is emitted.
+``matrix``
+    A serialized :class:`~repro.discovery.pattern_matrix
+    .PairDistanceMatrix` keyed by the relation fingerprint and the
+    matrix parameters (string limit, pair sampling).  On a discovery
+    *config* miss for an already-seen relation, the matrix — the
+    quadratic part of discovery — is still reused.
+
+Layout (``docs/SERVICE.md``)::
+
+    <root>/<kind>/<fingerprint[:2]>/<fingerprint>-<confighash>.json
+
+Every file is a versioned envelope written via
+:func:`repro.utils.atomic.atomic_write_text`: readers see the previous
+complete artifact or the new complete artifact, never a torn file.
+
+Loads are corruption-tolerant by contract: a missing file, malformed
+JSON, wrong envelope version, mismatched key or a payload the
+deserializer rejects all count as a cache *miss* (logged, counted in
+``renuver_artifact_cache_misses_total{kind,reason}``) — the caller
+recomputes and overwrites.  The store never lets a bad artifact crash
+a request.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.dataset.relation import Relation
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.dime import DiscoveryResult
+from repro.discovery.pattern_matrix import PairDistanceMatrix
+from repro.exceptions import ServiceError
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.logs import get_logger
+from repro.utils.atomic import atomic_write_text
+from repro.utils.fingerprint import payload_fingerprint, relation_fingerprint
+
+logger = get_logger("service.artifacts")
+
+#: Envelope schema version; bumped on incompatible layout changes.
+#: Readers treat any other version as a cache miss, so old caches are
+#: silently recomputed rather than crashing a newer server.
+ARTIFACT_VERSION = 1
+
+_HITS = "renuver_artifact_cache_hits_total"
+_MISSES = "renuver_artifact_cache_misses_total"
+_HELP_HITS = "Artifact-cache hits by artifact kind."
+_HELP_MISSES = "Artifact-cache misses by artifact kind and reason."
+
+
+class ArtifactStore:
+    """Fingerprint-keyed, corruption-tolerant artifact cache.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first save).
+    telemetry:
+        Optional telemetry spine; hit/miss counters land in its metrics
+        registry.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ServiceError(
+                f"artifact directory {self.root} exists and is not a "
+                f"directory"
+            )
+        self.telemetry = telemetry or NULL_TELEMETRY
+        #: Process-local tallies (mirrored into the metrics registry).
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Discovery results
+    # ------------------------------------------------------------------
+    def load_discovery(
+        self, relation: Relation, config: DiscoveryConfig
+    ) -> DiscoveryResult | None:
+        """The cached discovery result for ``(relation, config)``.
+
+        Returns ``None`` on any miss — including a corrupt or
+        incompatible artifact — so the caller simply recomputes.
+        """
+        payload = self._load("discovery", *self._discovery_key(
+            relation, config
+        ))
+        if payload is None:
+            return None
+        try:
+            result = DiscoveryResult.from_json(payload)
+        except Exception as exc:  # noqa: BLE001 - miss, never crash
+            self._miss("discovery", "undeserializable", detail=str(exc))
+            return None
+        self._hit("discovery")
+        return result
+
+    def save_discovery(
+        self,
+        relation: Relation,
+        config: DiscoveryConfig,
+        result: DiscoveryResult,
+    ) -> Path:
+        """Persist a discovery result; returns the artifact path."""
+        return self._save(
+            "discovery",
+            *self._discovery_key(relation, config),
+            result.to_json(),
+        )
+
+    # ------------------------------------------------------------------
+    # Pattern matrices
+    # ------------------------------------------------------------------
+    def load_matrix(
+        self, relation: Relation, config: DiscoveryConfig
+    ) -> PairDistanceMatrix | None:
+        """The cached pair-distance matrix for ``relation`` under the
+        matrix-relevant parameters of ``config`` (string limit, pair
+        sampling), or ``None`` on any miss."""
+        payload = self._load("matrix", *self._matrix_key(relation, config))
+        if payload is None:
+            return None
+        try:
+            matrix = PairDistanceMatrix.from_json(payload, relation)
+        except Exception as exc:  # noqa: BLE001 - miss, never crash
+            self._miss("matrix", "undeserializable", detail=str(exc))
+            return None
+        self._hit("matrix")
+        return matrix
+
+    def save_matrix(
+        self,
+        relation: Relation,
+        config: DiscoveryConfig,
+        matrix: PairDistanceMatrix,
+    ) -> Path:
+        """Persist a pattern matrix; returns the artifact path."""
+        return self._save(
+            "matrix",
+            *self._matrix_key(relation, config),
+            matrix.to_json(),
+        )
+
+    # ------------------------------------------------------------------
+    # Keys and the envelope
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _discovery_key(
+        relation: Relation, config: DiscoveryConfig
+    ) -> tuple[str, str]:
+        from dataclasses import asdict
+
+        payload = asdict(config)
+        if payload.get("attribute_limits") is not None:
+            payload["attribute_limits"] = dict(payload["attribute_limits"])
+        return relation_fingerprint(relation), payload_fingerprint(payload)
+
+    @staticmethod
+    def _matrix_key(
+        relation: Relation, config: DiscoveryConfig
+    ) -> tuple[str, str]:
+        # Only the parameters that shape the matrix: reuse must be
+        # bit-identical to a fresh build, so the string clamp and the
+        # (seeded) pair sample have to match exactly.
+        string_limit = max(
+            config.threshold_limit, config.effective_lhs_limit
+        )
+        return relation_fingerprint(relation), payload_fingerprint({
+            "string_limit": string_limit,
+            "max_pairs": config.max_pairs,
+            "seed": config.seed,
+        })
+
+    def path_for(self, kind: str, fingerprint: str, key: str) -> Path:
+        """Where the artifact for ``(kind, fingerprint, key)`` lives."""
+        return (
+            self.root / kind / fingerprint[:2]
+            / f"{fingerprint}-{key[:16]}.json"
+        )
+
+    def _save(
+        self, kind: str, fingerprint: str, key: str, payload: dict
+    ) -> Path:
+        path = self.path_for(kind, fingerprint, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, json.dumps({
+                "artifact_version": ARTIFACT_VERSION,
+                "kind": kind,
+                "fingerprint": fingerprint,
+                "config_key": key,
+                "payload": payload,
+            }, ensure_ascii=False))
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot write artifact {path}: {exc}"
+            ) from exc
+        logger.info("saved %s artifact to %s", kind, path)
+        return path
+
+    def _load(
+        self, kind: str, fingerprint: str, key: str
+    ) -> dict[str, Any] | None:
+        """The envelope's payload, or ``None`` on any kind of miss."""
+        path = self.path_for(kind, fingerprint, key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self._miss(kind, "absent")
+            return None
+        except OSError as exc:
+            self._miss(kind, "unreadable", detail=str(exc))
+            return None
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError as exc:
+            self._miss(kind, "corrupt", detail=f"{path}: {exc}")
+            return None
+        if not isinstance(envelope, dict):
+            self._miss(kind, "corrupt", detail=f"{path}: not an object")
+            return None
+        if envelope.get("artifact_version") != ARTIFACT_VERSION:
+            self._miss(
+                kind, "version",
+                detail=f"{path}: version "
+                       f"{envelope.get('artifact_version')!r}",
+            )
+            return None
+        if (
+            envelope.get("kind") != kind
+            or envelope.get("fingerprint") != fingerprint
+            or envelope.get("config_key") != key
+        ):
+            self._miss(kind, "key_mismatch", detail=str(path))
+            return None
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            self._miss(kind, "corrupt", detail=f"{path}: no payload")
+            return None
+        return payload
+
+    # ------------------------------------------------------------------
+    def _hit(self, kind: str) -> None:
+        self.hits += 1
+        self.telemetry.metrics.counter(_HITS, _HELP_HITS, kind=kind).inc()
+
+    def _miss(self, kind: str, reason: str, *, detail: str = "") -> None:
+        self.misses += 1
+        self.telemetry.metrics.counter(
+            _MISSES, _HELP_MISSES, kind=kind, reason=reason
+        ).inc()
+        if reason == "absent":
+            logger.debug("artifact cache miss (%s): absent", kind)
+        else:
+            logger.warning(
+                "artifact cache miss (%s, %s): %s — recomputing",
+                kind, reason, detail,
+            )

@@ -1,0 +1,286 @@
+"""The prepared imputation engine behind the HTTP service.
+
+:class:`PreparedEngine` is the service's amortization layer: it owns a
+process-wide telemetry registry, an optional
+:class:`~repro.service.artifacts.ArtifactStore`, and the default
+discovery / RENUVER configurations — so that
+
+* a **one-shot** request (:meth:`impute_once`) with an explicit RFD set
+  is bit-identical to ``python -m repro impute`` on the same input, and
+  one *without* an RFD set reuses cached discovery artifacts: a warm
+  engine performs zero discovery work on a cache hit (no ``discover``
+  span, ``renuver_artifact_cache_hits_total`` increments);
+* a **session** (:meth:`open_session`) wraps an
+  :class:`~repro.extensions.incremental.ImputationSession` — and, when
+  no RFD set is pinned, an
+  :class:`~repro.discovery.incremental.IncrementalDiscovery` that
+  maintains the dependency set as tuples arrive — for append-and-impute
+  workloads where the accumulated instance keeps serving as donor pool.
+
+Per-request deadlines reuse the budget/degradation machinery: a request
+budget maps to ``RenuverConfig(time_budget_seconds=...,
+on_budget="partial")``, so an overrunning request degrades to a partial
+result (HTTP 200 with ``budget_exhausted: true``) instead of failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.core.renuver import ImputationResult, Renuver, RenuverConfig
+from repro.dataset.relation import Relation
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.dime import DiscoveryResult, discover_rfds
+from repro.discovery.incremental import IncrementalDiscovery
+from repro.discovery.pattern_matrix import PairDistanceMatrix
+from repro.exceptions import ImputationError, ServiceError
+from repro.extensions.incremental import ImputationSession
+from repro.rfd.rfd import RFD
+from repro.service.artifacts import ArtifactStore
+from repro.telemetry import NULL_TELEMETRY, Telemetry, Tracer
+from repro.telemetry.logs import get_logger
+
+logger = get_logger("service.engine")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs shared by the engine and the HTTP layer.
+
+    Attributes
+    ----------
+    discovery:
+        Default discovery configuration for requests that do not pin an
+        RFD set (requests may override individual fields).
+    renuver:
+        Default RENUVER configuration; matches the CLI ``impute``
+        defaults so one-shot responses stay bit-identical to it.
+    request_budget_seconds:
+        Default per-request deadline (``None`` = unbounded).  Overruns
+        return partial results, never 500s.
+    max_inflight:
+        Imputation requests admitted concurrently; excess requests get
+        an immediate ``429`` (``/healthz`` and ``/metrics`` are exempt).
+    max_sessions:
+        Live sessions the registry holds before ``POST /v1/sessions``
+        answers ``429``.
+    max_body_bytes:
+        Request bodies larger than this are refused with ``413``.
+    """
+
+    discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
+    renuver: RenuverConfig = field(default_factory=RenuverConfig)
+    request_budget_seconds: float | None = None
+    max_inflight: int = 8
+    max_sessions: int = 64
+    max_body_bytes: int = 16 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if (
+            self.request_budget_seconds is not None
+            and self.request_budget_seconds <= 0
+        ):
+            raise ServiceError(
+                "request_budget_seconds must be positive when given"
+            )
+        if self.max_inflight < 1:
+            raise ServiceError("max_inflight must be >= 1")
+        if self.max_sessions < 1:
+            raise ServiceError("max_sessions must be >= 1")
+        if self.max_body_bytes < 1024:
+            raise ServiceError("max_body_bytes must be >= 1024")
+
+
+class PreparedEngine:
+    """A warm, long-lived imputation engine for repeated requests.
+
+    Parameters
+    ----------
+    config:
+        Optional :class:`ServiceConfig`.
+    store:
+        Optional artifact cache; without one every discovery request
+        recomputes (sessions and one-shots still work).
+    telemetry:
+        Process-wide telemetry.  Per-request work runs under a *fresh
+        tracer* sharing this registry (:meth:`request_telemetry`) —
+        the span tracer is single-run by design.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        store: ArtifactStore | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.store = store
+        if store is not None and store.telemetry is NULL_TELEMETRY:
+            store.telemetry = self.telemetry
+
+    # ------------------------------------------------------------------
+    def request_telemetry(self) -> Telemetry:
+        """A fresh tracer sharing the engine's metrics registry.
+
+        The no-op engine default stays no-op (zero overhead per
+        request); a live engine hands each request its own span tree.
+        """
+        if not self.telemetry.enabled:
+            return NULL_TELEMETRY
+        return Telemetry(tracer=Tracer(), metrics=self.telemetry.metrics)
+
+    # ------------------------------------------------------------------
+    def prepare_rfds(
+        self,
+        relation: Relation,
+        rfds: Iterable[RFD] | None = None,
+        *,
+        discovery: DiscoveryConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> tuple[DiscoveryResult | None, list[RFD], str]:
+        """The RFD set for ``relation``: provided, cached or discovered.
+
+        Returns ``(discovery_result, rfds, source)`` where ``source``
+        is ``"provided"`` (caller pinned a set — no discovery result),
+        ``"cache"`` (artifact hit: zero discovery work) or
+        ``"discovered"`` (computed now and, when a store is attached,
+        persisted for the next request).
+        """
+        if rfds is not None:
+            return None, list(rfds), "provided"
+        config = discovery or self.config.discovery
+        telemetry = telemetry or self.telemetry
+        if self.store is not None:
+            cached = self.store.load_discovery(relation, config)
+            if cached is not None:
+                return cached, cached.all_rfds, "cache"
+        matrix: PairDistanceMatrix | None = None
+        matrix_built = False
+        if self.store is not None:
+            matrix = self.store.load_matrix(relation, config)
+            if matrix is None:
+                string_limit = max(
+                    config.threshold_limit, config.effective_lhs_limit
+                )
+                matrix = PairDistanceMatrix(
+                    relation,
+                    string_limit=string_limit,
+                    max_pairs=config.max_pairs,
+                    seed=config.seed,
+                )
+                matrix_built = True
+        result = discover_rfds(
+            relation, config, telemetry=telemetry, matrix=matrix
+        )
+        if self.store is not None:
+            self.store.save_discovery(relation, config, result)
+            if matrix_built:
+                self.store.save_matrix(relation, config, matrix)
+        return result, result.all_rfds, "discovered"
+
+    # ------------------------------------------------------------------
+    def impute_once(
+        self,
+        relation: Relation,
+        rfds: Iterable[RFD] | None = None,
+        *,
+        discovery: DiscoveryConfig | None = None,
+        overrides: dict | None = None,
+        budget_seconds: float | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> tuple[ImputationResult, str]:
+        """One-shot imputation; returns ``(result, rfd_source)``.
+
+        With an explicit ``rfds`` set and no overrides/budget this is
+        bit-identical to the CLI ``impute`` path (same defaults, same
+        engine).  ``overrides`` patches individual
+        :class:`~repro.core.renuver.RenuverConfig` fields per request;
+        ``budget_seconds`` (or the service default) adds a deadline
+        that degrades to a partial result instead of raising.
+        """
+        _, prepared, source = self.prepare_rfds(
+            relation, rfds, discovery=discovery, telemetry=telemetry
+        )
+        config = self._request_config(overrides, budget_seconds)
+        engine = Renuver(
+            prepared, config, telemetry=telemetry or self.telemetry
+        )
+        return engine.impute(relation), source
+
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        relation: Relation,
+        rfds: Iterable[RFD] | None = None,
+        *,
+        discovery: DiscoveryConfig | None = None,
+        overrides: dict | None = None,
+        budget_seconds: float | None = None,
+        incremental_discovery: bool = True,
+        telemetry: Telemetry | None = None,
+    ) -> tuple[ImputationSession, IncrementalDiscovery | None, str]:
+        """Components of a warm-start session over ``relation``.
+
+        Returns ``(imputation_session, incremental_discovery,
+        rfd_source)``.  With a pinned ``rfds`` set the dependency set is
+        static (no maintenance); otherwise the initial set comes from
+        the artifact cache when possible and an
+        :class:`IncrementalDiscovery` maintains it as tuples arrive
+        (``incremental_discovery=False`` freezes it instead).
+        """
+        result, prepared, source = self.prepare_rfds(
+            relation, rfds, discovery=discovery, telemetry=telemetry
+        )
+        config = self._request_config(overrides, budget_seconds)
+        session = ImputationSession(relation, prepared, config)
+        maintainer: IncrementalDiscovery | None = None
+        if rfds is None and incremental_discovery:
+            maintainer = IncrementalDiscovery(
+                relation,
+                discovery or self.config.discovery,
+                initial=result,
+            )
+        return session, maintainer, source
+
+    # ------------------------------------------------------------------
+    def _request_config(
+        self, overrides: dict | None, budget_seconds: float | None
+    ) -> RenuverConfig:
+        """The run config for one request: defaults + overrides +
+        deadline.  Bad override fields raise
+        :class:`~repro.exceptions.ImputationError` (the HTTP layer maps
+        that to 400)."""
+        config = self.config.renuver
+        if overrides:
+            try:
+                config = replace(config, **overrides)
+            except TypeError as exc:
+                raise ImputationError(
+                    f"unknown config override: {exc}"
+                ) from exc
+        budget = (
+            budget_seconds
+            if budget_seconds is not None
+            else self.config.request_budget_seconds
+        )
+        if budget is not None:
+            # Deadline semantics: degrade to a partial result rather
+            # than failing the request (PR 2 budget machinery).
+            config = replace(
+                config,
+                time_budget_seconds=budget,
+                on_budget="partial",
+            )
+        return config
+
+
+def session_rows(rows: object) -> list[Sequence]:
+    """Validate a JSON ``rows`` payload into a list of row sequences."""
+    if not isinstance(rows, list) or not all(
+        isinstance(row, list) for row in rows
+    ):
+        raise ImputationError("'rows' must be a list of lists")
+    return rows

@@ -1,0 +1,536 @@
+"""Stdlib HTTP JSON API for the imputation service.
+
+Endpoints (full reference with curl examples in ``docs/SERVICE.md``):
+
+===========================================  ===============================
+``POST /v1/impute``                          one-shot imputation — with an
+                                             explicit ``rfds`` list the
+                                             response CSV is bit-identical
+                                             to the CLI ``impute`` command
+``POST /v1/sessions``                        open a warm-start session
+``GET /v1/sessions/{id}``                    session statistics
+``POST /v1/sessions/{id}/tuples``            append tuples to a session
+``POST /v1/sessions/{id}/impute``            run one imputation round
+``DELETE /v1/sessions/{id}``                 close a session
+``GET /healthz``                             liveness + basic stats
+``GET /metrics``                             Prometheus text exposition
+===========================================  ===============================
+
+Built on :class:`http.server.ThreadingHTTPServer` (one thread per
+connection, non-daemon so a drain can join them).  Admission control is
+a counting semaphore of ``max_inflight`` permits over the imputation
+routes: a request that cannot get a permit immediately is answered
+``429`` with a ``Retry-After`` hint — bounded queueing, never an
+unbounded pile-up, never a crash.  ``/healthz`` and ``/metrics`` bypass
+admission so operators can always see in.
+
+Every request runs under a fresh ``service.request`` span (the tracer
+is per-request; the metrics registry is process-wide) and lands in
+``renuver_http_requests_total{route,code}`` and
+``renuver_http_request_seconds{route}``.
+
+Graceful drain (modeled on the supervised runtime's shutdown path):
+:meth:`ImputationHTTPServer.drain` stops the accept loop, waits for
+in-flight handler threads, and leaves settled state behind — the CLI
+``serve`` subcommand maps SIGTERM/SIGINT onto it and exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import fields as dataclass_fields
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from typing import Any
+
+from repro.core.report import ImputationReport
+from repro.dataset.csv_io import read_csv_text, to_csv_text
+from repro.dataset.missing import is_missing
+from repro.discovery.config import DiscoveryConfig
+from repro.exceptions import ReproError, ServiceError
+from repro.rfd.parser import parse_rfd
+from repro.service.artifacts import ArtifactStore
+from repro.service.engine import PreparedEngine, ServiceConfig, session_rows
+from repro.service.sessions import SessionManager
+from repro.telemetry import Telemetry, prometheus_text
+from repro.telemetry.logs import get_logger
+
+logger = get_logger("service.http")
+
+#: RenuverConfig fields a request may override per call.  Everything
+#: else (budgets, workers, journals) is owned by the operator.
+_CONFIG_OVERRIDES = frozenset(
+    {"engine", "verify", "fallback", "max_candidates", "cluster_order"}
+)
+
+_DISCOVERY_ALIASES = {"limit": "threshold_limit", "max_lhs": "max_lhs_size"}
+_DISCOVERY_FIELDS = frozenset(
+    f.name for f in dataclass_fields(DiscoveryConfig)
+)
+
+
+class _HTTPError(Exception):
+    """An error with a status code; rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str, **extra: Any) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": message, **extra}
+
+
+class ImputationHTTPServer(ThreadingHTTPServer):
+    """The service's threading HTTP server (one engine, many requests)."""
+
+    #: Non-daemon handler threads: ``server_close`` joins them, which is
+    #: exactly the drain semantics the SIGTERM path needs.
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        *,
+        engine: PreparedEngine,
+        telemetry: Telemetry,
+    ) -> None:
+        self.engine = engine
+        self.telemetry = telemetry
+        self.sessions = SessionManager(engine.config.max_sessions)
+        self.admission = threading.Semaphore(engine.config.max_inflight)
+        self.draining = threading.Event()
+        try:
+            super().__init__(address, _Handler)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot bind {address[0]}:{address[1]}: {exc}"
+            ) from exc
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``--port 0``)."""
+        return self.server_address[1]
+
+    def drain(self) -> None:
+        """Stop accepting, finish in-flight requests, release the socket.
+
+        Idempotent; safe to call from a signal-driven thread while
+        ``serve_forever`` runs in another.
+        """
+        if self.draining.is_set():
+            return
+        self.draining.set()
+        logger.info("draining: refusing new work, finishing in-flight")
+        self.shutdown()       # stop the accept loop
+        self.server_close()   # join handler threads (block_on_close)
+        logger.info("drain complete")
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    config: ServiceConfig | None = None,
+    artifact_dir: str | None = None,
+    telemetry: Telemetry | None = None,
+) -> ImputationHTTPServer:
+    """Assemble a ready-to-serve engine + HTTP server.
+
+    The server always runs with a live process-wide metrics registry
+    (``/metrics`` must have something to expose); pass ``telemetry`` to
+    share one.  ``artifact_dir`` enables the fingerprint-keyed artifact
+    cache that lets warm requests skip discovery.
+    """
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    store = (
+        ArtifactStore(artifact_dir, telemetry=telemetry)
+        if artifact_dir
+        else None
+    )
+    engine = PreparedEngine(config, store=store, telemetry=telemetry)
+    return ImputationHTTPServer(
+        (host, port), engine=engine, telemetry=telemetry
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests; all real work happens on the shared engine."""
+
+    protocol_version = "HTTP/1.1"
+    server: ImputationHTTPServer  # narrowed for type checkers
+
+    # -- entry points ----------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("DELETE")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route the stdlib access log into the repro logger tree."""
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        route, handler, needs_admission = self._route(method)
+        started = perf_counter()
+        status = 500
+        telemetry = self.server.engine.request_telemetry()
+        try:
+            if handler is None:
+                raise _HTTPError(404, f"no route {method} {self.path}")
+            if self.server.draining.is_set():
+                raise _HTTPError(503, "server is draining")
+            if needs_admission and not self.server.admission.acquire(
+                blocking=False
+            ):
+                raise _HTTPError(
+                    429,
+                    "too many in-flight requests "
+                    f"(max_inflight="
+                    f"{self.server.engine.config.max_inflight})",
+                )
+            try:
+                with telemetry.tracer.span(
+                    "service.request", route=route, method=method
+                ) as span:
+                    status, payload, content_type = handler(telemetry)
+                    span.set_attribute("status", status)
+            finally:
+                if needs_admission:
+                    self.server.admission.release()
+            self._respond(status, payload, content_type)
+        except _HTTPError as exc:
+            status = exc.status
+            headers = (
+                {"Retry-After": "1"} if exc.status == 429 else None
+            )
+            self._respond(
+                exc.status,
+                json.dumps(exc.payload).encode("utf-8"),
+                "application/json",
+                headers,
+            )
+        except ReproError as exc:
+            # Client-data failures (bad CSV, bad RFD text, bad config)
+            # are the request's fault, not the server's.
+            status = 400
+            self._respond(400, json.dumps({
+                "error": str(exc), "type": type(exc).__name__,
+            }).encode("utf-8"), "application/json")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            status = 499
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            status = 500
+            logger.exception("unhandled error on %s %s", method, route)
+            self._respond(500, json.dumps({
+                "error": f"internal error: {type(exc).__name__}",
+            }).encode("utf-8"), "application/json")
+        finally:
+            self._observe(route, status, perf_counter() - started)
+
+    def _route(self, method: str):
+        """(route template, bound handler, needs admission)."""
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return "/healthz", self._handle_healthz, False
+        if path == "/metrics" and method == "GET":
+            return "/metrics", self._handle_metrics, False
+        if path == "/v1/impute" and method == "POST":
+            return "/v1/impute", self._handle_impute, True
+        if path == "/v1/sessions" and method == "POST":
+            return "/v1/sessions", self._handle_session_create, True
+        parts = path.split("/")
+        if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "sessions":
+            session_id = parts[3]
+            if len(parts) == 4 and method == "GET":
+                return (
+                    "/v1/sessions/{id}",
+                    lambda t: self._handle_session_get(t, session_id),
+                    False,
+                )
+            if len(parts) == 4 and method == "DELETE":
+                return (
+                    "/v1/sessions/{id}",
+                    lambda t: self._handle_session_delete(t, session_id),
+                    False,
+                )
+            if len(parts) == 5 and parts[4] == "tuples" and method == "POST":
+                return (
+                    "/v1/sessions/{id}/tuples",
+                    lambda t: self._handle_session_tuples(t, session_id),
+                    True,
+                )
+            if len(parts) == 5 and parts[4] == "impute" and method == "POST":
+                return (
+                    "/v1/sessions/{id}/impute",
+                    lambda t: self._handle_session_impute(t, session_id),
+                    True,
+                )
+        return self.path, None, False
+
+    # -- handlers --------------------------------------------------------
+    def _handle_healthz(self, telemetry: Telemetry):
+        body = json.dumps({
+            "status": "ok",
+            "sessions": len(self.server.sessions),
+            "max_inflight": self.server.engine.config.max_inflight,
+            "artifact_cache": self.server.engine.store is not None,
+        }).encode("utf-8")
+        return 200, body, "application/json"
+
+    def _handle_metrics(self, telemetry: Telemetry):
+        text = prometheus_text(self.server.telemetry.metrics)
+        return 200, text.encode("utf-8"), (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def _handle_impute(self, telemetry: Telemetry):
+        body = self._read_json()
+        relation = self._relation_from(body)
+        result, source = self.server.engine.impute_once(
+            relation,
+            self._rfds_from(body),
+            discovery=self._discovery_from(body),
+            overrides=self._overrides_from(body),
+            budget_seconds=self._budget_from(body),
+            telemetry=telemetry,
+        )
+        payload = {
+            "csv": to_csv_text(result.relation),
+            "report": _report_payload(result.report),
+            "rfd_source": source,
+        }
+        return 200, json.dumps(payload).encode("utf-8"), "application/json"
+
+    def _handle_session_create(self, telemetry: Telemetry):
+        body = self._read_json()
+        relation = self._relation_from(body)
+        incremental = body.get("incremental_discovery", True)
+        if not isinstance(incremental, bool):
+            raise _HTTPError(400, "'incremental_discovery' must be a bool")
+        imputation, discovery, source = self.server.engine.open_session(
+            relation,
+            self._rfds_from(body),
+            discovery=self._discovery_from(body),
+            overrides=self._overrides_from(body),
+            budget_seconds=self._budget_from(body),
+            incremental_discovery=incremental,
+            telemetry=telemetry,
+        )
+        session = self.server.sessions.create(
+            imputation, discovery, rfd_source=source
+        )
+        if session is None:
+            raise _HTTPError(
+                429,
+                f"session registry is full "
+                f"(max_sessions="
+                f"{self.server.engine.config.max_sessions}); "
+                f"DELETE a session you no longer need",
+            )
+        self._session_gauge()
+        return 201, json.dumps(session.snapshot()).encode("utf-8"), (
+            "application/json"
+        )
+
+    def _handle_session_get(self, telemetry: Telemetry, session_id: str):
+        session = self._session(session_id)
+        return 200, json.dumps(session.snapshot()).encode("utf-8"), (
+            "application/json"
+        )
+
+    def _handle_session_delete(self, telemetry: Telemetry, session_id: str):
+        if not self.server.sessions.delete(session_id):
+            raise _HTTPError(404, f"no session {session_id!r}")
+        self._session_gauge()
+        return 200, json.dumps({"deleted": session_id}).encode("utf-8"), (
+            "application/json"
+        )
+
+    def _handle_session_tuples(self, telemetry: Telemetry, session_id: str):
+        session = self._session(session_id)
+        body = self._read_json()
+        if "rows" not in body:
+            raise _HTTPError(400, "body needs a 'rows' list")
+        outcome = session.append(session_rows(body["rows"]))
+        return 200, json.dumps(outcome).encode("utf-8"), "application/json"
+
+    def _handle_session_impute(self, telemetry: Telemetry, session_id: str):
+        session = self._session(session_id)
+        result = session.impute()
+        payload = {
+            "report": _report_payload(result.report),
+            "outcomes": [_outcome_payload(o) for o in result.report],
+            "csv": to_csv_text(result.relation),
+        }
+        return 200, json.dumps(payload).encode("utf-8"), "application/json"
+
+    # -- request parsing -------------------------------------------------
+    def _read_json(self) -> dict[str, Any]:
+        limit = self.server.engine.config.max_body_bytes
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise _HTTPError(400, "bad Content-Length") from None
+        if length > limit:
+            raise _HTTPError(
+                413, f"body of {length} bytes exceeds {limit}"
+            )
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPError(400, f"body is not JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "body must be a JSON object")
+        return body
+
+    def _relation_from(self, body: dict[str, Any]):
+        csv_text = body.get("csv")
+        if not isinstance(csv_text, str) or not csv_text.strip():
+            raise _HTTPError(400, "body needs a non-empty 'csv' string")
+        return read_csv_text(csv_text, name=str(body.get("name", "request")))
+
+    @staticmethod
+    def _rfds_from(body: dict[str, Any]):
+        texts = body.get("rfds")
+        if texts is None:
+            return None
+        if not isinstance(texts, list) or not all(
+            isinstance(text, str) for text in texts
+        ):
+            raise _HTTPError(400, "'rfds' must be a list of RFD strings")
+        if not texts:
+            raise _HTTPError(400, "'rfds' must not be empty when given")
+        return [parse_rfd(text) for text in texts]
+
+    @staticmethod
+    def _discovery_from(body: dict[str, Any]) -> DiscoveryConfig | None:
+        spec = body.get("discovery")
+        if spec is None:
+            return None
+        if not isinstance(spec, dict):
+            raise _HTTPError(400, "'discovery' must be an object")
+        normalized: dict[str, Any] = {}
+        for key, value in spec.items():
+            name = _DISCOVERY_ALIASES.get(key, key)
+            if name not in _DISCOVERY_FIELDS:
+                raise _HTTPError(
+                    400, f"unknown discovery option {key!r}"
+                )
+            normalized[name] = value
+        try:
+            return DiscoveryConfig(**normalized)
+        except TypeError as exc:
+            raise _HTTPError(400, f"bad discovery options: {exc}") from None
+
+    @staticmethod
+    def _overrides_from(body: dict[str, Any]) -> dict[str, Any] | None:
+        spec = body.get("config")
+        if spec is None:
+            return None
+        if not isinstance(spec, dict):
+            raise _HTTPError(400, "'config' must be an object")
+        unknown = set(spec) - _CONFIG_OVERRIDES
+        if unknown:
+            raise _HTTPError(
+                400,
+                f"unknown config option(s) {sorted(unknown)}; "
+                f"allowed: {sorted(_CONFIG_OVERRIDES)}",
+            )
+        return dict(spec)
+
+    @staticmethod
+    def _budget_from(body: dict[str, Any]) -> float | None:
+        budget = body.get("budget_seconds")
+        if budget is None:
+            return None
+        if not isinstance(budget, (int, float)) or budget <= 0:
+            raise _HTTPError(
+                400, "'budget_seconds' must be a positive number"
+            )
+        return float(budget)
+
+    def _session(self, session_id: str):
+        session = self.server.sessions.get(session_id)
+        if session is None:
+            raise _HTTPError(404, f"no session {session_id!r}")
+        return session
+
+    # -- response plumbing -----------------------------------------------
+    def _respond(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        # One request per connection keeps the drain's thread-join
+        # bounded: no idle keep-alive thread can stall shutdown.
+        self.send_header("Connection", "close")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self.close_connection = True
+
+    def _observe(self, route: str, status: int, seconds: float) -> None:
+        metrics = self.server.telemetry.metrics
+        metrics.counter(
+            "renuver_http_requests_total",
+            "HTTP requests served, by route template and status code.",
+            route=route, code=str(status),
+        ).inc()
+        metrics.histogram(
+            "renuver_http_request_seconds",
+            "HTTP request latency by route template.",
+            route=route,
+        ).observe(seconds)
+
+    def _session_gauge(self) -> None:
+        self.server.telemetry.metrics.gauge(
+            "renuver_http_sessions",
+            "Live warm-start sessions.",
+        ).set(len(self.server.sessions))
+
+
+# ----------------------------------------------------------------------
+# Payload rendering
+# ----------------------------------------------------------------------
+def _report_payload(report: ImputationReport) -> dict[str, Any]:
+    return {
+        "missing_cells": report.missing_count,
+        "imputed_cells": report.imputed_count,
+        "degraded_cells": report.degraded_count,
+        "unimputed_cells": report.unimputed_count,
+        "fill_rate": report.fill_rate,
+        "status_counts": report.status_counts(),
+        "elapsed_seconds": report.elapsed_seconds,
+        "degradations": len(report.degradations),
+        "budget_exhausted": any(
+            event.scope == "run" for event in report.budget_events
+        ),
+        "replayed_cells": report.replayed_count,
+    }
+
+
+def _outcome_payload(outcome: Any) -> dict[str, Any]:
+    return {
+        "row": outcome.row,
+        "attribute": outcome.attribute,
+        "status": outcome.status.value,
+        "value": None if is_missing(outcome.value) else outcome.value,
+        "source_row": outcome.source_row,
+        "rfd": str(outcome.rfd) if outcome.rfd is not None else None,
+        "distance": outcome.distance,
+    }
+

@@ -1,0 +1,144 @@
+"""Warm-start session registry for the imputation service.
+
+A *session* is a long-lived, append-only imputation workload: the
+client uploads an initial instance, streams new tuples in, and asks for
+imputation rounds whenever it likes — the whole accumulated instance
+keeps serving as the donor pool (paper Section 7, incremental
+scenarios).  Each :class:`ServiceSession` wraps an
+:class:`~repro.extensions.incremental.ImputationSession` plus an
+optional :class:`~repro.discovery.incremental.IncrementalDiscovery`
+that maintains the RFD set as tuples arrive.
+
+Concurrency model: one :class:`threading.Lock` per session serializes
+its mutations, so overlapping requests against the same session stay
+consistent (they observe some serial order); requests against
+different sessions run in parallel.  The registry itself is bounded —
+creation beyond ``max_sessions`` is refused so a leaky client cannot
+grow the process without limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Sequence
+
+from repro.core.renuver import ImputationResult
+from repro.discovery.incremental import IncrementalDiscovery
+from repro.extensions.incremental import ImputationSession
+from repro.telemetry.logs import get_logger
+
+logger = get_logger("service.sessions")
+
+
+class ServiceSession:
+    """One client session: accumulated relation + maintained RFDs."""
+
+    def __init__(
+        self,
+        session_id: str,
+        imputation: ImputationSession,
+        discovery: IncrementalDiscovery | None = None,
+        *,
+        rfd_source: str = "provided",
+    ) -> None:
+        self.id = session_id
+        self.imputation = imputation
+        self.discovery = discovery
+        self.rfd_source = rfd_source
+        self.lock = threading.Lock()
+        self.rounds = 0
+        self.appended_tuples = 0
+
+    # ------------------------------------------------------------------
+    def append(self, rows: Sequence[Sequence[Any]]) -> dict[str, Any]:
+        """Append tuples; returns row indices and maintenance info."""
+        with self.lock:
+            indices = self.imputation.append(rows)
+            self.appended_tuples += len(indices)
+            maintenance: str | None = None
+            if self.discovery is not None and indices:
+                report = self.discovery.insert(rows)
+                maintenance = report.summary()
+                maintained = self.discovery.all_rfds
+                if maintained:
+                    self.imputation.update_rfds(maintained)
+                else:
+                    # Never leave the session without a dependency set:
+                    # an empty maintained set keeps the previous RFDs
+                    # (the engine needs at least one to run).
+                    logger.warning(
+                        "session %s: maintenance dropped every RFD; "
+                        "keeping the previous set", self.id,
+                    )
+            return {
+                "rows": list(indices),
+                "pending": len(self.imputation.pending_cells),
+                "maintenance": maintenance,
+            }
+
+    def impute(self) -> ImputationResult:
+        """Run one imputation round over the queued cells."""
+        with self.lock:
+            self.rounds += 1
+            return self.imputation.impute_pending()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Cheap stats for ``/healthz`` and session responses."""
+        with self.lock:
+            return {
+                "id": self.id,
+                "n_tuples": self.imputation.relation.n_tuples,
+                "pending": len(self.imputation.pending_cells),
+                "rounds": self.rounds,
+                "appended_tuples": self.appended_tuples,
+                "rfd_source": self.rfd_source,
+            }
+
+
+class SessionManager:
+    """Bounded, thread-safe registry of live sessions."""
+
+    def __init__(self, max_sessions: int = 64) -> None:
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        self._sessions: dict[str, ServiceSession] = {}
+        self._ids = itertools.count(1)
+
+    def create(
+        self,
+        imputation: ImputationSession,
+        discovery: IncrementalDiscovery | None = None,
+        *,
+        rfd_source: str = "provided",
+    ) -> ServiceSession | None:
+        """Register a new session, or ``None`` when the registry is
+        full (the HTTP layer answers 429; the client should delete a
+        session it no longer needs)."""
+        with self._lock:
+            if len(self._sessions) >= self.max_sessions:
+                return None
+            session_id = f"s{next(self._ids):06d}"
+            session = ServiceSession(
+                session_id, imputation, discovery, rfd_source=rfd_source
+            )
+            self._sessions[session_id] = session
+            logger.info("opened session %s", session_id)
+            return session
+
+    def get(self, session_id: str) -> ServiceSession | None:
+        """The live session for ``session_id``, if any."""
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def delete(self, session_id: str) -> bool:
+        """Drop a session; returns whether it existed."""
+        with self._lock:
+            existed = self._sessions.pop(session_id, None) is not None
+        if existed:
+            logger.info("closed session %s", session_id)
+        return existed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

@@ -24,6 +24,7 @@ out shared no-op instruments, for the default telemetry-off path.
 from __future__ import annotations
 
 import re
+import threading
 from typing import Any, Iterator
 
 from repro.exceptions import TelemetryError
@@ -152,12 +153,20 @@ class _Family:
 
 
 class MetricsRegistry:
-    """Process- or run-local collection of metric instruments."""
+    """Process- or run-local collection of metric instruments.
+
+    Instrument *creation* is serialized by a lock so a registry can be
+    shared across threads (the HTTP service shares one process-wide
+    registry with a fresh tracer per request).  Updates on an existing
+    instrument are plain attribute arithmetic — safe under CPython for
+    the crash-freedom the service needs.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
+        self._create_lock = threading.Lock()
 
     # -- factories -------------------------------------------------------
     def counter(
@@ -217,6 +226,30 @@ class MetricsRegistry:
 
     # -- internals -------------------------------------------------------
     def _instrument(
+        self,
+        cls: type,
+        name: str,
+        help_text: str,
+        buckets: tuple[float, ...] | None,
+        labels: dict[str, str],
+    ) -> Any:
+        # Fast path: the instrument exists — no lock, no validation
+        # (both already happened when it was created).
+        family = self._families.get(name)
+        if family is not None and family.kind == cls.kind and (
+            not help_text or family.help
+        ):
+            existing = family.instruments.get(_label_key(labels))
+            if existing is not None and (
+                buckets is None or family.buckets == buckets
+            ):
+                return existing
+        with self._create_lock:
+            return self._create_instrument(
+                cls, name, help_text, buckets, labels
+            )
+
+    def _create_instrument(
         self,
         cls: type,
         name: str,

@@ -1,6 +1,11 @@
-"""Small shared utilities: timing, memory tracking and seeded RNG helpers."""
+"""Small shared utilities: timing, memory, fingerprints and seeded RNG."""
 
 from repro.utils.atomic import atomic_write_text
+from repro.utils.fingerprint import (
+    fingerprint_matches,
+    payload_fingerprint,
+    relation_fingerprint,
+)
 from repro.utils.timer import Timer, format_duration
 from repro.utils.memory import MemoryTracker, format_bytes
 from repro.utils.rng import derive_seed, spawn_rng
@@ -8,9 +13,12 @@ from repro.utils.rng import derive_seed, spawn_rng
 __all__ = [
     "Timer",
     "atomic_write_text",
+    "fingerprint_matches",
     "format_duration",
     "MemoryTracker",
     "format_bytes",
     "derive_seed",
+    "payload_fingerprint",
+    "relation_fingerprint",
     "spawn_rng",
 ]

@@ -1,0 +1,165 @@
+"""JSON serialization of discovery artifacts (the service persists
+these); the textual RFD grammar round-trips by property."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+import pytest
+
+from repro.dataset.csv_io import read_csv_text
+from repro.discovery import DiscoveryConfig, discover_rfds
+from repro.discovery.dime import DiscoveryResult
+from repro.discovery.pattern_matrix import PairDistanceMatrix
+from repro.exceptions import DiscoveryError
+from repro.rfd.constraint import Constraint
+from repro.rfd.parser import parse_rfd
+from repro.rfd.rfd import RFD
+
+CSV = (
+    "Name,City,Phone\n"
+    "ann,rome,111\n"
+    "ann,rome,111\n"
+    "bob,oslo,222\n"
+    "cat,lima,333\n"
+)
+CONFIG = DiscoveryConfig(threshold_limit=1, max_lhs_size=1)
+
+attribute_names = st.text(
+    alphabet=st.characters(codec="ascii", categories=("L", "N")),
+    min_size=1, max_size=8,
+).filter(lambda name: name[0].isalpha())
+
+# The grammar reads plain decimal notation, so keep generated floats
+# on a grid that never renders in scientific notation.
+thresholds = st.one_of(
+    st.integers(min_value=0, max_value=99),
+    st.integers(min_value=0, max_value=396).map(lambda n: n / 4.0),
+)
+
+
+@st.composite
+def rfds(draw):
+    names = draw(st.lists(
+        attribute_names, min_size=2, max_size=4, unique=True
+    ))
+    lhs = tuple(
+        Constraint(name, draw(thresholds)) for name in names[:-1]
+    )
+    return RFD(lhs, Constraint(names[-1], draw(thresholds)))
+
+
+class TestRfdTextRoundTrip:
+    @given(rfds())
+    def test_parse_of_format_is_identity(self, rfd):
+        reparsed = parse_rfd(str(rfd))
+        assert str(reparsed) == str(rfd)
+        assert reparsed.rhs_attribute == rfd.rhs_attribute
+        assert reparsed.rhs_threshold == rfd.rhs_threshold
+        assert reparsed.lhs_attributes == rfd.lhs_attributes
+
+    @given(rfds())
+    def test_double_round_trip_is_stable(self, rfd):
+        once = parse_rfd(str(rfd))
+        twice = parse_rfd(str(once))
+        assert str(once) == str(twice)
+
+
+class TestDiscoveryResultJson:
+    @pytest.fixture()
+    def result(self):
+        relation = read_csv_text(CSV, name="t")
+        return discover_rfds(relation, CONFIG)
+
+    def test_round_trip_preserves_everything(self, result):
+        restored = DiscoveryResult.from_json(result.to_json())
+        assert [str(r) for r in restored.rfds] == [
+            str(r) for r in result.rfds
+        ]
+        assert [str(r) for r in restored.key_rfds] == [
+            str(r) for r in result.key_rfds
+        ]
+        assert restored.config == result.config
+        assert restored.n_pairs == result.n_pairs
+        assert restored.exact == result.exact
+        assert restored.per_rhs_counts == result.per_rhs_counts
+
+    def test_payload_is_plain_json(self, result):
+        import json
+
+        assert json.loads(json.dumps(result.to_json())) == result.to_json()
+
+    def test_rfds_persist_in_the_paper_notation(self, result):
+        payload = result.to_json()
+        for text in payload["rfds"] + payload["key_rfds"]:
+            assert "->" in text
+            parse_rfd(text)  # must be readable by the standard parser
+
+
+class TestMatrixJson:
+    @pytest.fixture()
+    def relation(self):
+        return read_csv_text(CSV, name="t")
+
+    def _matrix(self, relation):
+        return PairDistanceMatrix(
+            relation, string_limit=2, max_pairs=None, seed=0
+        )
+
+    def test_round_trip(self, relation):
+        matrix = self._matrix(relation)
+        restored = PairDistanceMatrix.from_json(
+            matrix.to_json(), relation
+        )
+        assert restored.pairs.tolist() == matrix.pairs.tolist()
+        assert restored.string_limit == matrix.string_limit
+
+    def test_rejects_a_different_relation(self, relation):
+        matrix = self._matrix(relation)
+        smaller = read_csv_text(
+            "Name,City,Phone\nann,rome,111\n", name="t"
+        )
+        with pytest.raises(DiscoveryError):
+            PairDistanceMatrix.from_json(matrix.to_json(), smaller)
+
+    def test_rejects_a_different_schema(self, relation):
+        matrix = self._matrix(relation)
+        payload = matrix.to_json()
+        payload["attributes"] = ["A", "B", "C"]
+        with pytest.raises(DiscoveryError):
+            PairDistanceMatrix.from_json(payload, relation)
+
+
+class TestDiscoverWithReusedMatrix:
+    def test_reuse_matches_fresh_run(self):
+        relation = read_csv_text(CSV, name="t")
+        string_limit = max(
+            CONFIG.threshold_limit, CONFIG.effective_lhs_limit
+        )
+        matrix = PairDistanceMatrix(
+            relation, string_limit=string_limit,
+            max_pairs=CONFIG.max_pairs, seed=CONFIG.seed,
+        )
+        fresh = discover_rfds(relation, CONFIG)
+        reused = discover_rfds(relation, CONFIG, matrix=matrix)
+        assert [str(r) for r in reused.all_rfds] == [
+            str(r) for r in fresh.all_rfds
+        ]
+
+    def test_undersized_matrix_is_rejected(self):
+        relation = read_csv_text(CSV, name="t")
+        matrix = PairDistanceMatrix(
+            relation, string_limit=0, max_pairs=None, seed=0
+        )
+        config = DiscoveryConfig(threshold_limit=5, max_lhs_size=1)
+        with pytest.raises(DiscoveryError):
+            discover_rfds(relation, config, matrix=matrix)
+
+    def test_mismatched_relation_is_rejected(self):
+        relation = read_csv_text(CSV, name="t")
+        other = read_csv_text(
+            CSV + "dot,kiev,444\n", name="t"
+        )
+        matrix = PairDistanceMatrix(
+            relation, string_limit=2, max_pairs=None, seed=0
+        )
+        with pytest.raises(DiscoveryError):
+            discover_rfds(other, CONFIG, matrix=matrix)

@@ -1,0 +1,204 @@
+"""The fingerprint-keyed artifact store: round trips, misses, metrics."""
+
+import json
+
+import pytest
+
+from repro.dataset.csv_io import read_csv_text
+from repro.discovery import DiscoveryConfig, discover_rfds
+from repro.discovery.pattern_matrix import PairDistanceMatrix
+from repro.exceptions import ServiceError
+from repro.service.artifacts import ARTIFACT_VERSION, ArtifactStore
+from repro.telemetry import Telemetry
+
+CSV = (
+    "Name,City,Phone\n"
+    "ann,rome,111\n"
+    "ann,rome,111\n"
+    "bob,oslo,222\n"
+    "bob,oslo,222\n"
+    "cat,lima,333\n"
+)
+
+
+@pytest.fixture()
+def relation():
+    return read_csv_text(CSV, name="t")
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "cache")
+
+
+CONFIG = DiscoveryConfig(threshold_limit=1, max_lhs_size=1)
+
+
+class TestDiscoveryArtifacts:
+    def test_round_trip(self, store, relation):
+        result = discover_rfds(relation, CONFIG)
+        store.save_discovery(relation, CONFIG, result)
+        loaded = store.load_discovery(relation, CONFIG)
+        assert loaded is not None
+        assert [str(r) for r in loaded.all_rfds] == [
+            str(r) for r in result.all_rfds
+        ]
+        assert loaded.config == result.config
+        assert store.hits == 1 and store.misses == 0
+
+    def test_keyed_by_relation_content_not_name(self, store, relation):
+        result = discover_rfds(relation, CONFIG)
+        store.save_discovery(relation, CONFIG, result)
+        renamed = read_csv_text(CSV, name="other-name")
+        assert store.load_discovery(renamed, CONFIG) is not None
+        different = read_csv_text(CSV.replace("lima", "oslo"), name="t")
+        assert store.load_discovery(different, CONFIG) is None
+
+    def test_keyed_by_full_config(self, store, relation):
+        result = discover_rfds(relation, CONFIG)
+        store.save_discovery(relation, CONFIG, result)
+        other = DiscoveryConfig(threshold_limit=2, max_lhs_size=1)
+        assert store.load_discovery(relation, other) is None
+
+
+class TestMatrixArtifacts:
+    def test_round_trip_is_bit_identical(self, store, relation):
+        matrix = PairDistanceMatrix(
+            relation,
+            string_limit=max(
+                CONFIG.threshold_limit, CONFIG.effective_lhs_limit
+            ),
+            max_pairs=CONFIG.max_pairs,
+            seed=CONFIG.seed,
+        )
+        store.save_matrix(relation, CONFIG, matrix)
+        loaded = store.load_matrix(relation, CONFIG)
+        assert loaded is not None
+        assert loaded.pairs.tolist() == matrix.pairs.tolist()
+        for attribute in relation.attribute_names:
+            original = matrix.distances(attribute).tolist()
+            restored = loaded.distances(attribute).tolist()
+            assert len(original) == len(restored)
+            for a, b in zip(original, restored):
+                assert (a != a and b != b) or a == b  # NaN-aware
+
+    def test_discovery_from_cached_matrix_matches_fresh(
+        self, store, relation
+    ):
+        matrix = PairDistanceMatrix(
+            relation,
+            string_limit=max(
+                CONFIG.threshold_limit, CONFIG.effective_lhs_limit
+            ),
+            max_pairs=CONFIG.max_pairs,
+            seed=CONFIG.seed,
+        )
+        store.save_matrix(relation, CONFIG, matrix)
+        loaded = store.load_matrix(relation, CONFIG)
+        fresh = discover_rfds(relation, CONFIG)
+        reused = discover_rfds(relation, CONFIG, matrix=loaded)
+        assert [str(r) for r in reused.all_rfds] == [
+            str(r) for r in fresh.all_rfds
+        ]
+
+
+class TestCorruptionTolerance:
+    """Every failure mode is a miss, never an exception."""
+
+    def _saved_path(self, store, relation):
+        result = discover_rfds(relation, CONFIG)
+        return store.save_discovery(relation, CONFIG, result)
+
+    def test_absent_is_a_miss(self, store, relation):
+        assert store.load_discovery(relation, CONFIG) is None
+        assert store.misses == 1
+
+    def test_truncated_json_is_a_miss(self, store, relation):
+        path = self._saved_path(store, relation)
+        path.write_text(path.read_text()[:40], encoding="utf-8")
+        assert store.load_discovery(relation, CONFIG) is None
+
+    def test_wrong_version_is_a_miss(self, store, relation):
+        path = self._saved_path(store, relation)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["artifact_version"] = ARTIFACT_VERSION + 1
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert store.load_discovery(relation, CONFIG) is None
+
+    def test_key_mismatch_is_a_miss(self, store, relation):
+        path = self._saved_path(store, relation)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["fingerprint"] = "0" * 64
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert store.load_discovery(relation, CONFIG) is None
+
+    def test_undeserializable_payload_is_a_miss(self, store, relation):
+        path = self._saved_path(store, relation)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["payload"] = {"rfds": "not-a-list"}
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert store.load_discovery(relation, CONFIG) is None
+
+    def test_non_object_envelope_is_a_miss(self, store, relation):
+        path = self._saved_path(store, relation)
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        assert store.load_discovery(relation, CONFIG) is None
+
+    def test_corrupt_artifact_is_recomputed_and_overwritten(
+        self, store, relation
+    ):
+        path = self._saved_path(store, relation)
+        path.write_text("garbage", encoding="utf-8")
+        assert store.load_discovery(relation, CONFIG) is None
+        # The service's contract: recompute, save, and the next load
+        # hits again.
+        store.save_discovery(
+            relation, CONFIG, discover_rfds(relation, CONFIG)
+        )
+        assert store.load_discovery(relation, CONFIG) is not None
+
+
+class TestMetrics:
+    def test_hits_and_misses_reach_the_registry(self, tmp_path, relation):
+        telemetry = Telemetry()
+        store = ArtifactStore(tmp_path / "cache", telemetry=telemetry)
+        assert store.load_discovery(relation, CONFIG) is None
+        store.save_discovery(
+            relation, CONFIG, discover_rfds(relation, CONFIG)
+        )
+        assert store.load_discovery(relation, CONFIG) is not None
+
+        families = {
+            family.name: family
+            for family in telemetry.metrics.families()
+        }
+        hits = families["renuver_artifact_cache_hits_total"]
+        misses = families["renuver_artifact_cache_misses_total"]
+        assert sum(i.value for i in hits.instruments.values()) == 1
+        assert sum(i.value for i in misses.instruments.values()) == 1
+        labels = [dict(key) for key in misses.instruments]
+        assert {"kind": "discovery", "reason": "absent"} in labels
+
+
+class TestStoreErrors:
+    def test_root_must_be_a_directory(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("x")
+        with pytest.raises(ServiceError):
+            ArtifactStore(blocker)
+
+    def test_unwritable_root_raises_service_error(
+        self, tmp_path, relation, monkeypatch
+    ):
+        store = ArtifactStore(tmp_path / "cache")
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(
+            "repro.service.artifacts.atomic_write_text", boom
+        )
+        with pytest.raises(ServiceError):
+            store.save_discovery(
+                relation, CONFIG, discover_rfds(relation, CONFIG)
+            )

@@ -1,0 +1,135 @@
+"""Process-level service smoke: real server, real clients, real signals.
+
+Marked ``service`` — CI runs it as its own job.  Boots ``python -m
+repro serve`` on a random port, drives it with concurrent stdlib
+clients, scrapes ``/metrics``, then sends SIGTERM and asserts a clean
+drain (exit 0).  Also holds the exit-8 contract for a server that
+cannot start.
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.service
+
+ROOT = Path(__file__).resolve().parents[2]
+
+CSV = (
+    "Name,City,Phone\n"
+    "ann,rome,111\n"
+    "ann,rome,\n"
+    "bob,oslo,222\n"
+)
+RFD_TEXTS = ["Name(<=0),City(<=0) -> Phone(<=0)"]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return env
+
+
+def _start_server(*extra_args):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=_env(), cwd=str(ROOT),
+        start_new_session=True,
+    )
+    banner = process.stderr.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", banner)
+    if match is None:
+        process.kill()
+        out, err = process.communicate(timeout=10)
+        raise AssertionError(f"no banner: {banner!r} / {err!r}")
+    return process, int(match.group(1))
+
+
+def _post(port, path, body):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestServeSmoke:
+    def test_concurrent_traffic_metrics_and_sigterm_drain(self, tmp_path):
+        process, port = _start_server(
+            "--artifact-dir", str(tmp_path / "cache"),
+            "--max-inflight", "4",
+        )
+        try:
+            # Concurrent one-shot clients, all must agree.
+            results = []
+            lock = threading.Lock()
+
+            def client():
+                status, body = _post(port, "/v1/impute", {
+                    "csv": CSV, "rfds": RFD_TEXTS,
+                })
+                with lock:
+                    results.append((status, body["csv"]))
+
+            threads = [
+                threading.Thread(target=client) for _ in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert all(status == 200 for status, _ in results)
+            assert len({csv for _, csv in results}) == 1
+
+            # A session round trip against the same process.
+            status, session = _post(port, "/v1/sessions", {
+                "csv": CSV, "rfds": RFD_TEXTS,
+            })
+            assert status == 201
+            status, _ = _post(
+                port, f"/v1/sessions/{session['id']}/impute", {}
+            )
+            assert status == 200
+
+            # The scrape endpoint reflects the traffic just generated.
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=30
+            ) as response:
+                text = response.read().decode("utf-8")
+            assert 'route="/v1/impute"' in text
+            assert "renuver_http_request_seconds" in text
+        finally:
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=30)
+        assert process.returncode == 0, err[-2000:]
+        assert "drained cleanly" in err
+
+    def test_unbindable_port_exits_8(self):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro", "serve",
+                 "--port", str(port)],
+                capture_output=True, text=True, env=_env(),
+                cwd=str(ROOT), timeout=60,
+            )
+        finally:
+            blocker.close()
+        assert completed.returncode == 8, completed.stderr[-2000:]
+        assert "error:" in completed.stderr

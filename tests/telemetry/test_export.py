@@ -112,6 +112,42 @@ class TestPrometheusText:
         text = prometheus_text(registry)
         assert r'path="a\"b\\c\nd"' in text
 
+    def test_each_escape_class_alone(self):
+        # Quotes, backslashes and newlines each escape independently —
+        # a scraper must be able to parse every value back.
+        registry = MetricsRegistry()
+        registry.counter("q_total", v='say "hi"').inc()
+        registry.counter("b_total", v="C:\\temp\\x").inc()
+        registry.counter("n_total", v="line1\nline2").inc()
+        text = prometheus_text(registry)
+        assert 'v="say \\"hi\\""' in text
+        assert 'v="C:\\\\temp\\\\x"' in text
+        assert 'v="line1\\nline2"' in text
+        # Exactly one exposition line per sample despite the newline.
+        samples = [
+            line for line in text.splitlines()
+            if line.startswith("n_total")
+        ]
+        assert len(samples) == 1
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "h_total", "Multi\nline help with back\\slash."
+        ).inc()
+        text = prometheus_text(registry)
+        assert (
+            "# HELP h_total Multi\\nline help with back\\\\slash."
+            in text
+        )
+
+    def test_escaped_exposition_has_no_raw_newlines_inside_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", a='x\n"y"\\z').inc(2)
+        for line in prometheus_text(registry).splitlines():
+            if line.startswith("c_total"):
+                assert line.endswith(" 2")
+
     def test_write_metrics_round_trips(self, tmp_path):
         registry = MetricsRegistry()
         registry.counter("a_total").inc(3)

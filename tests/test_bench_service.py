@@ -1,0 +1,59 @@
+"""Tier-1 smoke test for the imputation-service benchmark.
+
+Runs ``benchmarks/bench_service.py``'s ``run_bench`` with a tiny
+loader (40 Restaurant tuples, one warm repeat, two clients) so the
+bench's whole code path — in-process server, cold vs warm requests,
+the cache-hit assertion, concurrent throughput, JSON artifact — is
+exercised on every test run at trivial cost.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import load_dataset
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def bench_module(monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCHMARKS_DIR))
+    sys.modules.pop("bench_service", None)
+    import bench_service
+
+    yield bench_service
+    sys.modules.pop("bench_service", None)
+
+
+def tiny_loader():
+    return load_dataset("restaurant", n_tuples=40, seed=0)
+
+
+def test_run_bench_smoke(bench_module, tmp_path):
+    result_path = tmp_path / "BENCH_service.json"
+    summary = bench_module.run_bench(
+        result_path=result_path,
+        warm_repeats=1,
+        clients=2,
+        requests_per_client=2,
+        loader=tiny_loader,
+    )
+
+    assert result_path.exists()
+    assert json.loads(result_path.read_text(encoding="utf-8")) == summary
+
+    assert summary["n_tuples"] == 40
+    assert summary["cold_seconds"] > 0
+    assert summary["warm_seconds"] > 0
+    # The warm repeat must have come from the artifact cache and must
+    # return the very bytes the cold request produced.
+    assert summary["warm_cache_hits"] >= 1
+    assert summary["warm_identical_csv"] is True
+    throughput = summary["throughput"]
+    assert throughput["requests"] == 4
+    assert throughput["requests_per_second"] > 0

@@ -139,7 +139,29 @@ class TestDatasets:
 class TestTopLevel:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
-        assert "usage" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "usage" in out
+        assert "serve" in out
+
+
+class TestServe:
+    """Parser-level checks; live-server behavior is covered by
+    ``tests/service/`` (including the SIGTERM smoke suite)."""
+
+    def test_help_documents_the_service_flags(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["serve", "--help"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ["--host", "--port", "--artifact-dir",
+                     "--max-inflight", "--max-sessions",
+                     "--request-budget", "--limit"]:
+            assert flag in out, flag
+
+    def test_bad_service_config_exits_8(self, capsys):
+        assert main(["serve", "--max-inflight", "0"]) == 8
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
 
 
 class TestErrorContract:
@@ -158,6 +180,7 @@ class TestErrorContract:
         assert exit_code_for(E.JournalError("x")) == 5
         assert exit_code_for(E.ImputationError("x")) == 6
         assert exit_code_for(E.EvaluationError("x")) == 6
+        assert exit_code_for(E.ServiceError("x")) == 8
         assert exit_code_for(E.ReproError("x")) == 1
 
     def test_bad_csv_exits_4_one_line(self, tmp_path, capsys):

@@ -22,7 +22,7 @@ class TestDocumentsExist:
         "name",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/ALGORITHMS.md", "docs/ROBUSTNESS.md",
-         "docs/OBSERVABILITY.md"],
+         "docs/OBSERVABILITY.md", "docs/SERVICE.md"],
     )
     def test_present_and_nonempty(self, name):
         path = ROOT / name
@@ -124,6 +124,59 @@ class TestObservabilityDoc:
             assert f'"{span}' in code, (
                 f"OBSERVABILITY.md documents unemitted span {span!r}"
             )
+
+
+class TestServiceDoc:
+    @pytest.fixture(scope="class")
+    def text(self) -> str:
+        return (ROOT / "docs" / "SERVICE.md").read_text(
+            encoding="utf-8"
+        )
+
+    def test_cross_linked_from_the_other_docs(self):
+        for name in ["README.md", "docs/ROBUSTNESS.md",
+                     "docs/OBSERVABILITY.md"]:
+            text = (ROOT / name).read_text(encoding="utf-8")
+            assert "SERVICE.md" in text, (
+                f"{name} does not link docs/SERVICE.md"
+            )
+
+    def test_documented_metrics_exist_in_the_code(self, text):
+        src = ROOT / "src" / "repro"
+        code = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in src.rglob("*.py")
+        )
+        for metric in re.findall(r"`(renuver_[a-z_]+[a-z])`", text):
+            assert metric in code, (
+                f"SERVICE.md documents unknown metric {metric}"
+            )
+
+    def test_documented_cli_flags_exist(self, text):
+        cli = (ROOT / "src" / "repro" / "cli.py").read_text(
+            encoding="utf-8"
+        )
+        for flag in ["--host", "--port", "--artifact-dir",
+                     "--max-inflight", "--max-sessions",
+                     "--request-budget"]:
+            assert flag in text, flag
+            assert f'"{flag}"' in cli, f"cli.py misses {flag}"
+
+    def test_documented_routes_exist_in_the_code(self, text):
+        http = (
+            ROOT / "src" / "repro" / "service" / "http.py"
+        ).read_text(encoding="utf-8")
+        for route in ["/v1/impute", "/v1/sessions", "/healthz",
+                      "/metrics"]:
+            assert route in text, route
+            assert route in http, f"http.py misses {route}"
+
+    def test_documented_exit_code_8_is_wired(self, text):
+        assert "exit code 8" in text.lower() or "code 8" in text
+        cli = (ROOT / "src" / "repro" / "cli.py").read_text(
+            encoding="utf-8"
+        )
+        assert "(ServiceError, 8)" in cli
 
 
 class TestReadmeReferences:

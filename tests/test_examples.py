@@ -15,11 +15,13 @@ ALL_EXAMPLES = [
     "discovery_tour.py",
     "physician_scaling.py",
     "incremental_stream.py",
+    "service_client.py",
 ]
 
 # Examples cheap enough for the unit-test suite; the heavyweight ones
 # (full comparisons, paper-sized datasets) run as part of the benches.
-QUICK_EXAMPLES = ["quickstart.py", "discovery_tour.py"]
+QUICK_EXAMPLES = ["quickstart.py", "discovery_tour.py",
+                  "service_client.py"]
 
 
 class TestExamplesInventory:
