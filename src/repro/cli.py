@@ -51,6 +51,7 @@ from repro.exceptions import (
     ImputationError,
     InjectedFaultError,
     JournalError,
+    PipelineError,
     ReproError,
     RFDParseError,
     RFDValidationError,
@@ -87,6 +88,7 @@ _EXIT_CODES: tuple[tuple[type, int], ...] = (
     (InjectedFaultError, 6),
     (WorkerPoolError, 7),       # supervised worker pool exhausted retries
     (ServiceError, 8),          # HTTP service cannot start or operate
+    (PipelineError, 9),         # continuous-ingestion pipeline failures
 )
 
 
@@ -332,6 +334,49 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=_cmd_serve)
 
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="continuous-ingestion pipeline: watermarked FULL/INCR "
+             "runs with crash-safe resume (docs/PIPELINE.md)",
+    )
+    pipeline.add_argument(
+        "action", choices=("run", "resume", "status"),
+        help="run: execute one run over new ingest files; resume: "
+             "finish a crashed run; status: print the pipeline state",
+    )
+    pipeline.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="pipeline root (state, lease, store, runs, artifacts)",
+    )
+    pipeline.add_argument(
+        "--ingest", default=None, metavar="DIR",
+        help="append-only ingest directory of *.csv batches "
+             "(required for run and resume)",
+    )
+    pipeline.add_argument(
+        "--mode", choices=("auto", "full", "incr"), default="auto",
+        help="run mode; incr degrades to full when its prerequisites "
+             "are broken (default auto)",
+    )
+    pipeline.add_argument(
+        "--limit", type=float, default=3.0,
+        help="discovery threshold limit (default 3)",
+    )
+    pipeline.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker subprocesses for the imputation stage (default 1)",
+    )
+    pipeline.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="lease heartbeat TTL; a lease staler than this is taken "
+             "over (default 30)",
+    )
+    pipeline.add_argument(
+        "--owner", default=None, metavar="NAME",
+        help="lease owner label (default: pid-<pid>)",
+    )
+    pipeline.set_defaults(handler=_cmd_pipeline)
+
     return parser
 
 
@@ -532,6 +577,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.drain()
         accept.join()
         print("drained cleanly", file=sys.stderr)
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.pipeline import Pipeline, PipelineConfig
+
+    if args.action in ("run", "resume") and not args.ingest:
+        print("error: --ingest is required for run and resume",
+              file=sys.stderr)
+        return 2
+    config = PipelineConfig(
+        discovery=DiscoveryConfig(threshold_limit=args.limit),
+        renuver=RenuverConfig(workers=args.workers),
+        mode=args.mode,
+        lease_ttl_seconds=args.lease_ttl,
+        owner=args.owner,
+    )
+    pipeline = Pipeline(
+        args.root, args.ingest or args.root, config
+    )
+    if args.action == "status":
+        print(_json.dumps(pipeline.status(), indent=2))
+        return 0
+    result = pipeline.run() if args.action == "run" else pipeline.resume()
+    print(result.summary(), file=sys.stderr)
     return 0
 
 

@@ -418,7 +418,9 @@ class Renuver:
         if resume_from is not None:
             from repro.robustness.journal import replay_journal
 
-            replayed = replay_journal(resume_from, working)
+            replayed = replay_journal(
+                resume_from, working, telemetry=self.telemetry
+            )
             if journal is None:
                 journal = resume_from
             self.telemetry.tracer.event(

@@ -25,10 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+import math
+
+from repro.dataset.missing import MISSING, is_missing
 from repro.dataset.relation import Relation
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.dime import DiscoveryResult, discover_rfds
 from repro.discovery.pruning import remove_dominated
+from repro.distance.levenshtein import levenshtein_bounded
 from repro.distance.pattern import PatternCalculator
 from repro.exceptions import DiscoveryError
 from repro.rfd.constraint import Constraint
@@ -86,6 +90,8 @@ class IncrementalDiscovery:
         self._rfds: list[RFD] = list(initial.rfds)
         self._keys: list[RFD] = list(initial.key_rfds)
         self._calculator = PatternCalculator(self._relation)
+        self._pair_cache: dict[tuple, Any] = {}
+        self._string_caps: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -123,8 +129,17 @@ class IncrementalDiscovery:
         new_rows = list(range(start, start + len(rows)))
 
         report = MaintenanceReport(inserted_tuples=len(rows))
-        self._maintain_non_keys(new_rows, report)
-        self._maintain_keys(new_rows, report)
+        # One distance cache for the whole batch: maintained RFDs share
+        # attributes, so the same (pair, attribute) distance is needed
+        # by many of them — compute it once.
+        self._pair_cache: dict[tuple, Any] = {}
+        self._string_caps = self._attribute_caps()
+        try:
+            self._maintain_non_keys(new_rows, report)
+            self._maintain_keys(new_rows, report)
+        finally:
+            self._pair_cache = {}
+            self._string_caps = {}
         self._rfds = remove_dominated(self._rfds)
         return report
 
@@ -175,30 +190,106 @@ class IncrementalDiscovery:
                 report.dropped.append(rfd)
         self._keys = still_keys
 
+    def _attribute_caps(self) -> dict[str, int]:
+        """Per *string* attribute: the loosest threshold any maintained
+        constraint can ask about.
+
+        Maintenance only ever needs a distance up to the tightest bound
+        that still matters — an LHS constraint's threshold, or the
+        configured RHS limit when deciding loosening — so edit
+        distances can run banded (``levenshtein_bounded``) instead of
+        exact, exactly as the batch pattern matrix does.  A distance
+        reported as ``cap + 1`` fails every constraint in play.
+        """
+        caps: dict[str, float] = {}
+        for rfd in self._rfds + self._keys:
+            for constraint in rfd.lhs:
+                name = constraint.attribute
+                caps[name] = max(
+                    caps.get(name, 0.0), constraint.threshold
+                )
+            rhs = rfd.rhs_attribute
+            caps[rhs] = max(
+                caps.get(rhs, 0.0), self.config.rhs_limit_for(rhs)
+            )
+        return {
+            name: int(math.ceil(cap))
+            for name, cap in caps.items()
+            if self._calculator.function_for(name).name
+            == "edit_distance"
+        }
+
+    def _pair_distance(self, row_a: int, row_b: int, name: str) -> Any:
+        """One attribute distance of one pair, cached for the batch.
+
+        String distances are memoized by *value* pair (columns repeat
+        values heavily, as the donor-scan kernels exploit) behind a
+        length pre-filter, so the banded DP only runs once per distinct
+        nearby pair of strings.
+        """
+        cap = self._string_caps.get(name)
+        if cap is None:
+            key = (row_a, row_b, name)
+            cache = self._pair_cache
+            try:
+                return cache[key]
+            except KeyError:
+                value = self._calculator.distance(row_a, row_b, name)
+                cache[key] = value
+                return value
+        column = self._relation._columns[name]  # noqa: SLF001
+        value_a = column[row_a]
+        value_b = column[row_b]
+        if value_a is MISSING or value_b is MISSING:
+            return MISSING
+        a, b = str(value_a), str(value_b)
+        key = (name, a, b) if a <= b else (name, b, a)
+        cache = self._pair_cache
+        try:
+            return cache[key]
+        except KeyError:
+            if abs(len(a) - len(b)) > cap:
+                value = float(cap + 1)
+            else:
+                value = float(levenshtein_bounded(a, b, cap))
+            cache[key] = value
+            return value
+
     def _max_new_rhs_distance(
         self, rfd: RFD, new_rows: list[int]
     ) -> float | None:
-        """Largest RHS distance over new LHS-matching pairs (or None)."""
+        """Largest RHS distance over new LHS-matching pairs (or None).
+
+        LHS constraints are evaluated first, one attribute at a time
+        with an early exit, so the (typically expensive, string-typed)
+        RHS distance is only computed for the few pairs whose LHS
+        actually matches.
+        """
         worst: float | None = None
         n = self._relation.n_tuples
         new_set = set(new_rows)
-        attributes = rfd.attributes
+        lhs = rfd.lhs
+        rhs_attribute = rfd.rhs_attribute
         for new_row in new_rows:
             for other in range(n):
                 if other == new_row:
                     continue
                 if other in new_set and other > new_row:
                     continue  # new-new pairs once
-                pattern = self._calculator.pattern(
-                    new_row, other, attributes
-                )
-                if not rfd.lhs_satisfied(pattern):
-                    continue
-                if not rfd.rhs_comparable(pattern):
-                    continue
-                distance = float(pattern[rfd.rhs_attribute])
-                if worst is None or distance > worst:
-                    worst = distance
+                for constraint in lhs:
+                    if not constraint.is_satisfied_by(self._pair_distance(
+                        new_row, other, constraint.attribute
+                    )):
+                        break
+                else:
+                    distance = self._pair_distance(
+                        new_row, other, rhs_attribute
+                    )
+                    if is_missing(distance):
+                        continue
+                    distance = float(distance)
+                    if worst is None or distance > worst:
+                        worst = distance
         return worst
 
     def _new_pair_matches_lhs(
@@ -212,10 +303,12 @@ class IncrementalDiscovery:
                     continue
                 if other in new_set and other > new_row:
                     continue
-                pattern = self._calculator.pattern(
-                    new_row, other, rfd.lhs_attributes
-                )
-                if rfd.lhs_satisfied(pattern):
+                for constraint in rfd.lhs:
+                    if not constraint.is_satisfied_by(self._pair_distance(
+                        new_row, other, constraint.attribute
+                    )):
+                        break
+                else:
                     return True
         return False
 

@@ -90,6 +90,39 @@ class ServiceError(ReproError):
     """
 
 
+class PipelineError(ReproError):
+    """A continuous-ingestion pipeline run could not start or commit.
+
+    Raised by :mod:`repro.pipeline` for run-level failures — the ingest
+    directory is unusable, a stage died on an I/O error (e.g. ENOSPC
+    while reconciling the store), an in-progress run blocks a new one.
+    Failures always name the run and stage; the run-state store stays
+    consistent so ``pipeline resume`` can retake the run once the cause
+    clears.  The CLI maps this error (and its subclasses below) to exit
+    code 9.
+    """
+
+
+class StateError(PipelineError):
+    """The pipeline's run-state store is unreadable or inconsistent.
+
+    Raised when both ``state.json`` and its ``state.json.prev`` fallback
+    fail to parse, or when an envelope's fields do not validate.  A
+    truncated ``state.json`` alone never raises: the store falls back to
+    the previous envelope with a counted warning.
+    """
+
+
+class LeaseError(PipelineError):
+    """The pipeline lease is held by a live run.
+
+    Raised when acquiring the run lock while another process holds a
+    non-stale lease.  A *stale* lease (dead owner process, or no
+    heartbeat within its TTL) never raises: exactly one contender takes
+    it over and the rest get this error.
+    """
+
+
 class BudgetExceededError(ReproError):
     """A configured time or memory budget was exhausted.
 

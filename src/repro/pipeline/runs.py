@@ -1,0 +1,124 @@
+"""Per-run artifact directories: ``<root>/runs/<run_id>/``.
+
+Every pipeline run — FULL or INCR, fresh or resumed — gets one
+directory holding its complete audit trail:
+
+``journal.jsonl``
+    The imputation checkpoint journal (appended live; the crash-safe
+    replay prefix).
+``delta.csv``
+    The rows this run added to the persistent store, imputed (for a
+    FULL run: the whole store).
+``report.json``
+    The run's :class:`~repro.core.report.ImputationReport` digest plus
+    pipeline framing (mode, files, degradation).
+``trace.jsonl`` / ``metrics.prom``
+    The run's telemetry exports.
+``MANIFEST.json``
+    Written last, atomically — its presence marks the artifact set
+    complete.  (The *commit point* of a run is the state envelope, not
+    the manifest; a run directory without a manifest is a crashed run's
+    debris, kept for forensics.)
+
+All writes go through :func:`repro.utils.atomic.atomic_write_text`
+except the journal, which is append-only by design.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.report import ImputationReport
+from repro.dataset.csv_io import write_csv
+from repro.dataset.relation import Relation
+from repro.telemetry import Telemetry, write_metrics, write_trace
+from repro.utils.atomic import atomic_write_text
+
+
+class RunDirectory:
+    """The artifact directory of one pipeline run."""
+
+    def __init__(self, root: str | Path, run_id: str) -> None:
+        self.run_id = run_id
+        self.path = Path(root) / "runs" / run_id
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    # -- well-known artifact paths -------------------------------------
+    @property
+    def journal_path(self) -> Path:
+        return self.path / "journal.jsonl"
+
+    @property
+    def delta_path(self) -> Path:
+        return self.path / "delta.csv"
+
+    @property
+    def report_path(self) -> Path:
+        return self.path / "report.json"
+
+    @property
+    def trace_path(self) -> Path:
+        return self.path / "trace.jsonl"
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.path / "metrics.prom"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / "MANIFEST.json"
+
+    # -- writers ---------------------------------------------------------
+    def write_delta(self, delta: Relation) -> Path:
+        """Persist the run's imputed delta rows."""
+        write_csv(delta, self.delta_path)
+        return self.delta_path
+
+    def write_report(
+        self, report: ImputationReport, **framing: Any
+    ) -> Path:
+        """Persist the run's report digest plus pipeline framing."""
+        payload: dict[str, Any] = {
+            "run_id": self.run_id,
+            "outcomes": len(report),
+            "imputed": report.imputed_count,
+            "filled": report.filled_count,
+            "unimputed": report.unimputed_count,
+            "replayed": report.replayed_count,
+            "degradations": len(report.degradations),
+            "budget_events": len(report.budget_events),
+            "elapsed_seconds": report.elapsed_seconds,
+            "status_counts": report.status_counts(),
+        }
+        payload.update(framing)
+        atomic_write_text(
+            self.report_path,
+            json.dumps(payload, ensure_ascii=False, indent=2),
+        )
+        return self.report_path
+
+    def export_telemetry(self, telemetry: Telemetry) -> None:
+        """Write the run's trace and metrics snapshot (live spines
+        only; the null spine exports nothing)."""
+        if not telemetry.enabled:
+            return
+        if telemetry.tracer.enabled:
+            write_trace(telemetry.tracer, self.trace_path)
+        if telemetry.metrics.enabled:
+            write_metrics(telemetry.metrics, self.metrics_path)
+
+    def write_manifest(self, **entries: Any) -> Path:
+        """Mark the artifact set complete (written last, atomically)."""
+        atomic_write_text(
+            self.manifest_path,
+            json.dumps(
+                {"run_id": self.run_id, **entries},
+                ensure_ascii=False, indent=2,
+            ),
+        )
+        return self.manifest_path
+
+
+__all__ = ["RunDirectory"]

@@ -24,6 +24,12 @@ cell corruption:
   (a ``BaseException``, so nothing on the recovery ladder can swallow
   it) when the driver starts cell N+1, simulating a hard kill for
   journal-resume tests;
+* **disk-full faults** — ``disk_full_rate`` raises ``OSError(ENOSPC)``
+  from the disk-write seam of :mod:`repro.utils.atomic` (which the
+  checkpoint journal's append path also consults), with probability per
+  write; install via :meth:`ChaosInjector.disk_faults`.  Exercises the
+  artifact cache's count-as-miss contract, the journal's located
+  append errors and the pipeline's failed-stage recovery;
 * **worker faults** — ``worker_kill_rate`` / ``worker_hang_rate`` /
   ``worker_slow_rate`` target the supervised runtime's worker
   *subprocesses* (``RenuverConfig.workers > 1``): a killed worker
@@ -40,9 +46,12 @@ deterministic tests.
 
 from __future__ import annotations
 
+import errno
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any
+from pathlib import Path
+from typing import Any, Iterator
 
 from repro.dataset.missing import MISSING, is_missing
 from repro.dataset.relation import Relation
@@ -78,6 +87,9 @@ class ChaosConfig:
     corrupt_cells: int = 0
     #: Raise ChaosKill when the driver starts cell N+1 (None = never).
     kill_after_cells: int | None = None
+    #: Probability of an OSError(ENOSPC) per disk write on the atomic-
+    #: write seam (requires :meth:`ChaosInjector.disk_faults`).
+    disk_full_rate: float = 0.0
     #: Cap on injected kernel+listener faults (None = unlimited).
     max_faults: int | None = None
     #: Probability that a dispatched worker batch gets SIGKILLed
@@ -96,8 +108,9 @@ class ChaosConfig:
 
     def __post_init__(self) -> None:
         for name in ("kernel_fault_rate", "listener_fault_rate",
-                     "clock_skip_rate", "worker_kill_rate",
-                     "worker_hang_rate", "worker_slow_rate"):
+                     "clock_skip_rate", "disk_full_rate",
+                     "worker_kill_rate", "worker_hang_rate",
+                     "worker_slow_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ImputationError(
@@ -136,10 +149,12 @@ class ChaosInjector:
         self._listener_rng = spawn_rng(seed, "chaos", "listener")
         self._clock_rng = spawn_rng(seed, "chaos", "clock")
         self._corrupt_rng = spawn_rng(seed, "chaos", "corrupt")
+        self._disk_rng = spawn_rng(seed, "chaos", "disk")
         self._skew = 0.0
         self.cells_started = 0
         self.faults_injected = 0
         self.clock_skips = 0
+        self.disk_faults_injected = 0
         self.worker_faults_planned = 0
         self.corrupted: list[tuple[int, str]] = []
 
@@ -178,6 +193,43 @@ class ChaosInjector:
             self._skew += self.config.clock_skip_seconds
             self.clock_skips += 1
         return time.perf_counter() + self._skew
+
+    def disk_hook(self, path: Path) -> None:
+        """Disk-write seam: maybe fail the write with ``ENOSPC``.
+
+        Raises a real ``OSError`` (not :class:`InjectedFaultError`)
+        because that is what a full disk raises — consumers must handle
+        the genuine error type: the artifact cache counts a miss, the
+        journal raises a located :class:`~repro.exceptions
+        .JournalError`, the pipeline fails the stage and stays
+        resumable.
+        """
+        rate = self.config.disk_full_rate
+        if not self._exhausted() and rate > 0.0 \
+                and self._disk_rng.random() < rate:
+            self.faults_injected += 1
+            self.disk_faults_injected += 1
+            logger.debug(
+                "injecting ENOSPC on write to %s (#%d)",
+                path, self.disk_faults_injected,
+            )
+            raise OSError(
+                errno.ENOSPC,
+                f"injected disk-full fault writing {path}",
+            )
+
+    @contextmanager
+    def disk_faults(self) -> Iterator["ChaosInjector"]:
+        """Install :meth:`disk_hook` on the atomic-write seam.
+
+        The hook is process-global (the seam lives in
+        :mod:`repro.utils.atomic`), so scope it tightly around the code
+        under test; the previous hook is restored on exit.
+        """
+        from repro.utils.atomic import disk_fault_injection
+
+        with disk_fault_injection(self.disk_hook):
+            yield self
 
     def on_cell_start(self, row: int, attribute: str) -> None:
         """Driver cell boundary: counts cells and pulls the kill switch."""

@@ -49,8 +49,12 @@ even when the cells were computed out-of-order across processes.
 :func:`read_shard` parses one shard back into per-cell results.
 
 A truncated final line (the record being written when the process died)
-is tolerated and ignored; corruption anywhere else raises
-:class:`~repro.exceptions.JournalError`.
+is tolerated and *counted*: replay drops the torn tail with a warning
+and, when a telemetry spine is attached, increments
+``renuver_journal_torn_records_total``.  Corruption anywhere else raises
+:class:`~repro.exceptions.JournalError`.  Appends that fail at the OS
+level (e.g. a full disk) surface as a :class:`JournalError` naming the
+journal path rather than leaking a raw ``OSError``.
 """
 
 from __future__ import annotations
@@ -73,7 +77,9 @@ from repro.dataset.relation import Relation
 from repro.exceptions import JournalError
 from repro.rfd.parser import parse_rfd
 from repro.rfd.rfd import RFD
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry.logs import get_logger
+from repro.utils.atomic import check_disk_fault
 
 # Relation fingerprinting moved to repro.utils.fingerprint so the
 # service's artifact cache shares it; re-exported here for backward
@@ -86,6 +92,37 @@ from repro.utils.fingerprint import (  # noqa: F401 - re-export
 logger = get_logger("robustness.journal")
 
 JOURNAL_VERSION = 1
+
+
+def cell_record(
+    outcome: CellOutcome, *, worker: str | None = None
+) -> dict[str, Any]:
+    """The JSON journal record for one settled cell.
+
+    The inverse of :func:`outcome_from_record`; shared by
+    :meth:`JournalWriter.record_cell` and the pipeline's carried-forward
+    unresolved-cell ledger, so every persisted cell outcome uses one
+    vocabulary.
+    """
+    rollbacks = outcome.candidates_tried - (1 if outcome.filled else 0)
+    record: dict[str, Any] = {
+        "type": "cell",
+        "row": outcome.row,
+        "attribute": outcome.attribute,
+        "status": outcome.status.value,
+        "value": None if is_missing(outcome.value) else outcome.value,
+        "source_row": outcome.source_row,
+        "rfd": str(outcome.rfd) if outcome.rfd is not None else None,
+        "distance": outcome.distance,
+        "cluster_threshold": outcome.cluster_threshold,
+        "candidates_tried": outcome.candidates_tried,
+        "rollbacks": max(0, rollbacks),
+        "engine_tier": outcome.engine_tier,
+        "reason": outcome.reason,
+    }
+    if worker is not None:
+        record["worker"] = worker
+    return record
 
 
 class JournalWriter:
@@ -134,25 +171,7 @@ class JournalWriter:
         computed it (e.g. ``"r2.b1"``); omitted for sequential runs and
         for cells the supervisor recomputed in-process.
         """
-        rollbacks = outcome.candidates_tried - (1 if outcome.filled else 0)
-        record = {
-            "type": "cell",
-            "row": outcome.row,
-            "attribute": outcome.attribute,
-            "status": outcome.status.value,
-            "value": None if is_missing(outcome.value) else outcome.value,
-            "source_row": outcome.source_row,
-            "rfd": str(outcome.rfd) if outcome.rfd is not None else None,
-            "distance": outcome.distance,
-            "cluster_threshold": outcome.cluster_threshold,
-            "candidates_tried": outcome.candidates_tried,
-            "rollbacks": max(0, rollbacks),
-            "engine_tier": outcome.engine_tier,
-            "reason": outcome.reason,
-        }
-        if worker is not None:
-            record["worker"] = worker
-        self._write(record)
+        self._write(cell_record(outcome, worker=worker))
 
     def record_degradation(
         self, degradation: Degradation, *, worker: str | None = None
@@ -208,14 +227,58 @@ class JournalWriter:
     def _write(self, record: dict[str, Any]) -> None:
         if self._handle is None:
             raise JournalError(f"journal {self.path} is closed")
-        self._handle.write(json.dumps(record, ensure_ascii=False) + "\n")
-        self._handle.flush()
-        if self._fsync:
-            os.fsync(self._handle.fileno())
+        try:
+            check_disk_fault(self.path)
+            self._handle.write(
+                json.dumps(record, ensure_ascii=False) + "\n"
+            )
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            # Locate the failure (full disk, yanked volume) instead of
+            # leaking a raw OSError from deep inside a run.
+            raise JournalError(
+                f"cannot append {record.get('type', '?')!r} record to "
+                f"journal {self.path}: {exc}"
+            ) from exc
 
 
-def _parse_records(path: Path) -> list[dict[str, Any]]:
-    """JSONL records of ``path``, tolerating a truncated last line."""
+_TORN_RECORDS = "renuver_journal_torn_records_total"
+_HELP_TORN = (
+    "Torn trailing journal records dropped during parse/replay."
+)
+
+
+def _drop_torn_tail(
+    path: Path, number: int, detail: str, telemetry: Telemetry
+) -> None:
+    """Count and warn about a torn final record, then carry on.
+
+    A crash mid-append leaves the record being written as a truncated
+    (or otherwise non-record) final line.  Replay only needs the
+    complete prefix, so the tail is dropped — but never silently: the
+    skip is logged and counted so operators can tell a crashed run's
+    journal from a pristine one.
+    """
+    telemetry.metrics.counter(_TORN_RECORDS, _HELP_TORN).inc()
+    logger.warning(
+        "journal %s: dropping torn trailing record at line %d (%s) — "
+        "crash mid-append; replaying the complete prefix",
+        path, number, detail,
+    )
+
+
+def _parse_records(
+    path: Path, *, telemetry: Telemetry = NULL_TELEMETRY
+) -> list[dict[str, Any]]:
+    """JSONL records of ``path``, tolerating a truncated last line.
+
+    The torn tail a crash mid-append leaves behind — a final line that
+    does not parse, or parses to something that is not a journal
+    record — is skipped with a counted warning.  Corruption anywhere
+    but the final line raises :class:`JournalError`.
+    """
     try:
         lines = path.read_text(encoding="utf-8").splitlines()
     except OSError as exc:
@@ -228,11 +291,17 @@ def _parse_records(path: Path) -> list[dict[str, Any]]:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
             if number == len(lines):
+                _drop_torn_tail(path, number, str(exc), telemetry)
                 break  # the record being written when the run died
             raise JournalError(
                 f"journal {path} line {number} is corrupt: {exc}"
             ) from exc
         if not isinstance(record, dict) or "type" not in record:
+            if number == len(lines):
+                _drop_torn_tail(
+                    path, number, "not a journal record", telemetry
+                )
+                break
             raise JournalError(
                 f"journal {path} line {number} is not a journal record"
             )
@@ -240,10 +309,12 @@ def _parse_records(path: Path) -> list[dict[str, Any]]:
     return records
 
 
-def load_journal(path: str | Path) -> list[dict[str, Any]]:
+def load_journal(
+    path: str | Path, *, telemetry: Telemetry = NULL_TELEMETRY
+) -> list[dict[str, Any]]:
     """Parse a journal into records, tolerating a truncated last line."""
     path = Path(path)
-    records = _parse_records(path)
+    records = _parse_records(path, telemetry=telemetry)
     if not records or records[0].get("type") != "header":
         raise JournalError(f"journal {path} has no header record")
     return records
@@ -260,7 +331,9 @@ class WorkerCellResult:
     reactivated: list[str] = field(default_factory=list)
 
 
-def read_shard(path: str | Path) -> list[WorkerCellResult]:
+def read_shard(
+    path: str | Path, *, telemetry: Telemetry = NULL_TELEMETRY
+) -> list[WorkerCellResult]:
     """Parse a worker journal shard into per-cell results, in order.
 
     Shards carry no header; a truncated tail (the worker died or was
@@ -273,11 +346,11 @@ def read_shard(path: str | Path) -> list[WorkerCellResult]:
     results: list[WorkerCellResult] = []
     pending_degradations: list[Degradation] = []
     pending_budget: list[BudgetEvent] = []
-    for record in _parse_records(Path(path)):
+    for record in _parse_records(Path(path), telemetry=telemetry):
         kind = record.get("type")
         if kind == "cell":
             results.append(WorkerCellResult(
-                outcome=_outcome_from_record(record),
+                outcome=outcome_from_record(record),
                 degradations=pending_degradations,
                 budget_events=pending_budget,
             ))
@@ -304,7 +377,10 @@ def read_shard(path: str | Path) -> list[WorkerCellResult]:
 
 
 def replay_journal(
-    path: str | Path, relation: Relation
+    path: str | Path,
+    relation: Relation,
+    *,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> list[CellOutcome]:
     """Replay a journal onto ``relation`` (mutating it in place).
 
@@ -318,7 +394,7 @@ def replay_journal(
     candidates, ...) are returned too so the driver knows not to retry
     them.
     """
-    records = load_journal(path)
+    records = load_journal(path, telemetry=telemetry)
     header = records[0]
     if header.get("version") != JOURNAL_VERSION:
         raise JournalError(
@@ -357,7 +433,7 @@ def replay_journal(
                 f"journal {path} settles cell ({row}, {attribute}) twice"
             )
         seen.add((row, attribute))
-        outcome = _outcome_from_record(record)
+        outcome = outcome_from_record(record)
         if outcome.filled:
             relation.set_value(row, attribute, outcome.value)
         outcomes.append(outcome)
@@ -367,7 +443,13 @@ def replay_journal(
     return outcomes
 
 
-def _outcome_from_record(record: dict[str, Any]) -> CellOutcome:
+def outcome_from_record(record: dict[str, Any]) -> CellOutcome:
+    """Restore a :class:`CellOutcome` from its journal ``cell`` record.
+
+    The inverse of :func:`cell_record`.  Unknown statuses raise
+    :class:`~repro.exceptions.JournalError`; an unparseable RFD is
+    dropped (it is provenance, not state).
+    """
     try:
         status = OutcomeStatus(record["status"])
     except ValueError as exc:

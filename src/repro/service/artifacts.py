@@ -30,8 +30,12 @@ Loads are corruption-tolerant by contract: a missing file, malformed
 JSON, wrong envelope version, mismatched key or a payload the
 deserializer rejects all count as a cache *miss* (logged, counted in
 ``renuver_artifact_cache_misses_total{kind,reason}``) — the caller
-recomputes and overwrites.  The store never lets a bad artifact crash
-a request.
+recomputes and overwrites.  *Saves* are tolerant the same way: a write
+that fails at the OS level (full disk, permissions) is logged and
+counted as a miss (reason ``write_error``) instead of raising — the
+cache is an optimization, and a disk problem must never fail the
+request that was merely trying to warm it.  The store never lets a bad
+artifact, or a bad disk, crash a request.
 """
 
 from __future__ import annotations
@@ -121,8 +125,9 @@ class ArtifactStore:
         relation: Relation,
         config: DiscoveryConfig,
         result: DiscoveryResult,
-    ) -> Path:
-        """Persist a discovery result; returns the artifact path."""
+    ) -> Path | None:
+        """Persist a discovery result; returns the artifact path, or
+        ``None`` when the write failed (counted as a miss)."""
         return self._save(
             "discovery",
             *self._discovery_key(relation, config),
@@ -154,8 +159,9 @@ class ArtifactStore:
         relation: Relation,
         config: DiscoveryConfig,
         matrix: PairDistanceMatrix,
-    ) -> Path:
-        """Persist a pattern matrix; returns the artifact path."""
+    ) -> Path | None:
+        """Persist a pattern matrix; returns the artifact path, or
+        ``None`` when the write failed (counted as a miss)."""
         return self._save(
             "matrix",
             *self._matrix_key(relation, config),
@@ -201,7 +207,7 @@ class ArtifactStore:
 
     def _save(
         self, kind: str, fingerprint: str, key: str, payload: dict
-    ) -> Path:
+    ) -> Path | None:
         path = self.path_for(kind, fingerprint, key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -213,9 +219,11 @@ class ArtifactStore:
                 "payload": payload,
             }, ensure_ascii=False))
         except OSError as exc:
-            raise ServiceError(
-                f"cannot write artifact {path}: {exc}"
-            ) from exc
+            # A failed save (ENOSPC, permissions) degrades to a miss:
+            # the next load recomputes.  The artifact cache must never
+            # fail the request that was merely trying to warm it.
+            self._miss(kind, "write_error", detail=f"{path}: {exc}")
+            return None
         logger.info("saved %s artifact to %s", kind, path)
         return path
 

@@ -5,13 +5,67 @@ target path either see the old complete content or the new complete
 content — never a half-written file.  The imputation journal and the
 CSV writer use this so a run killed mid-write cannot corrupt outputs it
 already produced.
+
+Disk-fault seam
+---------------
+All writes funnel through :func:`check_disk_fault` before touching the
+filesystem.  Production runs pay one ``None`` check; the chaos harness
+(:meth:`repro.robustness.chaos.ChaosInjector.disk_faults`) installs a
+seeded hook here that raises ``OSError(ENOSPC)`` deterministically, so
+every consumer of atomic writes — the artifact cache, the run-state
+store, the CSV writer, the checkpoint journal — gets its full-disk
+behaviour exercised in tests.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Callable, Iterator
+
+#: When set, called with the target path before any disk write; raising
+#: ``OSError`` from the hook simulates a full / failing disk.
+_fault_hook: Callable[[Path], None] | None = None
+
+
+def set_fault_hook(
+    hook: Callable[[Path], None] | None,
+) -> Callable[[Path], None] | None:
+    """Install (or clear, with ``None``) the disk-fault hook.
+
+    Returns the previously installed hook so callers can restore it.
+    Prefer the :func:`disk_fault_injection` context manager, which
+    restores automatically.
+    """
+    global _fault_hook
+    previous = _fault_hook
+    _fault_hook = hook
+    return previous
+
+
+@contextmanager
+def disk_fault_injection(
+    hook: Callable[[Path], None],
+) -> Iterator[None]:
+    """Scope the disk-fault hook to a ``with`` block (test helper)."""
+    previous = set_fault_hook(hook)
+    try:
+        yield
+    finally:
+        set_fault_hook(previous)
+
+
+def check_disk_fault(path: str | Path) -> None:
+    """Give the installed fault hook a chance to fail this write.
+
+    Called by :func:`atomic_write_text` and by the journal's append
+    path.  A no-op unless the chaos harness installed a hook.
+    """
+    hook = _fault_hook
+    if hook is not None:
+        hook(Path(path))
 
 
 def atomic_write_text(
@@ -24,6 +78,7 @@ def atomic_write_text(
     the temp file is removed and the target is left untouched.
     """
     path = Path(path)
+    check_disk_fault(path)
     directory = path.parent if str(path.parent) else Path(".")
     fd, tmp_name = tempfile.mkstemp(
         dir=directory, prefix=f".{path.name}.", suffix=".tmp"

@@ -1,0 +1,286 @@
+"""Chaos drills for the pipeline: ENOSPC, torn state, SIGKILL.
+
+The contract under test is the crash model of ``docs/PIPELINE.md``:
+whatever instant a run dies at — full disk during a stage, a torn
+state envelope, a SIGKILL mid-imputation — ``pipeline resume`` (or the
+next ``run``) completes the work, and the persistent store ends up
+bit-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    DiscoveryConfig,
+    inject_missing,
+    load_dataset,
+    write_csv,
+)
+from repro.exceptions import PipelineError
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.robustness.chaos import ChaosConfig, ChaosInjector
+from repro.utils.atomic import disk_fault_injection
+
+pytestmark = [pytest.mark.pipeline, pytest.mark.chaos]
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+CSV1 = (
+    "Name,City,Phone\n"
+    "ann,rome,111\n"
+    "ann,rome,111\n"
+    "bob,oslo,222\n"
+    "bob,oslo,\n"
+    "cat,lima,333\n"
+    "cat,lima,333\n"
+)
+CSV2 = (
+    "Name,City,Phone\n"
+    "dan,kiev,444\n"
+    "dan,kiev,\n"
+    "edd,bonn,\n"
+)
+
+CONFIG = PipelineConfig(
+    discovery=DiscoveryConfig(threshold_limit=1, max_lhs_size=1)
+)
+
+
+def _latest_store(root: Path) -> bytes:
+    return sorted((root / "store").glob("imputed-*.csv"))[-1].read_bytes()
+
+
+@pytest.fixture()
+def ingest(tmp_path):
+    directory = tmp_path / "ingest"
+    directory.mkdir()
+    (directory / "b1.csv").write_text(CSV1)
+    return directory
+
+
+class TestDiskFull:
+    def test_enospc_in_commit_is_located_then_resumable(
+        self, tmp_path, ingest
+    ):
+        control, victim = tmp_path / "control", tmp_path / "victim"
+        Pipeline(control, ingest, CONFIG).run()
+        Pipeline(victim, ingest, CONFIG).run()
+        (ingest / "b2.csv").write_text(CSV2)
+        Pipeline(control, ingest, CONFIG).run()
+
+        def store_writes_fail(path: Path) -> None:
+            if "store" in path.parts:
+                raise OSError(
+                    errno.ENOSPC, f"injected disk-full writing {path}"
+                )
+
+        with disk_fault_injection(store_writes_fail):
+            with pytest.raises(
+                PipelineError, match=r"stage 'commit'"
+            ) as excinfo:
+                Pipeline(victim, ingest, CONFIG).run()
+        assert "No space left" in str(excinfo.value) or "disk-full" in (
+            str(excinfo.value)
+        )
+        # The run is parked, not lost.
+        status = Pipeline(victim, ingest, CONFIG).status()
+        assert status["in_flight"]["status"] == "running"
+        # With the disk back, resume completes bit-identically.
+        result = Pipeline(victim, ingest, CONFIG).resume()
+        assert result.outcome == "committed"
+        assert result.resumed is True
+        assert _latest_store(victim) == _latest_store(control)
+
+    def test_seeded_enospc_rate_never_crashes_unlocated(
+        self, tmp_path, ingest
+    ):
+        # Whole-run injection at a seeded rate: every failure mode must
+        # surface as PipelineError (exit 9), never a raw OSError, and
+        # the pipeline must recover once the faults stop.
+        root = tmp_path / "root"
+        injector = ChaosInjector(
+            ChaosConfig(disk_full_rate=0.3, seed=7)
+        )
+        attempts = 0
+        with injector.disk_faults():
+            for _ in range(10):
+                attempts += 1
+                try:
+                    if Pipeline(
+                        root, ingest, CONFIG
+                    ).status()["in_flight"]:
+                        Pipeline(root, ingest, CONFIG).resume()
+                    else:
+                        Pipeline(root, ingest, CONFIG).run()
+                    break
+                except PipelineError:
+                    continue
+        assert injector.disk_faults_injected > 0
+        # Clean disk: whatever state chaos left, the pipeline finishes.
+        if Pipeline(root, ingest, CONFIG).status()["in_flight"]:
+            Pipeline(root, ingest, CONFIG).resume()
+        else:
+            Pipeline(root, ingest, CONFIG).run()
+        status = Pipeline(root, ingest, CONFIG).status()
+        assert status["store"]["version"] >= 1
+        assert status["in_flight"] is None
+
+
+class TestTornState:
+    def test_truncated_state_envelope_self_heals(self, tmp_path, ingest):
+        root = tmp_path / "root"
+        Pipeline(root, ingest, CONFIG).run()
+        (ingest / "b2.csv").write_text(CSV2)
+        Pipeline(root, ingest, CONFIG).run()
+        committed = _latest_store(root)
+        # Tear the current envelope, as a crash during the commit write
+        # would.  The pipeline falls back to the previous envelope — the
+        # one staged just before the run, which still carries the
+        # "running" record — so `run` refuses and `resume` redoes the
+        # lost run deterministically from its pinned inputs.
+        state_file = root / "state.json"
+        text = state_file.read_text()
+        state_file.write_text(text[: len(text) // 2])
+        with pytest.raises(PipelineError, match="pipeline resume"):
+            Pipeline(root, ingest, CONFIG).run()
+        result = Pipeline(root, ingest, CONFIG).resume()
+        assert result.outcome == "committed"
+        assert result.run_id == "000002-incr"
+        assert _latest_store(root) == committed
+
+    def test_corrupt_journal_of_crashed_run_is_quarantined(
+        self, tmp_path, ingest
+    ):
+        control, victim = tmp_path / "control", tmp_path / "victim"
+        Pipeline(control, ingest, CONFIG).run()
+        Pipeline(victim, ingest, CONFIG).run()
+        (ingest / "b2.csv").write_text(CSV2)
+        Pipeline(control, ingest, CONFIG).run()
+
+        def store_writes_fail(path: Path) -> None:
+            if "store" in path.parts:
+                raise OSError(errno.ENOSPC, "injected")
+
+        with disk_fault_injection(store_writes_fail):
+            with pytest.raises(PipelineError):
+                Pipeline(victim, ingest, CONFIG).run()
+        run_id = Pipeline(victim, ingest, CONFIG).status()[
+            "in_flight"
+        ]["run_id"]
+        journal = victim / "runs" / run_id / "journal.jsonl"
+        # Corrupt the journal *mid-file* — beyond the tolerated torn
+        # tail — so replay is impossible and the journal must be
+        # quarantined, not trusted.
+        lines = journal.read_text().splitlines()
+        lines[1] = "{corrupt"
+        journal.write_text("\n".join(lines) + "\n")
+        result = Pipeline(victim, ingest, CONFIG).resume()
+        assert result.outcome == "committed"
+        assert _latest_store(victim) == _latest_store(control)
+        quarantined = list(
+            (victim / "runs" / run_id).glob("journal.*.corrupt")
+        )
+        assert quarantined, "unusable journal was not quarantined"
+
+
+class TestSigkill:
+    """A real process killed with SIGKILL mid-imputation, then resumed."""
+
+    @pytest.fixture(scope="class")
+    def big_ingest(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("sigkill-ingest")
+        whole = load_dataset("restaurant", n_tuples=450)
+        clean = _slice(whole, 0, 300, "seed-batch")
+        tail = _slice(whole, 300, 450, "delta-batch")
+        dirty_tail = inject_missing(tail, rate=0.15, seed=11).relation
+        write_csv(clean, base / "b1.csv")
+        delta_text_path = base / "b2-pending.csv"
+        write_csv(dirty_tail, delta_text_path)
+        return base, delta_text_path
+
+    def _config(self):
+        return PipelineConfig(discovery=DiscoveryConfig(
+            threshold_limit=3.0
+        ))
+
+    def test_sigkill_mid_impute_then_resume_is_bit_identical(
+        self, big_ingest, tmp_path
+    ):
+        base, pending_delta = big_ingest
+        ingest = tmp_path / "ingest"
+        ingest.mkdir()
+        (ingest / "b1.csv").write_text((base / "b1.csv").read_text())
+        control, victim = tmp_path / "control", tmp_path / "victim"
+        Pipeline(control, ingest, self._config()).run()
+        Pipeline(victim, ingest, self._config()).run()
+        (ingest / "b2.csv").write_text(pending_delta.read_text())
+        Pipeline(control, ingest, self._config()).run()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "pipeline", "run",
+                "--root", str(victim), "--ingest", str(ingest),
+            ],
+            env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        journal = victim / "runs" / "000002-incr" / "journal.jsonl"
+        try:
+            deadline = time.monotonic() + 120.0
+            killed = False
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    pytest.fail(
+                        "run finished before it could be killed: "
+                        + process.stderr.read()
+                    )
+                if journal.exists() and sum(
+                    1 for line in journal.read_text().splitlines()
+                    if '"type": "cell"' in line
+                ) >= 3:
+                    process.send_signal(signal.SIGKILL)
+                    killed = True
+                    break
+                time.sleep(0.01)
+            assert killed, "never saw imputation progress to kill"
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait()
+        assert process.returncode == -signal.SIGKILL
+
+        # The kill left a running record and a stale lease; resume
+        # takes both over and completes.
+        status = Pipeline(victim, ingest, self._config()).status()
+        assert status["in_flight"]["run_id"] == "000002-incr"
+        result = Pipeline(victim, ingest, self._config()).resume()
+        assert result.outcome == "committed"
+        assert result.mode == "incr"
+        assert _latest_store(victim) == _latest_store(control)
+        # The journal really was replayed, not thrown away.
+        report = json.loads(
+            (victim / "runs" / "000002-incr" / "report.json").read_text()
+        )
+        assert report["replayed"] >= 3
+
+
+def _slice(relation, start, stop, name):
+    from repro.dataset.relation import Relation
+
+    rows = [relation.row_values(index) for index in range(start, stop)]
+    return Relation.from_rows(list(relation.attributes), rows, name=name)

@@ -1,0 +1,282 @@
+"""Pipeline runner lifecycle: FULL, INCR, degradation, noop, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.discovery import DiscoveryConfig
+from repro.exceptions import PipelineError
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.pipeline.ingest import combined_csv_text, scan_ingest
+
+pytestmark = pytest.mark.pipeline
+
+CSV1 = (
+    "Name,City,Phone\n"
+    "ann,rome,111\n"
+    "ann,rome,111\n"
+    "bob,oslo,222\n"
+    "bob,oslo,\n"
+    "cat,lima,333\n"
+    "cat,lima,333\n"
+)
+CSV2 = (
+    "Name,City,Phone\n"
+    "dan,kiev,444\n"
+    "dan,kiev,\n"
+    "edd,bonn,\n"
+)
+CSV3 = (
+    "Name,City,Phone\n"
+    "fay,oslo,555\n"
+    "fay,oslo,\n"
+)
+
+CONFIG = PipelineConfig(
+    discovery=DiscoveryConfig(threshold_limit=1, max_lhs_size=1)
+)
+
+
+@pytest.fixture()
+def ingest(tmp_path):
+    directory = tmp_path / "ingest"
+    directory.mkdir()
+    (directory / "b1.csv").write_text(CSV1)
+    return directory
+
+
+@pytest.fixture()
+def root(tmp_path):
+    return tmp_path / "root"
+
+
+def pipeline(root, ingest, config=CONFIG):
+    return Pipeline(root, ingest, config)
+
+
+class TestFullRuns:
+    def test_bootstrap_full_run_commits_store(self, root, ingest):
+        result = pipeline(root, ingest).run()
+        assert result.mode == "full"
+        assert result.outcome == "committed"
+        assert result.store_version == 1
+        assert result.discovered is True
+        assert result.degraded_reason is None
+        assert result.cells_imputed == 1  # bob's phone from his twin
+        store = root / "store" / "imputed-000001.csv"
+        assert "bob,oslo,222" in store.read_text()
+
+    def test_run_artifacts_are_complete(self, root, ingest):
+        result = pipeline(root, ingest).run()
+        rundir = result.run_dir
+        for name in (
+            "journal.jsonl", "delta.csv", "report.json",
+            "trace.jsonl", "metrics.prom", "MANIFEST.json",
+        ):
+            assert (rundir / name).exists(), name
+        report = json.loads((rundir / "report.json").read_text())
+        assert report["mode"] == "full"
+        assert report["files"] == ["b1.csv"]
+        metrics = (rundir / "metrics.prom").read_text()
+        assert "renuver_pipeline_runs_total" in metrics
+        trace = (rundir / "trace.jsonl").read_text()
+        assert "pipeline.run" in trace and "pipeline.stage" in trace
+
+    def test_noop_when_watermark_is_current(self, root, ingest):
+        pipeline(root, ingest).run()
+        again = pipeline(root, ingest).run()
+        assert again.outcome == "noop"
+        assert again.run_id is None
+
+    def test_running_run_refuses_a_second_run(self, root, ingest):
+        p = pipeline(root, ingest)
+        p.run()
+        # Fake a crashed in-flight run in the envelope.
+        from dataclasses import replace
+
+        state = p.state_store.load()
+        crashed = replace(
+            state.history[-1], status="running", run_id="000009-full"
+        )
+        p.state_store.save(replace(state, run=crashed))
+        (ingest / "b2.csv").write_text(CSV2)
+        with pytest.raises(PipelineError, match="use `pipeline resume`"):
+            pipeline(root, ingest).run()
+
+
+class TestIncrementalRuns:
+    def test_second_run_is_incremental_with_zero_rediscovery(
+        self, root, ingest
+    ):
+        pipeline(root, ingest).run()
+        (ingest / "b2.csv").write_text(CSV2)
+        p = pipeline(root, ingest)
+        result = p.run()
+        assert result.mode == "incr"
+        assert result.discovered is False  # the warm path: no discovery
+        assert result.store_version == 2
+        assert result.rows_ingested == 3
+        assert result.cells_imputed == 1   # dan's phone; edd has no donor
+        assert result.cells_unresolved == 1
+        store = (root / "store" / "imputed-000002.csv").read_text()
+        assert "dan,kiev,444\ndan,kiev,444" in store
+
+    def test_delta_csv_holds_only_new_rows(self, root, ingest):
+        pipeline(root, ingest).run()
+        (ingest / "b2.csv").write_text(CSV2)
+        result = pipeline(root, ingest).run()
+        delta = (result.run_dir / "delta.csv").read_text()
+        assert delta.count("\n") == 4  # header + the 3 new rows
+        assert "ann,rome" not in delta
+        assert "dan,kiev,444" in delta
+
+    def test_unresolved_ledger_is_replayed_not_reimputed(
+        self, root, ingest
+    ):
+        pipeline(root, ingest).run()
+        (ingest / "b2.csv").write_text(CSV2)
+        pipeline(root, ingest).run()
+        (ingest / "b3.csv").write_text(CSV3)
+        result = pipeline(root, ingest).run()
+        report = json.loads(
+            (result.run_dir / "report.json").read_text()
+        )
+        # edd's unresolvable phone came back via journal replay, not a
+        # fresh (and pointless) donor scan.
+        assert report["replayed"] == 1
+        assert result.cells_unresolved == 1
+
+    def test_store_pruning_keeps_configured_versions(self, root, ingest):
+        pipeline(root, ingest).run()
+        (ingest / "b2.csv").write_text(CSV2)
+        pipeline(root, ingest).run()
+        (ingest / "b3.csv").write_text(CSV3)
+        pipeline(root, ingest).run()
+        kept = sorted(
+            entry.name for entry in (root / "store").glob("*.csv")
+        )
+        assert kept == ["imputed-000002.csv", "imputed-000003.csv"]
+
+    def test_watermark_covers_all_files(self, root, ingest):
+        pipeline(root, ingest).run()
+        (ingest / "b2.csv").write_text(CSV2)
+        pipeline(root, ingest).run()
+        status = pipeline(root, ingest).status()
+        assert status["watermark"]["files"] == ["b1.csv", "b2.csv"]
+        assert status["watermark"]["rows"] == 9
+
+
+class TestDegradation:
+    def test_tampered_store_degrades_to_full(self, root, ingest):
+        pipeline(root, ingest).run()
+        store = root / "store" / "imputed-000001.csv"
+        store.write_text(store.read_text().replace("rome", "doom"))
+        (ingest / "b2.csv").write_text(CSV2)
+        result = pipeline(root, ingest).run()
+        assert result.mode == "full"
+        assert result.degraded_reason == "store_integrity"
+        assert result.outcome == "committed"
+
+    def test_deleted_watermarked_file_degrades_to_full(
+        self, root, ingest
+    ):
+        pipeline(root, ingest).run()
+        (ingest / "b2.csv").write_text(CSV2)
+        (ingest / "b1.csv").unlink()  # append-only contract broken
+        result = pipeline(root, ingest).run()
+        assert result.mode == "full"
+        assert result.degraded_reason == "watermark_mismatch"
+        # The store is rebuilt from what actually exists.
+        store = (root / "store" / "imputed-000002.csv").read_text()
+        assert "ann,rome" not in store
+
+    def test_evicted_artifact_cache_degrades_to_full(self, root, ingest):
+        import shutil
+
+        pipeline(root, ingest).run()
+        shutil.rmtree(root / "artifacts")
+        (ingest / "b2.csv").write_text(CSV2)
+        result = pipeline(root, ingest).run()
+        assert result.mode == "full"
+        assert result.degraded_reason == "discovery_cache_miss"
+
+    def test_degradations_are_counted(self, root, ingest):
+        pipeline(root, ingest).run()
+        store = root / "store" / "imputed-000001.csv"
+        store.write_text("Name,City,Phone\nx,y,1\n")
+        (ingest / "b2.csv").write_text(CSV2)
+        p = pipeline(root, ingest)
+        p.run()
+        families = {
+            family.name: family
+            for family in p.telemetry.metrics.families()
+        }
+        counter = families["renuver_pipeline_degradations_total"]
+        labels = [dict(key) for key in counter.instruments]
+        assert {"reason": "store_integrity"} in labels
+
+    def test_forced_full_mode_is_not_a_degradation(self, root, ingest):
+        full_config = PipelineConfig(
+            discovery=CONFIG.discovery, mode="full"
+        )
+        pipeline(root, ingest, full_config).run()
+        (ingest / "b2.csv").write_text(CSV2)
+        result = pipeline(root, ingest, full_config).run()
+        assert result.mode == "full"
+        assert result.degraded_reason is None
+
+
+class TestIngestContract:
+    def test_scan_is_sorted_and_csv_only(self, tmp_path):
+        directory = tmp_path / "in"
+        directory.mkdir()
+        (directory / "z.csv").write_text("A\n1\n")
+        (directory / "a.csv").write_text("A\n2\n")
+        (directory / "notes.txt").write_text("ignored")
+        assert scan_ingest(directory) == ["a.csv", "z.csv"]
+
+    def test_header_mismatch_is_located(self, tmp_path):
+        directory = tmp_path / "in"
+        directory.mkdir()
+        (directory / "a.csv").write_text("A,B\n1,2\n")
+        (directory / "b.csv").write_text("A,C\n3,4\n")
+        with pytest.raises(PipelineError, match="b.csv"):
+            combined_csv_text(directory, ["a.csv", "b.csv"])
+
+    def test_missing_ingest_directory_is_located(self, tmp_path):
+        with pytest.raises(PipelineError, match="does not exist"):
+            scan_ingest(tmp_path / "nope")
+
+
+class TestCli:
+    def _args(self, action, root, ingest):
+        return [
+            "pipeline", action, "--root", str(root),
+            "--ingest", str(ingest), "--limit", "1",
+        ]
+
+    def test_run_resume_status_round_trip(
+        self, root, ingest, capsys
+    ):
+        assert main(self._args("run", root, ingest)) == 0
+        assert main(self._args("resume", root, ingest)) == 0  # noop
+        assert main(self._args("status", root, ingest)) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["runs_started"] == 1
+        assert status["in_flight"] is None
+        assert status["store"]["version"] == 1
+
+    def test_run_requires_ingest(self, root):
+        assert main(["pipeline", "run", "--root", str(root)]) == 2
+
+    def test_pipeline_errors_exit_9(self, root, tmp_path, capsys):
+        code = main([
+            "pipeline", "run", "--root", str(root),
+            "--ingest", str(tmp_path / "missing"),
+        ])
+        assert code == 9
+        assert "error:" in capsys.readouterr().err

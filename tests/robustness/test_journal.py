@@ -85,6 +85,80 @@ class TestJournalLoad:
             load_journal(path)
 
 
+class TestTornTail:
+    """A crash mid-append leaves a torn final record: dropped with a
+    counted warning, never silently and never fatally."""
+
+    def _journaled(self, restaurant_sample, paper_rfds, tmp_path):
+        path = tmp_path / "run.jsonl"
+        Renuver(paper_rfds).impute(restaurant_sample, journal=path)
+        return path
+
+    def _torn_counter(self, telemetry):
+        families = {
+            family.name: family
+            for family in telemetry.metrics.families()
+        }
+        family = families.get("renuver_journal_torn_records_total")
+        if family is None:
+            return 0
+        return sum(i.value for i in family.instruments.values())
+
+    def test_torn_tail_is_counted(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        from repro.telemetry import Telemetry
+
+        path = self._journaled(restaurant_sample, paper_rfds, tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 15])
+        telemetry = Telemetry()
+        records = load_journal(path, telemetry=telemetry)
+        assert records[0]["type"] == "header"
+        assert self._torn_counter(telemetry) == 1
+
+    def test_non_record_final_line_is_torn_tail(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        # Valid JSON that is not a journal record (e.g. the crash cut
+        # the line exactly after a nested value) is torn too.
+        from repro.telemetry import Telemetry
+
+        path = self._journaled(restaurant_sample, paper_rfds, tmp_path)
+        with path.open("a") as handle:
+            handle.write('"just-a-string"\n')
+        telemetry = Telemetry()
+        records = load_journal(path, telemetry=telemetry)
+        assert all("type" in record for record in records)
+        assert self._torn_counter(telemetry) == 1
+
+    def test_non_record_midfile_still_raises(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        path = self._journaled(restaurant_sample, paper_rfds, tmp_path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, "[1, 2, 3]")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="not a journal record"):
+            load_journal(path)
+
+    def test_resume_over_torn_tail_converges(
+        self, restaurant_sample, paper_rfds, tmp_path
+    ):
+        # End to end: a torn journal still resumes, and the resumed
+        # run converges on the uninterrupted result.
+        path = tmp_path / "run.jsonl"
+        done = Renuver(paper_rfds).impute(
+            restaurant_sample.copy(), journal=path
+        )
+        text = path.read_text()
+        path.write_text(text[: len(text) - 15])
+        resumed = Renuver(paper_rfds).impute(
+            restaurant_sample.copy(), resume_from=path
+        )
+        assert to_csv_text(resumed.relation) == to_csv_text(done.relation)
+
+
 class TestReplay:
     def test_replay_restores_filled_values(
         self, restaurant_sample, paper_rfds, tmp_path

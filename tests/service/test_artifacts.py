@@ -187,10 +187,13 @@ class TestStoreErrors:
         with pytest.raises(ServiceError):
             ArtifactStore(blocker)
 
-    def test_unwritable_root_raises_service_error(
+    def test_failed_save_counts_as_miss_not_crash(
         self, tmp_path, relation, monkeypatch
     ):
-        store = ArtifactStore(tmp_path / "cache")
+        # A save that fails at the OS level (full disk, permissions)
+        # degrades to a counted miss: the cache is an optimization and
+        # must never fail the request warming it.
+        store = ArtifactStore(tmp_path / "cache", telemetry=Telemetry())
 
         def boom(*args, **kwargs):
             raise OSError("disk full")
@@ -198,7 +201,28 @@ class TestStoreErrors:
         monkeypatch.setattr(
             "repro.service.artifacts.atomic_write_text", boom
         )
-        with pytest.raises(ServiceError):
-            store.save_discovery(
-                relation, CONFIG, discover_rfds(relation, CONFIG)
-            )
+        result = discover_rfds(relation, CONFIG)
+        assert store.save_discovery(relation, CONFIG, result) is None
+        assert store.misses == 1
+        misses = {
+            family.name: family
+            for family in store.telemetry.metrics.families()
+        }["renuver_artifact_cache_misses_total"]
+        labels = [dict(key) for key in misses.instruments]
+        assert {"kind": "discovery", "reason": "write_error"} in labels
+
+    def test_injected_disk_full_counts_as_miss(self, tmp_path, relation):
+        # The chaos harness's ENOSPC seam exercises the same contract
+        # end to end through repro.utils.atomic.
+        from repro.robustness.chaos import ChaosConfig, ChaosInjector
+
+        store = ArtifactStore(tmp_path / "cache")
+        result = discover_rfds(relation, CONFIG)
+        injector = ChaosInjector(ChaosConfig(disk_full_rate=1.0))
+        with injector.disk_faults():
+            assert store.save_discovery(relation, CONFIG, result) is None
+        assert injector.disk_faults_injected == 1
+        assert store.misses == 1
+        # With the fault gone the very same save succeeds.
+        assert store.save_discovery(relation, CONFIG, result) is not None
+        assert store.load_discovery(relation, CONFIG) is not None

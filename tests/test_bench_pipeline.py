@@ -1,0 +1,57 @@
+"""Tier-1 smoke test for the continuous-ingestion pipeline benchmark.
+
+Runs ``benchmarks/bench_pipeline.py``'s ``run_bench`` with a tiny
+loader (60 Restaurant tuples) so the bench's whole code path — the
+FULL baseline root, the warm INCR append, the zero-rediscovery
+assertion, the JSON artifact — is exercised on every test run at
+trivial cost.  The ≤10% wall-time claim itself is only asserted at
+bench scale, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import load_dataset
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def bench_module(monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCHMARKS_DIR))
+    sys.modules.pop("bench_pipeline", None)
+    import bench_pipeline
+
+    yield bench_pipeline
+    sys.modules.pop("bench_pipeline", None)
+
+
+def tiny_loader():
+    return load_dataset("restaurant", n_tuples=60, seed=0)
+
+
+def test_run_bench_smoke(bench_module, tmp_path):
+    result_path = tmp_path / "BENCH_pipeline.json"
+    summary = bench_module.run_bench(
+        result_path=result_path,
+        delta_fraction=0.05,
+        loader=tiny_loader,
+    )
+
+    assert result_path.exists()
+    assert json.loads(result_path.read_text(encoding="utf-8")) == summary
+
+    assert summary["n_tuples"] == 60
+    assert summary["delta_rows"] == 3
+    assert summary["full_seconds"] > 0
+    assert summary["incr_seconds"] > 0
+    # The warm append must have skipped discovery entirely and ingested
+    # exactly the delta.
+    assert summary["incr_rediscovered"] is False
+    assert summary["incr_rows_ingested"] == 3
+    assert summary["store_versions_match"] is True

@@ -22,7 +22,8 @@ class TestDocumentsExist:
         "name",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/ALGORITHMS.md", "docs/ROBUSTNESS.md",
-         "docs/OBSERVABILITY.md", "docs/SERVICE.md"],
+         "docs/OBSERVABILITY.md", "docs/SERVICE.md",
+         "docs/PIPELINE.md"],
     )
     def test_present_and_nonempty(self, name):
         path = ROOT / name
@@ -177,6 +178,60 @@ class TestServiceDoc:
             encoding="utf-8"
         )
         assert "(ServiceError, 8)" in cli
+
+
+class TestPipelineDoc:
+    @pytest.fixture(scope="class")
+    def text(self) -> str:
+        return (ROOT / "docs" / "PIPELINE.md").read_text(
+            encoding="utf-8"
+        )
+
+    def test_cross_linked_from_the_other_docs(self):
+        for name in ["README.md", "docs/ROBUSTNESS.md",
+                     "docs/OBSERVABILITY.md"]:
+            text = (ROOT / name).read_text(encoding="utf-8")
+            assert "PIPELINE.md" in text, (
+                f"{name} does not link docs/PIPELINE.md"
+            )
+
+    def test_documented_metrics_exist_in_the_code(self, text):
+        src = ROOT / "src" / "repro"
+        code = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in src.rglob("*.py")
+        )
+        for metric in re.findall(r"`(renuver_[a-z_]+[a-z])`", text):
+            assert metric in code, (
+                f"PIPELINE.md documents unknown metric {metric}"
+            )
+
+    def test_documented_cli_flags_exist(self, text):
+        cli = (ROOT / "src" / "repro" / "cli.py").read_text(
+            encoding="utf-8"
+        )
+        for flag in ["--root", "--ingest", "--mode", "--lease-ttl",
+                     "--owner"]:
+            assert flag in text, flag
+            assert f'"{flag}"' in cli, f"cli.py misses {flag}"
+
+    def test_documented_degradation_reasons_are_real(self, text):
+        runner = (
+            ROOT / "src" / "repro" / "pipeline" / "runner.py"
+        ).read_text(encoding="utf-8")
+        for reason in ["watermark_mismatch", "store_integrity",
+                       "discovery_cache_miss", "no_store"]:
+            assert reason in text, reason
+            assert f'"{reason}"' in runner, (
+                f"runner.py misses degradation reason {reason}"
+            )
+
+    def test_documented_exit_code_9_is_wired(self, text):
+        assert "exit code 9" in text.lower() or "code 9" in text
+        cli = (ROOT / "src" / "repro" / "cli.py").read_text(
+            encoding="utf-8"
+        )
+        assert "(PipelineError, 9)" in cli
 
 
 class TestReadmeReferences:
