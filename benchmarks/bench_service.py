@@ -10,7 +10,12 @@ two properties the service exists for:
   faster (and provably discovery-free: the cache-hit counter moves,
   the discovery counters do not);
 * **sustained throughput** — concurrent stdlib clients hammering the
-  one-shot endpoint with pinned RFDs, reported as requests/second.
+  one-shot endpoint with pinned RFDs, reported as requests/second with
+  p50/p95/p99 per-request latency;
+* **overload shedding** — a second, deliberately tiny server driven at
+  2x its admission capacity: the bench records the shed rate (429s with
+  ``Retry-After``) and asserts the overload alone produces **zero
+  5xx** — refusal is load control, errors are bugs.
 
 Writes ``BENCH_service.json`` at the repository root.
 """
@@ -25,11 +30,13 @@ import urllib.request
 from pathlib import Path
 from typing import Callable
 
+import urllib.error
+
 from harness import TableWriter, bench_dataset, scale
 from repro import inject_missing
 from repro.dataset.csv_io import to_csv_text
 from repro.dataset.relation import Relation
-from repro.service import build_server
+from repro.service import ServiceConfig, build_server
 
 DEFAULT_RESULT_PATH = (
     Path(__file__).resolve().parent.parent / "BENCH_service.json"
@@ -61,6 +68,31 @@ def _post(base: str, path: str, body: dict) -> dict:
         return json.loads(response.read().decode("utf-8"))
 
 
+def _status_post(base: str, path: str, body: dict) -> int:
+    """POST returning the HTTP status, without raising on 4xx/5xx."""
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            response.read()
+            return response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
 def _counter_total(base: str, name: str) -> float:
     with urllib.request.urlopen(base + "/metrics") as response:
         text = response.read().decode("utf-8")
@@ -69,6 +101,69 @@ def _counter_total(base: str, name: str) -> float:
         if line.startswith(name) and not line.startswith("#"):
             total += float(line.rsplit(" ", 1)[1])
     return total
+
+
+def _overload_phase(
+    csv_text: str,
+    *,
+    max_inflight: int = 2,
+    requests_per_client: int = 6,
+) -> dict:
+    """Drive a deliberately tiny server at 2x its admission capacity.
+
+    Capacity is ``max_inflight`` with no queue, so running
+    ``2 * max_inflight`` open-loop clients is a sustained 2x overload.
+    The contract being measured: excess load is *shed* (429 +
+    ``Retry-After``), never *errored* (zero 5xx from overload alone).
+    """
+    config = ServiceConfig(
+        max_inflight=max_inflight,
+        max_queue_depth=0,
+    )
+    server = build_server("127.0.0.1", 0, config=config)
+    accept = threading.Thread(target=server.serve_forever, daemon=True)
+    accept.start()
+    base = f"http://127.0.0.1:{server.port}"
+    statuses: list[int] = []
+    lock = threading.Lock()
+    body = {
+        "csv": csv_text,
+        "rfds": PINNED_RFDS,
+    }
+
+    def client() -> None:
+        for _ in range(requests_per_client):
+            status = _status_post(base, "/v1/impute", body)
+            with lock:
+                statuses.append(status)
+
+    try:
+        threads = [
+            threading.Thread(target=client)
+            for _ in range(2 * max_inflight)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    finally:
+        server.drain()
+
+    ok = sum(1 for status in statuses if status < 400)
+    shed = sum(1 for status in statuses if status == 429)
+    server_errors = sum(1 for status in statuses if status >= 500)
+    return {
+        "clients": 2 * max_inflight,
+        "max_inflight": max_inflight,
+        "requests": len(statuses),
+        "elapsed_seconds": elapsed,
+        "ok": ok,
+        "shed": shed,
+        "shed_rate": shed / len(statuses) if statuses else 0.0,
+        "server_errors": server_errors,
+    }
 
 
 def run_bench(
@@ -119,14 +214,20 @@ def run_bench(
 
         # --- throughput: concurrent clients, pinned RFDs ---------------
         errors: list[BaseException] = []
+        latencies: list[float] = []
+        latency_lock = threading.Lock()
 
         def client() -> None:
             try:
                 for _ in range(requests_per_client):
+                    t0 = time.perf_counter()
                     out = _post(base, "/v1/impute", {
                         "csv": csv_text, "rfds": PINNED_RFDS,
                     })
+                    dt = time.perf_counter() - t0
                     assert out["rfd_source"] == "provided"
+                    with latency_lock:
+                        latencies.append(dt)
             except BaseException as exc:  # noqa: BLE001 - reported below
                 errors.append(exc)
 
@@ -142,6 +243,9 @@ def run_bench(
         if errors:
             raise errors[0]
         total_requests = clients * requests_per_client
+        latencies.sort()
+
+        overload = _overload_phase(csv_text)
 
         summary = {
             "bench": "service",
@@ -160,7 +264,11 @@ def run_bench(
                 "requests": total_requests,
                 "elapsed_seconds": elapsed,
                 "requests_per_second": total_requests / elapsed,
+                "latency_p50_seconds": _percentile(latencies, 0.50),
+                "latency_p95_seconds": _percentile(latencies, 0.95),
+                "latency_p99_seconds": _percentile(latencies, 0.99),
             },
+            "overload": overload,
         }
     finally:
         server.drain()
@@ -177,7 +285,7 @@ def test_service_latency_and_throughput():
     writer.header("Imputation service: cold vs warm, throughput")
     writer.row(
         f"{'dataset':<12}{'tuples':>8}{'cold':>10}{'warm':>10}"
-        f"{'speedup':>9}{'req/s':>9}"
+        f"{'speedup':>9}{'req/s':>9}{'p95':>10}{'shed':>7}"
     )
     throughput = summary["throughput"]
     writer.row(
@@ -186,6 +294,8 @@ def test_service_latency_and_throughput():
         f"{summary['warm_seconds'] * 1e3:>8.1f}ms"
         f"{summary['cold_over_warm']:>8.1f}x"
         f"{throughput['requests_per_second']:>9.1f}"
+        f"{throughput['latency_p95_seconds'] * 1e3:>8.1f}ms"
+        f"{summary['overload']['shed_rate']:>6.0%}"
     )
     writer.close()
 
@@ -193,6 +303,14 @@ def test_service_latency_and_throughput():
     assert summary["warm_cache_hits"] >= 1
     assert summary["warm_identical_csv"] is True
     assert throughput["requests_per_second"] > 0
+    assert (throughput["latency_p50_seconds"]
+            <= throughput["latency_p95_seconds"]
+            <= throughput["latency_p99_seconds"])
+    # Overload must refuse (429), never error (5xx): load control is
+    # not a failure mode.
+    overload = summary["overload"]
+    assert overload["server_errors"] == 0, overload
+    assert overload["ok"] >= 1, overload
     if summary["scale"] != "smoke":
         # Skipping discovery must be visible in wall-clock terms.
         assert summary["cold_over_warm"] > 1.0, summary["cold_over_warm"]

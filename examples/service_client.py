@@ -1,29 +1,30 @@
-"""The imputation service driven by a pure-stdlib HTTP client.
+"""The imputation service driven by the hardened retrying client.
 
 Boots the service in-process on a free port (the same server
-``python -m repro serve`` runs), then exercises the full API with
-nothing but :mod:`urllib`:
+``python -m repro serve`` runs), then exercises the full API through
+:class:`repro.service.ServiceClient` — the library client with capped
+exponential backoff, ``Retry-After`` handling and the idempotency-aware
+retry policy the chaos suite validates:
 
 1. a **one-shot** ``POST /v1/impute`` with a pinned RFD set;
 2. the same request *without* RFDs, twice — the second hit comes from
    the fingerprint-keyed artifact cache with zero discovery work;
 3. a **warm-start session**: open, stream tuples in, impute the queued
    cells, read the per-cell provenance, close;
-4. a peek at ``GET /metrics`` for the cache-hit and request counters.
+4. the liveness/readiness split plus a peek at ``GET /metrics``.
 
 Run with::
 
     python examples/service_client.py
 
-See ``docs/SERVICE.md`` for the API reference.
+See ``docs/SERVICE.md`` for the API reference and
+``repro/service/client.py`` for the retry policy this demo rides on.
 """
 
-import json
 import tempfile
 import threading
-import urllib.request
 
-from repro.service import build_server
+from repro.service import ServiceClient, build_server
 
 CSV = (
     "Name,City,Phone\n"
@@ -35,27 +36,18 @@ CSV = (
 )
 
 
-def call(base: str, method: str, path: str, body: dict | None = None):
-    """One JSON request/response round trip via urllib."""
-    data = json.dumps(body).encode("utf-8") if body is not None else None
-    request = urllib.request.Request(
-        base + path, data=data, method=method,
-        headers={"Content-Type": "application/json"},
-    )
-    with urllib.request.urlopen(request) as response:
-        return json.loads(response.read().decode("utf-8"))
-
-
 def main() -> None:
     cache_dir = tempfile.mkdtemp(prefix="renuver-cache-")
     server = build_server("127.0.0.1", 0, artifact_dir=cache_dir)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    base = f"http://127.0.0.1:{server.port}"
-    print(f"service up at {base} (cache: {cache_dir})")
+    client = ServiceClient(
+        f"http://127.0.0.1:{server.port}", deadline_seconds=30.0
+    )
+    print(f"service up at {client.base_url} (cache: {cache_dir})")
 
     # --- 1. one-shot imputation with a pinned RFD set -----------------
-    out = call(base, "POST", "/v1/impute", {
+    out = client.impute({
         "csv": CSV,
         "rfds": ["Name(<=0),City(<=0) -> Phone(<=0)"],
     })
@@ -68,7 +60,7 @@ def main() -> None:
     # --- 2. discovery, cold then warm ---------------------------------
     print("\n--- discovery path: cold vs warm ---")
     for attempt in ("cold", "warm"):
-        out = call(base, "POST", "/v1/impute", {
+        out = client.impute({
             "csv": CSV, "discovery": {"limit": 0, "max_lhs": 2},
         })
         print(f"{attempt}: rfd_source={out['rfd_source']}, "
@@ -76,30 +68,32 @@ def main() -> None:
 
     # --- 3. a warm-start session --------------------------------------
     print("\n--- session: append and impute ---")
-    session = call(base, "POST", "/v1/sessions", {
+    session = client.open_session({
         "csv": CSV, "rfds": ["Name(<=0),City(<=0) -> Phone(<=0)"],
     })
     sid = session["id"]
-    appended = call(base, "POST", f"/v1/sessions/{sid}/tuples", {
-        "rows": [
-            ["campanile", "los angeles", None],
-            ["spago", "west hollywood", "310-652-4025"],
-        ],
-    })
+    appended = client.append_tuples(sid, [
+        ["campanile", "los angeles", None],
+        ["spago", "west hollywood", "310-652-4025"],
+    ])
     print(f"appended rows {appended['rows']}, "
           f"{appended['pending']} cells pending")
-    round_out = call(base, "POST", f"/v1/sessions/{sid}/impute")
+    round_out = client.impute_session(sid)
     for outcome in round_out["outcomes"]:
         print(f"  row {outcome['row']} {outcome['attribute']}: "
               f"{outcome['status']} -> {outcome['value']!r} "
               f"(donor row {outcome['source_row']})")
-    call(base, "DELETE", f"/v1/sessions/{sid}")
+    client.delete_session(sid)
 
-    # --- 4. the metrics endpoint --------------------------------------
-    with urllib.request.urlopen(base + "/metrics") as response:
-        exposition = response.read().decode("utf-8")
+    # --- 4. liveness, readiness, metrics ------------------------------
+    ready = client.readiness()
+    print(f"\nlive: {client.health()['status']}, "
+          f"ready: {ready['status']} "
+          f"(brownout tier {ready['brownout']['tier']}, "
+          f"{ready['sessions']} sessions, "
+          f"{ready['recovered_sessions']} recovered)")
     interesting = [
-        line for line in exposition.splitlines()
+        line for line in client.metrics_text().splitlines()
         if line.startswith(("renuver_http_requests_total",
                             "renuver_artifact_cache_hits_total"))
     ]
@@ -107,7 +101,7 @@ def main() -> None:
     print("\n".join(interesting))
 
     server.drain()
-    print("\nserver drained cleanly")
+    print(f"\nserver drained cleanly ({client.retries} client retries)")
 
 
 if __name__ == "__main__":

@@ -332,6 +332,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="default discovery threshold limit for requests without "
              "a pinned RFD set (default 3)",
     )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=16, metavar="N",
+        help="requests queued behind the inflight permits before the "
+             "queue sheds with 429 + Retry-After (default 16; 0 "
+             "disables queueing entirely)",
+    )
+    serve.add_argument(
+        "--max-queue-wait", type=float, default=1.0, metavar="SECONDS",
+        help="longest a request may sit in the admission queue before "
+             "it is shed (default 1.0)",
+    )
+    serve.add_argument(
+        "--no-brownout", action="store_true",
+        help="disable the overload brownout ladder (vectorized -> "
+             "scalar -> cache-only); sheds still answer 429",
+    )
+    serve.add_argument(
+        "--no-durable-sessions", action="store_true",
+        help="keep warm-start sessions in memory only (no journaled "
+             "session envelopes, no recovery after a crash)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     pipeline = sub.add_parser(
@@ -551,6 +572,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_budget_seconds=args.request_budget,
         max_inflight=args.max_inflight,
         max_sessions=args.max_sessions,
+        max_queue_depth=args.max_queue_depth,
+        max_queue_wait_seconds=args.max_queue_wait,
+        brownout_enabled=not args.no_brownout,
+        durable_sessions=not args.no_durable_sessions,
     )
     server = build_server(
         args.host, args.port,

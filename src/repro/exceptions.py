@@ -90,6 +90,20 @@ class ServiceError(ReproError):
     """
 
 
+class ServiceClientError(ServiceError):
+    """The hardened service client gave up on a request.
+
+    Raised by :mod:`repro.service.client` once its retry budget (or the
+    caller's deadline) is exhausted, or for a non-retryable HTTP error.
+    ``status`` carries the last HTTP status code, if any response was
+    received at all.
+    """
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class PipelineError(ReproError):
     """A continuous-ingestion pipeline run could not start or commit.
 

@@ -36,7 +36,17 @@ cell corruption:
   SIGKILLs itself mid-batch, a hung worker stops heartbeating until the
   supervisor reaps it, a slow worker sleeps before every cell.  Draws
   are keyed on ``(round, batch, attempt)`` so the plan is independent
-  of scheduling (see :meth:`ChaosInjector.worker_fault`).
+  of scheduling (see :meth:`ChaosInjector.worker_fault`);
+* **HTTP faults** — ``http_reset_rate`` / ``http_slow_read_rate`` /
+  ``http_mid_kill_rate`` / ``http_crash_rate`` target the service's
+  HTTP seam (``repro.service.http`` consults
+  :meth:`ChaosInjector.http_fault` per request): a *reset* tears the
+  connection down with an RST before any response byte, a *slow read*
+  stalls the handler mid-request (slow-loris analogue), a *mid kill*
+  sends the headers plus half the body and then resets, a *crash*
+  raises inside the handler (exercising the 500-and-keep-serving
+  path).  The hardened :mod:`repro.service.client` must survive all
+  four.
 
 Every channel draws from its own ``random.Random`` stream derived from
 ``seed``, so two runs with the same config, relation and RFDs inject
@@ -105,12 +115,28 @@ class ChaosConfig:
     worker_slow_seconds: float = 0.02
     #: Cells a killed/hung worker completes before the fault fires.
     worker_fault_cells: int = 1
+    #: Probability that a request's connection is reset (RST) before
+    #: any response byte is sent (service HTTP seam).
+    http_reset_rate: float = 0.0
+    #: Probability that a request's handler stalls mid-request for
+    #: ``http_slow_seconds`` (slow-loris analogue; response still OK).
+    http_slow_read_rate: float = 0.0
+    #: Probability that a response is cut after the headers plus half
+    #: the body, then reset.
+    http_mid_kill_rate: float = 0.0
+    #: Probability that the handler raises an injected fault (the
+    #: server must answer 500 and keep serving).
+    http_crash_rate: float = 0.0
+    #: Stall applied by a slow-read HTTP fault.
+    http_slow_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         for name in ("kernel_fault_rate", "listener_fault_rate",
                      "clock_skip_rate", "disk_full_rate",
                      "worker_kill_rate", "worker_hang_rate",
-                     "worker_slow_rate"):
+                     "worker_slow_rate", "http_reset_rate",
+                     "http_slow_read_rate", "http_mid_kill_rate",
+                     "http_crash_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ImputationError(
@@ -122,6 +148,14 @@ class ChaosConfig:
             raise ImputationError(
                 f"worker fault rates must sum to <= 1, got {worker_total}"
             )
+        http_total = (self.http_reset_rate + self.http_slow_read_rate
+                      + self.http_mid_kill_rate + self.http_crash_rate)
+        if http_total > 1.0:
+            raise ImputationError(
+                f"http fault rates must sum to <= 1, got {http_total}"
+            )
+        if self.http_slow_seconds < 0:
+            raise ImputationError("http_slow_seconds must be >= 0")
         if self.corrupt_cells < 0:
             raise ImputationError("corrupt_cells must be >= 0")
         if self.kill_after_cells is not None and self.kill_after_cells < 0:
@@ -150,12 +184,14 @@ class ChaosInjector:
         self._clock_rng = spawn_rng(seed, "chaos", "clock")
         self._corrupt_rng = spawn_rng(seed, "chaos", "corrupt")
         self._disk_rng = spawn_rng(seed, "chaos", "disk")
+        self._http_rng = spawn_rng(seed, "chaos", "http")
         self._skew = 0.0
         self.cells_started = 0
         self.faults_injected = 0
         self.clock_skips = 0
         self.disk_faults_injected = 0
         self.worker_faults_planned = 0
+        self.http_faults_injected = 0
         self.corrupted: list[tuple[int, str]] = []
 
     # ------------------------------------------------------------------
@@ -280,6 +316,41 @@ class ChaosInjector:
                 "planning worker fault %s for round %d batch %d "
                 "attempt %d", fault["kind"], round_index, batch_index,
                 attempt,
+            )
+        return fault
+
+    def http_fault(self) -> dict[str, Any] | None:
+        """The fault plan for one HTTP request, or ``None``.
+
+        Consumed from the ``http`` stream per request, so a server
+        driven by a deterministic request sequence injects the same
+        faults at the same requests on every run.  The caller (the
+        service's dispatch path) applies the fault; fault kinds:
+        ``reset``, ``slow_read`` (with ``seconds``), ``mid_kill``,
+        ``crash``.
+        """
+        config = self.config
+        total = (config.http_reset_rate + config.http_slow_read_rate
+                 + config.http_mid_kill_rate + config.http_crash_rate)
+        if total <= 0.0 or self._exhausted():
+            return None
+        draw = self._http_rng.random()
+        fault: dict[str, Any] | None = None
+        if draw < config.http_reset_rate:
+            fault = {"kind": "reset"}
+        elif draw < config.http_reset_rate + config.http_slow_read_rate:
+            fault = {"kind": "slow_read",
+                     "seconds": config.http_slow_seconds}
+        elif draw < total - config.http_crash_rate:
+            fault = {"kind": "mid_kill"}
+        elif draw < total:
+            fault = {"kind": "crash"}
+        if fault is not None:
+            self.faults_injected += 1
+            self.http_faults_injected += 1
+            logger.debug(
+                "injecting http fault %s (#%d)",
+                fault["kind"], self.http_faults_injected,
             )
         return fault
 

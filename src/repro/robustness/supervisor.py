@@ -124,6 +124,7 @@ def _worker_main(payload: _BatchPayload, queue: Any) -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     from repro.core.renuver import Renuver, _RunState
     from repro.core.report import ImputationReport
+    from repro.exceptions import BudgetExceededError
     from repro.utils.timer import Timer
 
     fault = payload.fault or {}
@@ -135,7 +136,10 @@ def _worker_main(payload: _BatchPayload, queue: Any) -> None:
     relation = payload.snapshot
     calculator = renuver._make_calculator(relation)
     engine = renuver._make_engine(calculator)
-    timer = Timer(None)
+    # The shipped config carries the request's *remaining* budget (the
+    # supervisor computed it at dispatch), so the worker cancels itself
+    # at the same deadline the parent enforces.
+    timer = Timer(payload.config.time_budget_seconds)
     timer.start()
     state = _RunState(
         calculator=calculator,
@@ -152,6 +156,10 @@ def _worker_main(payload: _BatchPayload, queue: Any) -> None:
         if now - last_pulse[0] >= HEARTBEAT_SECONDS:
             last_pulse[0] = now
             queue.put(("hb", payload.batch_key, payload.attempt, -1))
+            # Deadline check at the kernel seam, throttled with the
+            # heartbeat: an expired budget cancels the work inside the
+            # kernel loop, not only between cells.
+            timer.check_budget("supervised worker")
 
     engine.add_kernel_hook(pulse)
     writer = JournalWriter(payload.shard_path)
@@ -165,6 +173,7 @@ def _worker_main(payload: _BatchPayload, queue: Any) -> None:
                 while True:  # hang: alive but silent until reaped
                     time.sleep(3600)
             queue.put(("hb", payload.batch_key, payload.attempt, index))
+            timer.check_budget("supervised worker")
             if kind == "slow":
                 time.sleep(fault["seconds"])
             seen_degradations = len(state.report.degradations)
@@ -184,6 +193,11 @@ def _worker_main(payload: _BatchPayload, queue: Any) -> None:
                 if reactivated:
                     writer.record_reactivation(row, attribute, reactivated)
         queue.put(("done", payload.batch_key, payload.attempt))
+    except BudgetExceededError:
+        # Deadline hit inside the batch: stop where the work runs and
+        # exit without a "done" — the parent's own deadline check fires
+        # on its next loop tick and settles the run as partial.
+        pass
     finally:
         writer.close()
         engine.close()
@@ -313,6 +327,13 @@ class Supervisor:
         """The dispatch event loop: spawn, heartbeat, detect, retry."""
         self._live = batches
         while not all(batch.settled for batch in batches):
+            # Deadline propagation: the parent is the authoritative
+            # cancel point.  A raise here unwinds through _run_round's
+            # finally (reaping every in-flight worker) and settles as a
+            # partial result under on_budget="partial" — the request's
+            # deadline stops the work where it runs instead of letting
+            # orphaned batches compute past it.
+            self.state.timer.check_budget("supervised dispatch")
             now = time.monotonic()
             for batch in batches:
                 if (batch.process is None and not batch.settled
@@ -341,13 +362,22 @@ class Supervisor:
             shard.unlink()
         from dataclasses import replace
 
+        # Ship the *remaining* run budget so the worker cancels itself
+        # at the same deadline the parent enforces; the memory budget
+        # stays parent-only (worker RSS is not the run's RSS).
+        remaining_budget = None
+        timer = state.timer
+        if timer.budget_seconds is not None:
+            remaining_budget = max(
+                0.001, timer.budget_seconds - timer.elapsed
+            )
         payload = _BatchPayload(
             snapshot=snapshot,
             rfds=self.renuver.rfds,
             config=replace(
                 config,
                 workers=1,
-                time_budget_seconds=None,
+                time_budget_seconds=remaining_budget,
                 memory_budget_bytes=None,
                 track_memory=False,
             ),

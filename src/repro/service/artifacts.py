@@ -95,6 +95,11 @@ class ArtifactStore:
         #: Process-local tallies (mirrored into the metrics registry).
         self.hits = 0
         self.misses = 0
+        #: Misses caused by damaged on-disk state (torn/garbled files,
+        #: wrong versions, undeserializable payloads) as opposed to
+        #: plain absence — surfaced on ``GET /healthz/ready`` so an
+        #: operator sees disk rot before it becomes a latency problem.
+        self.corruptions = 0
 
     # ------------------------------------------------------------------
     # Discovery results
@@ -133,6 +138,32 @@ class ArtifactStore:
             *self._discovery_key(relation, config),
             result.to_json(),
         )
+
+    def discovery_ref(
+        self, relation: Relation, config: DiscoveryConfig
+    ) -> dict[str, str]:
+        """The stable ``(fingerprint, config_key)`` reference under
+        which :meth:`save_discovery` files this pair — what a durable
+        session journals so recovery can re-load the artifact."""
+        fingerprint, key = self._discovery_key(relation, config)
+        return {"fingerprint": fingerprint, "config_key": key}
+
+    def load_discovery_by_ref(
+        self, fingerprint: str, config_key: str
+    ) -> DiscoveryResult | None:
+        """A cached discovery result by journaled reference (session
+        recovery path); ``None`` on any miss, same tolerance as
+        :meth:`load_discovery`."""
+        payload = self._load("discovery", fingerprint, config_key)
+        if payload is None:
+            return None
+        try:
+            result = DiscoveryResult.from_json(payload)
+        except Exception as exc:  # noqa: BLE001 - miss, never crash
+            self._miss("discovery", "undeserializable", detail=str(exc))
+            return None
+        self._hit("discovery")
+        return result
 
     # ------------------------------------------------------------------
     # Pattern matrices
@@ -275,6 +306,8 @@ class ArtifactStore:
 
     def _miss(self, kind: str, reason: str, *, detail: str = "") -> None:
         self.misses += 1
+        if reason in {"unreadable", "corrupt", "version", "undeserializable"}:
+            self.corruptions += 1
         self.telemetry.metrics.counter(
             _MISSES, _HELP_MISSES, kind=kind, reason=reason
         ).inc()

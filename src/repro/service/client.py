@@ -1,0 +1,294 @@
+"""Hardened stdlib client for the imputation service.
+
+The chaos suite throws connection resets, slow-loris stalls,
+mid-response kills and handler crashes at the server; this client is
+the piece that turns those into at-most-a-retry instead of a stack
+trace in the caller's lap.  Policy:
+
+* **429/503 are always retried** (never executed, only refused), and a
+  ``Retry-After`` header — the server derives it from its actual
+  backlog — overrides the local backoff for that attempt.
+* **Transport errors** (reset, short body, timeout) and **5xx** are
+  retried only for *idempotent* requests: GETs, one-shot
+  ``/v1/impute`` (pure — the same body computes the same answer) and
+  session *reads*.  A session **mutation** (tuple append, imputation
+  round) that dies mid-response may or may not have been applied, so
+  it is surfaced to the caller instead of blindly repeated.
+* Backoff is capped exponential with **seeded jitter** (so tests are
+  deterministic), and the whole retry loop honors an overall
+  ``deadline_seconds`` — a client with a 2 s budget never sleeps past
+  it.
+
+Everything terminal raises
+:class:`~repro.exceptions.ServiceClientError` with the last status
+attached.  ``examples/service_client.py`` is a thin demo wrapper over
+this module.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable
+
+from repro.exceptions import ServiceClientError
+from repro.telemetry.logs import get_logger
+from repro.utils.rng import spawn_rng
+
+logger = get_logger("service.client")
+
+#: HTTP statuses that mean "refused, try again" (request not executed).
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class ServiceClient:
+    """A retrying JSON client for one service base URL.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``http://127.0.0.1:8080``.
+    max_retries:
+        Retry attempts *after* the first try.
+    backoff_seconds:
+        First backoff; doubles per retry, capped at ``backoff_cap``.
+    backoff_cap:
+        Upper bound for one sleep (Retry-After may exceed it — the
+        server knows its backlog better than our curve does).
+    deadline_seconds:
+        Overall wall-clock budget for one logical request including
+        retries and sleeps (``None`` = unbounded).
+    timeout_seconds:
+        Per-attempt socket timeout.
+    seed:
+        Seeds the jitter stream, making retry timing deterministic for
+        tests (timing only — never outcomes).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        max_retries: int = 4,
+        backoff_seconds: float = 0.1,
+        backoff_cap: float = 5.0,
+        deadline_seconds: float | None = None,
+        timeout_seconds: float = 30.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap = backoff_cap
+        self.deadline_seconds = deadline_seconds
+        self.timeout_seconds = timeout_seconds
+        self._jitter = spawn_rng(seed, "service-client", "backoff")
+        self._sleep = sleep or time.sleep
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def impute(self, body: dict[str, Any]) -> dict[str, Any]:
+        """One-shot imputation (idempotent: safe to retry on resets)."""
+        return self.request("POST", "/v1/impute", body, idempotent=True)
+
+    def open_session(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Open a warm-start session (idempotence left to the caller:
+        a retried create may open a duplicate session, which is safe
+        but worth deleting)."""
+        return self.request("POST", "/v1/sessions", body, idempotent=False)
+
+    def session(self, session_id: str) -> dict[str, Any]:
+        return self.request(
+            "GET", f"/v1/sessions/{session_id}", idempotent=True
+        )
+
+    def append_tuples(
+        self, session_id: str, rows: list[list[Any]]
+    ) -> dict[str, Any]:
+        """Append tuples — a mutation: transport errors are NOT retried
+        (the append may have landed; re-sending would duplicate rows).
+        429/503 are still retried: a refused request never executed."""
+        return self.request(
+            "POST", f"/v1/sessions/{session_id}/tuples",
+            {"rows": rows}, idempotent=False,
+        )
+
+    def impute_session(self, session_id: str) -> dict[str, Any]:
+        """Run one session imputation round (a mutation; see above)."""
+        return self.request(
+            "POST", f"/v1/sessions/{session_id}/impute", idempotent=False
+        )
+
+    def delete_session(self, session_id: str) -> dict[str, Any]:
+        return self.request(
+            "DELETE", f"/v1/sessions/{session_id}", idempotent=True
+        )
+
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz/live", idempotent=True)
+
+    def readiness(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz/ready", idempotent=True)
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition (not JSON)."""
+        status, raw, _ = self._attempt("GET", "/metrics", None)
+        if status != 200:
+            raise ServiceClientError(
+                f"GET /metrics answered {status}", status=status
+            )
+        return raw.decode("utf-8")
+
+    # ------------------------------------------------------------------
+    # The retry loop
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        *,
+        idempotent: bool = False,
+    ) -> dict[str, Any]:
+        """One logical JSON request with the retry policy applied."""
+        deadline = (
+            time.perf_counter() + self.deadline_seconds
+            if self.deadline_seconds is not None else None
+        )
+        last_error = "no attempt made"
+        last_status: int | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                status, raw, retry_after = self._attempt(
+                    method, path, body
+                )
+            except (urllib.error.URLError, ConnectionError, OSError,
+                    TimeoutError, http.client.HTTPException) as exc:
+                # HTTPException covers IncompleteRead/RemoteDisconnected
+                # — a response cut off mid-body (chaos mid-kill).
+                # Transport-level failure: response never completed.
+                last_error = f"transport error: {exc}"
+                last_status = None
+                if not idempotent:
+                    raise ServiceClientError(
+                        f"{method} {path} died in transit and is not "
+                        f"idempotent; not retrying: {exc}"
+                    ) from exc
+                retry_after = None
+            else:
+                last_status = status
+                if status < 400:
+                    try:
+                        return json.loads(raw.decode("utf-8"))
+                    except (UnicodeDecodeError,
+                            json.JSONDecodeError) as exc:
+                        # Truncated/garbled body (mid-response kill):
+                        # same policy as a transport error.
+                        last_error = f"unreadable response body: {exc}"
+                        if not idempotent:
+                            raise ServiceClientError(
+                                f"{method} {path} returned an unreadable "
+                                f"body and is not idempotent",
+                                status=status,
+                            ) from exc
+                        retry_after = None
+                elif status in RETRYABLE_STATUSES:
+                    # Refused, not executed: always retryable.
+                    last_error = f"server answered {status}"
+                elif status >= 500 and idempotent:
+                    # A crashed handler (chaos ``crash`` fault, or a
+                    # genuine bug) answered 5xx; an idempotent request
+                    # is safe to repeat against a server that keeps
+                    # serving.
+                    last_error = f"server answered {status}"
+                    retry_after = None
+                else:
+                    raise ServiceClientError(
+                        f"{method} {path} answered {status}: "
+                        f"{_error_text(raw)}",
+                        status=status,
+                    )
+            if attempt >= self.max_retries:
+                break
+            pause = self._pause(attempt, retry_after)
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= pause:
+                    raise ServiceClientError(
+                        f"{method} {path}: deadline of "
+                        f"{self.deadline_seconds}s would expire during "
+                        f"backoff ({last_error})",
+                        status=last_status,
+                    )
+            self.retries += 1
+            logger.debug(
+                "%s %s attempt %d failed (%s); retrying in %.3fs",
+                method, path, attempt + 1, last_error, pause,
+            )
+            self._sleep(pause)
+        raise ServiceClientError(
+            f"{method} {path} failed after "
+            f"{self.max_retries + 1} attempts: {last_error}",
+            status=last_status,
+        )
+
+    # ------------------------------------------------------------------
+    def _attempt(
+        self, method: str, path: str, body: dict[str, Any] | None
+    ) -> tuple[int, bytes, float | None]:
+        """One wire round trip: (status, raw body, Retry-After)."""
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_seconds
+            ) as response:
+                return response.status, response.read(), None
+        except urllib.error.HTTPError as error:
+            retry_after = _parse_retry_after(
+                error.headers.get("Retry-After")
+            )
+            try:
+                raw = error.read()
+            except OSError:
+                raw = b""
+            return error.code, raw, retry_after
+
+    def _pause(self, attempt: int, retry_after: float | None) -> float:
+        """Backoff for one retry: server hint, else capped exponential
+        with jitter."""
+        if retry_after is not None:
+            return max(0.0, retry_after)
+        base = min(self.backoff_cap, self.backoff_seconds * (2 ** attempt))
+        return base * (1.0 + 0.25 * self._jitter.random())
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def _error_text(raw: bytes) -> str:
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+        return str(payload.get("error", payload))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return raw[:200].decode("utf-8", errors="replace")
+
+
+__all__ = ["RETRYABLE_STATUSES", "ServiceClient"]

@@ -1,0 +1,341 @@
+"""Durable warm-start sessions: journaled envelopes + replay recovery.
+
+PR 5's sessions lived only in process memory: a crash lost every warm
+session, and clients had to rebuild them from scratch.  This module
+makes a session survive ``kill -9``:
+
+:class:`SessionStore`
+    One checksummed, versioned envelope per session under
+    ``<root>/<id>.json`` (the artifact directory's ``sessions/`` area),
+    written via :func:`repro.utils.atomic.atomic_write_text` with the
+    PR 6 ``.prev`` staging discipline: the previous envelope is staged
+    to ``<id>.json.prev`` before the current file is replaced, so at
+    every instant at least one complete envelope exists on disk.  A
+    torn current envelope degrades to a *counted* one-event rollback
+    (``renuver_session_envelope_recoveries_total``); only both copies
+    unreadable drops the session (counted, never a crash).
+
+The envelope payload is a **journal**, not a snapshot: the session's
+creation record (initial CSV, RFD source, config) plus the ordered
+event list (``append`` rows, ``impute`` rounds).  Recovery *replays*
+the journal through the same code paths the live requests used —
+RENUVER is deterministic, so the recovered session's relation, pending
+set and maintained RFD set are bit-identical to the moment of the last
+acknowledged request, and the next request answers exactly as it would
+have on an uninterrupted server (asserted byte-for-byte in
+``tests/service/test_chaos_http.py``).
+
+The creation record carries the session's discovery result twice: as a
+*reference* into the artifact cache (fingerprint + config key — the
+normal path) and *inline* (the serialized result), so recovery
+survives an evicted or corrupted artifact cache without recomputing
+discovery.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.dataset.csv_io import read_csv_text
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.dime import DiscoveryResult
+from repro.discovery.incremental import IncrementalDiscovery
+from repro.exceptions import ServiceError
+from repro.extensions.incremental import ImputationSession
+from repro.rfd.parser import parse_rfd
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.logs import get_logger
+from repro.utils.atomic import atomic_write_text
+from repro.utils.fingerprint import payload_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.engine import PreparedEngine
+
+logger = get_logger("service.durability")
+
+#: Envelope schema version; any other version is treated as corruption
+#: (fall back to ``.prev``, then drop the session), never reinterpreted.
+SESSION_VERSION = 1
+
+_RECOVERIES = "renuver_session_envelope_recoveries_total"
+_HELP_RECOVERIES = (
+    "Session envelope loads that fell back to the .prev copy."
+)
+_CORRUPT = "renuver_session_envelope_corrupt_total"
+_HELP_CORRUPT = (
+    "Session envelopes dropped because both copies were unreadable."
+)
+_PERSIST_FAILURES = "renuver_session_persist_failures_total"
+_HELP_PERSIST = (
+    "Session envelope saves that failed at the OS level."
+)
+
+_ID_PATTERN = re.compile(r"^s\d{6}$")
+
+
+class SessionRecoveryError(ServiceError):
+    """One session's journal could not be replayed (that session is
+    dropped; the server keeps booting)."""
+
+
+class SessionStore:
+    """Checksummed per-session envelopes with ``.prev`` staging.
+
+    Persistence is *best effort by contract*: a failed save is logged
+    and counted (``renuver_session_persist_failures_total``), and the
+    session keeps serving from memory — a full disk degrades
+    durability, it must never fail the request that was trying to be
+    durable.  Loads are corruption-tolerant the same way the artifact
+    cache is.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._seqs: dict[str, int] = {}
+        self.saves = 0
+        self.persist_failures = 0
+        self.envelope_recoveries = 0
+        self.corrupt_envelopes = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, session_id: str) -> Path:
+        return self.root / f"{session_id}.json"
+
+    def session_ids(self) -> list[str]:
+        """Persisted session ids, in id order."""
+        if not self.root.is_dir():
+            return []
+        ids = {
+            path.stem
+            for path in self.root.glob("s*.json")
+            if _ID_PATTERN.match(path.stem)
+        }
+        return sorted(ids)
+
+    # ------------------------------------------------------------------
+    def save(self, session_id: str, payload: dict[str, Any]) -> bool:
+        """Persist one session's journal; ``False`` on a failed write."""
+        path = self.path_for(session_id)
+        previous = path.with_name(path.name + ".prev")
+        seq = self._seqs.get(session_id, 0) + 1
+        envelope = {
+            "session_version": SESSION_VERSION,
+            "session_id": session_id,
+            "envelope_seq": seq,
+            "checksum": payload_fingerprint(payload),
+            "payload": payload,
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            if path.exists():
+                atomic_write_text(
+                    previous, path.read_text(encoding="utf-8")
+                )
+            atomic_write_text(
+                path, json.dumps(envelope, ensure_ascii=False)
+            )
+        except OSError as exc:
+            self.persist_failures += 1
+            self.telemetry.metrics.counter(
+                _PERSIST_FAILURES, _HELP_PERSIST
+            ).inc()
+            logger.warning(
+                "session %s: envelope save failed (%s); serving from "
+                "memory only", session_id, exc,
+            )
+            return False
+        self._seqs[session_id] = seq
+        self.saves += 1
+        return True
+
+    def load(self, session_id: str) -> dict[str, Any] | None:
+        """One session's journal payload, or ``None`` when unreadable.
+
+        A torn current envelope falls back to ``.prev`` (counted); both
+        unreadable counts as a corrupt envelope and returns ``None``.
+        """
+        path = self.path_for(session_id)
+        current = self._read(session_id, path)
+        if current is not None:
+            return current
+        previous = self._read(
+            session_id, path.with_name(path.name + ".prev")
+        )
+        if previous is not None:
+            self.envelope_recoveries += 1
+            self.telemetry.metrics.counter(
+                _RECOVERIES, _HELP_RECOVERIES
+            ).inc()
+            logger.warning(
+                "session %s: envelope is unreadable; recovered the "
+                ".prev copy (one acknowledged event may be lost)",
+                session_id,
+            )
+            return previous
+        self.corrupt_envelopes += 1
+        self.telemetry.metrics.counter(_CORRUPT, _HELP_CORRUPT).inc()
+        logger.error(
+            "session %s: envelope and .prev are both unreadable; "
+            "dropping the session", session_id,
+        )
+        return None
+
+    def delete(self, session_id: str) -> None:
+        """Remove a closed session's envelope (and its ``.prev``)."""
+        path = self.path_for(session_id)
+        for target in (path, path.with_name(path.name + ".prev")):
+            try:
+                target.unlink()
+            except OSError:
+                pass
+        self._seqs.pop(session_id, None)
+
+    # ------------------------------------------------------------------
+    def _read(self, session_id: str, path: Path) -> dict[str, Any] | None:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("session_version") != SESSION_VERSION:
+            return None
+        if envelope.get("session_id") != session_id:
+            return None
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        if payload_fingerprint(payload) != envelope.get("checksum"):
+            return None
+        seq = envelope.get("envelope_seq")
+        if isinstance(seq, int) and seq > self._seqs.get(session_id, 0):
+            self._seqs[session_id] = seq
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Journal replay
+# ----------------------------------------------------------------------
+def creation_record(
+    *,
+    csv_text: str,
+    name: str,
+    rfd_texts: list[str] | None,
+    discovery_options: dict[str, Any] | None,
+    overrides: dict[str, Any] | None,
+    budget_seconds: float | None,
+    incremental_discovery: bool,
+    rfd_source: str,
+    discovery_ref: dict[str, str] | None,
+    discovery_inline: dict[str, Any] | None,
+) -> dict[str, Any]:
+    """The envelope's ``created`` record (one place for its shape)."""
+    return {
+        "csv": csv_text,
+        "name": name,
+        "rfd_texts": rfd_texts,
+        "discovery_options": discovery_options,
+        "overrides": overrides,
+        "budget_seconds": budget_seconds,
+        "incremental_discovery": incremental_discovery,
+        "rfd_source": rfd_source,
+        "discovery_ref": discovery_ref,
+        "discovery_inline": discovery_inline,
+    }
+
+
+def rebuild_components(
+    engine: "PreparedEngine", created: dict[str, Any]
+) -> tuple[ImputationSession, IncrementalDiscovery | None]:
+    """A fresh (imputation session, maintainer) pair from a creation
+    record — the replay analogue of ``PreparedEngine.open_session``,
+    with discovery resolved from the journal instead of recomputed.
+    """
+    try:
+        relation = read_csv_text(
+            created["csv"], name=str(created.get("name", "request"))
+        )
+    except Exception as exc:  # noqa: BLE001 - surfaced as recovery failure
+        raise SessionRecoveryError(
+            f"cannot rebuild the session relation: {exc}"
+        ) from exc
+    config = engine._request_config(
+        created.get("overrides"), created.get("budget_seconds")
+    )
+    rfd_texts = created.get("rfd_texts")
+    if rfd_texts is not None:
+        try:
+            rfds = [parse_rfd(text) for text in rfd_texts]
+        except Exception as exc:  # noqa: BLE001
+            raise SessionRecoveryError(
+                f"cannot re-parse the pinned RFD set: {exc}"
+            ) from exc
+        return ImputationSession(relation, rfds, config), None
+
+    options = created.get("discovery_options")
+    try:
+        discovery_config = (
+            DiscoveryConfig(**options) if options
+            else engine.config.discovery
+        )
+    except TypeError as exc:
+        raise SessionRecoveryError(
+            f"cannot rebuild the discovery config: {exc}"
+        ) from exc
+    result = _resolve_discovery(engine, created)
+    session = ImputationSession(relation, result.all_rfds, config)
+    maintainer: IncrementalDiscovery | None = None
+    if created.get("incremental_discovery", True):
+        maintainer = IncrementalDiscovery(
+            relation, discovery_config, initial=result
+        )
+    return session, maintainer
+
+
+def _resolve_discovery(
+    engine: "PreparedEngine", created: dict[str, Any]
+) -> DiscoveryResult:
+    """The session's discovery result: artifact-cache ref first, the
+    inline journal copy second."""
+    ref = created.get("discovery_ref")
+    if engine.store is not None and isinstance(ref, dict):
+        fingerprint = ref.get("fingerprint")
+        key = ref.get("config_key")
+        if isinstance(fingerprint, str) and isinstance(key, str):
+            result = engine.store.load_discovery_by_ref(fingerprint, key)
+            if result is not None:
+                return result
+    inline = created.get("discovery_inline")
+    if isinstance(inline, dict):
+        try:
+            return DiscoveryResult.from_json(inline)
+        except Exception as exc:  # noqa: BLE001
+            raise SessionRecoveryError(
+                f"inline discovery result is unreadable: {exc}"
+            ) from exc
+    raise SessionRecoveryError(
+        "no resolvable discovery result (artifact evicted and no "
+        "inline copy)"
+    )
+
+
+__all__ = [
+    "SESSION_VERSION",
+    "SessionRecoveryError",
+    "SessionStore",
+    "creation_record",
+    "rebuild_components",
+]

@@ -67,6 +67,22 @@ class ServiceConfig:
         answers ``429``.
     max_body_bytes:
         Request bodies larger than this are refused with ``413``.
+    max_queue_depth:
+        Requests allowed to *wait* for an admission permit (beyond the
+        ``max_inflight`` running ones) before shedding starts; ``0``
+        restores the PR 5 immediate-bounce behaviour.
+    max_queue_wait_seconds:
+        Queue-wait cap for requests without a deadline of their own.
+    brownout_enabled:
+        Whether sustained shedding steps the service down the brownout
+        ladder (vectorized → scalar → cache-only; ``docs/SERVICE.md``).
+    brownout_step_up_sheds / brownout_window_seconds:
+        Sheds within the sliding window that climb one ladder rung.
+    brownout_cooldown_seconds:
+        Shed-free time required to step back down one rung.
+    durable_sessions:
+        Whether sessions are journaled to the artifact directory and
+        recovered on restart (needs an artifact dir to take effect).
     """
 
     discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
@@ -75,6 +91,13 @@ class ServiceConfig:
     max_inflight: int = 8
     max_sessions: int = 64
     max_body_bytes: int = 16 * 1024 * 1024
+    max_queue_depth: int = 16
+    max_queue_wait_seconds: float = 1.0
+    brownout_enabled: bool = True
+    brownout_step_up_sheds: int = 4
+    brownout_window_seconds: float = 5.0
+    brownout_cooldown_seconds: float = 10.0
+    durable_sessions: bool = True
 
     def __post_init__(self) -> None:
         if (
@@ -90,6 +113,18 @@ class ServiceConfig:
             raise ServiceError("max_sessions must be >= 1")
         if self.max_body_bytes < 1024:
             raise ServiceError("max_body_bytes must be >= 1024")
+        if self.max_queue_depth < 0:
+            raise ServiceError("max_queue_depth must be >= 0")
+        if self.max_queue_wait_seconds <= 0:
+            raise ServiceError("max_queue_wait_seconds must be positive")
+        if self.brownout_step_up_sheds < 1:
+            raise ServiceError("brownout_step_up_sheds must be >= 1")
+        if self.brownout_window_seconds <= 0:
+            raise ServiceError("brownout_window_seconds must be positive")
+        if self.brownout_cooldown_seconds <= 0:
+            raise ServiceError(
+                "brownout_cooldown_seconds must be positive"
+            )
 
 
 class PreparedEngine:
@@ -221,15 +256,23 @@ class PreparedEngine:
         budget_seconds: float | None = None,
         incremental_discovery: bool = True,
         telemetry: Telemetry | None = None,
-    ) -> tuple[ImputationSession, IncrementalDiscovery | None, str]:
+    ) -> tuple[
+        ImputationSession,
+        IncrementalDiscovery | None,
+        str,
+        DiscoveryResult | None,
+    ]:
         """Components of a warm-start session over ``relation``.
 
         Returns ``(imputation_session, incremental_discovery,
-        rfd_source)``.  With a pinned ``rfds`` set the dependency set is
-        static (no maintenance); otherwise the initial set comes from
-        the artifact cache when possible and an
-        :class:`IncrementalDiscovery` maintains it as tuples arrive
-        (``incremental_discovery=False`` freezes it instead).
+        rfd_source, discovery_result)``.  With a pinned ``rfds`` set the
+        dependency set is static (no maintenance, no discovery result);
+        otherwise the initial set comes from the artifact cache when
+        possible and an :class:`IncrementalDiscovery` maintains it as
+        tuples arrive (``incremental_discovery=False`` freezes it
+        instead).  The discovery result is handed back so a durable
+        session can journal it inline (crash recovery must not depend
+        on the artifact cache surviving).
         """
         result, prepared, source = self.prepare_rfds(
             relation, rfds, discovery=discovery, telemetry=telemetry
@@ -243,7 +286,7 @@ class PreparedEngine:
                 discovery or self.config.discovery,
                 initial=result,
             )
-        return session, maintainer, source
+        return session, maintainer, source, result
 
     # ------------------------------------------------------------------
     def _request_config(

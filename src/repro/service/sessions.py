@@ -9,6 +9,17 @@ scenarios).  Each :class:`ServiceSession` wraps an
 optional :class:`~repro.discovery.incremental.IncrementalDiscovery`
 that maintains the RFD set as tuples arrive.
 
+Durability: when the registry holds a
+:class:`~repro.service.durability.SessionStore`, every acknowledged
+mutation (creation, tuple append, imputation round) is journaled to a
+checksummed per-session envelope *before* the response goes out, and
+:meth:`SessionManager.recover` rebuilds all warm sessions on boot by
+replaying each journal through these same methods — so a ``kill -9``
+followed by a restart answers the session's next request bit-identical
+to an uninterrupted server.  Persistence failures degrade (counted,
+logged, session keeps serving from memory); they never fail the
+request.
+
 Concurrency model: one :class:`threading.Lock` per session serializes
 its mutations, so overlapping requests against the same session stay
 consistent (they observe some serial order); requests against
@@ -19,14 +30,21 @@ grow the process without limit.
 
 from __future__ import annotations
 
-import itertools
 import threading
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.renuver import ImputationResult
 from repro.discovery.incremental import IncrementalDiscovery
 from repro.extensions.incremental import ImputationSession
+from repro.service.durability import (
+    SessionRecoveryError,
+    SessionStore,
+    rebuild_components,
+)
 from repro.telemetry.logs import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.engine import PreparedEngine
 
 logger = get_logger("service.sessions")
 
@@ -41,6 +59,8 @@ class ServiceSession:
         discovery: IncrementalDiscovery | None = None,
         *,
         rfd_source: str = "provided",
+        record: dict[str, Any] | None = None,
+        store: SessionStore | None = None,
     ) -> None:
         self.id = session_id
         self.imputation = imputation
@@ -49,6 +69,12 @@ class ServiceSession:
         self.lock = threading.Lock()
         self.rounds = 0
         self.appended_tuples = 0
+        #: Journal: the creation record plus the ordered event list.
+        #: ``store=None`` (no durability, or mid-replay) journals
+        #: nothing.
+        self.record = record
+        self.events: list[dict[str, Any]] = []
+        self.store = store
 
     # ------------------------------------------------------------------
     def append(self, rows: Sequence[Sequence[Any]]) -> dict[str, Any]:
@@ -71,6 +97,10 @@ class ServiceSession:
                         "session %s: maintenance dropped every RFD; "
                         "keeping the previous set", self.id,
                     )
+            self._journal({
+                "type": "append",
+                "rows": [list(row) for row in rows],
+            })
             return {
                 "rows": list(indices),
                 "pending": len(self.imputation.pending_cells),
@@ -81,7 +111,9 @@ class ServiceSession:
         """Run one imputation round over the queued cells."""
         with self.lock:
             self.rounds += 1
-            return self.imputation.impute_pending()
+            result = self.imputation.impute_pending()
+            self._journal({"type": "impute"})
+            return result
 
     def snapshot(self) -> dict[str, Any]:
         """Cheap stats for ``/healthz`` and session responses."""
@@ -93,17 +125,46 @@ class ServiceSession:
                 "rounds": self.rounds,
                 "appended_tuples": self.appended_tuples,
                 "rfd_source": self.rfd_source,
+                "durable": self.store is not None,
             }
+
+    # ------------------------------------------------------------------
+    def _journal(self, event: dict[str, Any]) -> None:
+        """Append one event and persist the envelope (under the session
+        lock, so the journal order is the serialization order)."""
+        if self.store is None or self.record is None:
+            return
+        self.events.append(event)
+        self.persist()
+
+    def persist(self) -> bool:
+        """Write the current journal; best effort (see SessionStore)."""
+        if self.store is None or self.record is None:
+            return False
+        return self.store.save(self.id, {
+            "created": self.record,
+            "events": self.events,
+        })
 
 
 class SessionManager:
     """Bounded, thread-safe registry of live sessions."""
 
-    def __init__(self, max_sessions: int = 64) -> None:
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        *,
+        store: SessionStore | None = None,
+    ) -> None:
         self.max_sessions = max_sessions
+        self.store = store
         self._lock = threading.Lock()
         self._sessions: dict[str, ServiceSession] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
+        #: Sessions rebuilt by :meth:`recover` (readiness endpoint).
+        self.recovered = 0
+        #: Persisted sessions recovery had to drop (ditto).
+        self.dropped = 0
 
     def create(
         self,
@@ -111,20 +172,29 @@ class SessionManager:
         discovery: IncrementalDiscovery | None = None,
         *,
         rfd_source: str = "provided",
+        record: dict[str, Any] | None = None,
     ) -> ServiceSession | None:
         """Register a new session, or ``None`` when the registry is
         full (the HTTP layer answers 429; the client should delete a
-        session it no longer needs)."""
+        session it no longer needs).  ``record`` is the creation record
+        journaled for crash recovery (no record = not durable)."""
         with self._lock:
             if len(self._sessions) >= self.max_sessions:
                 return None
-            session_id = f"s{next(self._ids):06d}"
+            session_id = f"s{self._next_id:06d}"
+            self._next_id += 1
             session = ServiceSession(
-                session_id, imputation, discovery, rfd_source=rfd_source
+                session_id,
+                imputation,
+                discovery,
+                rfd_source=rfd_source,
+                record=record,
+                store=self.store if record is not None else None,
             )
             self._sessions[session_id] = session
-            logger.info("opened session %s", session_id)
-            return session
+        session.persist()
+        logger.info("opened session %s", session_id)
+        return session
 
     def get(self, session_id: str) -> ServiceSession | None:
         """The live session for ``session_id``, if any."""
@@ -136,9 +206,92 @@ class SessionManager:
         with self._lock:
             existed = self._sessions.pop(session_id, None) is not None
         if existed:
+            if self.store is not None:
+                self.store.delete(session_id)
             logger.info("closed session %s", session_id)
         return existed
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    def recover(self, engine: "PreparedEngine") -> dict[str, int]:
+        """Rebuild every persisted session by replaying its journal.
+
+        Called once at boot, before the server accepts traffic.  Each
+        envelope's creation record re-seeds the imputation components
+        (discovery comes from the artifact cache or the inline journal
+        copy — never recomputed), then the event list replays through
+        the live :meth:`ServiceSession.append` / :meth:`impute` paths
+        with journaling suspended.  A session whose journal cannot be
+        replayed is dropped and counted; recovery never refuses to boot.
+        """
+        if self.store is None:
+            return {"recovered": 0, "dropped": 0}
+        for session_id in self.store.session_ids():
+            payload = self.store.load(session_id)
+            if payload is None:
+                self.dropped += 1
+                continue
+            created = payload.get("created")
+            events = payload.get("events")
+            if not isinstance(created, dict) or not isinstance(events, list):
+                logger.error(
+                    "session %s: journal has no created/events shape; "
+                    "dropping", session_id,
+                )
+                self.dropped += 1
+                continue
+            try:
+                imputation, maintainer = rebuild_components(engine, created)
+                session = ServiceSession(
+                    session_id,
+                    imputation,
+                    maintainer,
+                    rfd_source=str(created.get("rfd_source", "provided")),
+                    record=created,
+                    store=None,  # journaling suspended during replay
+                )
+                for event in events:
+                    self._replay(session, event)
+            except SessionRecoveryError as exc:
+                logger.error(
+                    "session %s: recovery failed (%s); dropping",
+                    session_id, exc,
+                )
+                self.dropped += 1
+                continue
+            except Exception:  # noqa: BLE001 - drop one, keep booting
+                logger.exception(
+                    "session %s: replay crashed; dropping", session_id
+                )
+                self.dropped += 1
+                continue
+            # Re-arm journaling with the replayed event list so the
+            # next live mutation extends — not restarts — the journal.
+            session.events = list(events)
+            session.store = self.store
+            with self._lock:
+                self._sessions[session_id] = session
+                numeric = int(session_id.lstrip("s"))
+                self._next_id = max(self._next_id, numeric + 1)
+            self.recovered += 1
+            logger.info(
+                "recovered session %s (%d journaled events)",
+                session_id, len(events),
+            )
+        return {"recovered": self.recovered, "dropped": self.dropped}
+
+    @staticmethod
+    def _replay(session: ServiceSession, event: dict[str, Any]) -> None:
+        kind = event.get("type")
+        if kind == "append":
+            rows = event.get("rows")
+            if not isinstance(rows, list):
+                raise SessionRecoveryError("append event without rows")
+            session.append(rows)
+        elif kind == "impute":
+            session.impute()
+        else:
+            raise SessionRecoveryError(f"unknown journal event {kind!r}")

@@ -1,0 +1,174 @@
+"""The hardened service client: retry policy, backoff, idempotency."""
+
+import json
+import urllib.error
+
+import pytest
+
+from repro.exceptions import ServiceClientError
+from repro.service.client import RETRYABLE_STATUSES, ServiceClient
+
+OK = (200, json.dumps({"ok": True}).encode("utf-8"), None)
+
+
+def scripted_client(responses, **kw):
+    """A client whose wire attempts come from a canned script.
+
+    Each script item is either an exception instance (raised as a
+    transport failure) or an ``(status, raw, retry_after)`` tuple.
+    Sleeps are recorded, never slept.
+    """
+    sleeps: list[float] = []
+    kw.setdefault("backoff_seconds", 0.1)
+    client = ServiceClient(
+        "http://test", sleep=sleeps.append, **kw
+    )
+    script = iter(responses)
+
+    def attempt(method, path, body):
+        item = next(script)
+        if isinstance(item, BaseException):
+            raise item
+        return item
+
+    client._attempt = attempt
+    return client, sleeps
+
+
+class TestStatusPolicy:
+    def test_429_is_always_retried_even_for_mutations(self):
+        client, sleeps = scripted_client([(429, b"{}", None), OK])
+        out = client.request("POST", "/v1/sessions", {}, idempotent=False)
+        assert out == {"ok": True}
+        assert client.retries == 1
+        assert len(sleeps) == 1
+
+    def test_retry_after_overrides_the_local_backoff(self):
+        client, sleeps = scripted_client([(429, b"{}", 7.0), OK])
+        client.request("GET", "/healthz/live", idempotent=True)
+        assert sleeps == [7.0]
+
+    def test_503_is_retryable(self):
+        assert 503 in RETRYABLE_STATUSES
+        client, _ = scripted_client([(503, b"{}", None), OK])
+        assert client.request("POST", "/v1/impute", {}, idempotent=True)
+
+    def test_other_4xx_raises_immediately_with_status(self):
+        client, sleeps = scripted_client(
+            [(400, json.dumps({"error": "bad csv"}).encode(), None)]
+        )
+        with pytest.raises(ServiceClientError) as info:
+            client.request("POST", "/v1/impute", {}, idempotent=True)
+        assert info.value.status == 400
+        assert "bad csv" in str(info.value)
+        assert sleeps == []
+
+    def test_500_is_retried_only_when_idempotent(self):
+        client, _ = scripted_client([(500, b"{}", None), OK])
+        assert client.request(
+            "POST", "/v1/impute", {}, idempotent=True
+        ) == {"ok": True}
+        client, _ = scripted_client([(500, b"{}", None), OK])
+        with pytest.raises(ServiceClientError) as info:
+            client.request("POST", "/v1/sessions", {}, idempotent=False)
+        assert info.value.status == 500
+
+    def test_retry_budget_exhaustion_reports_last_status(self):
+        client, sleeps = scripted_client(
+            [(429, b"{}", None)] * 3, max_retries=2
+        )
+        with pytest.raises(ServiceClientError) as info:
+            client.request("POST", "/v1/impute", {}, idempotent=True)
+        assert info.value.status == 429
+        assert "3 attempts" in str(info.value)
+        assert len(sleeps) == 2
+
+
+class TestTransportPolicy:
+    def test_transport_error_retried_for_idempotent(self):
+        client, _ = scripted_client([ConnectionResetError("rst"), OK])
+        out = client.impute({"csv": "A\n1\n"})
+        assert out == {"ok": True}
+        assert client.retries == 1
+
+    def test_transport_error_fatal_for_mutations(self):
+        client, sleeps = scripted_client([ConnectionResetError("rst"), OK])
+        with pytest.raises(ServiceClientError) as info:
+            client.append_tuples("s000001", [["x"]])
+        assert "not" in str(info.value)
+        assert sleeps == []
+
+    def test_urlerror_counts_as_transport(self):
+        client, _ = scripted_client(
+            [urllib.error.URLError("refused"), OK]
+        )
+        assert client.session("s000001") == {"ok": True}
+
+    def test_truncated_body_follows_the_same_policy(self):
+        # A mid-response kill delivers status 200 with half a body.
+        torn = (200, b'{"ok": tr', None)
+        client, _ = scripted_client([torn, OK])
+        assert client.impute({}) == {"ok": True}
+        client, _ = scripted_client([torn, OK])
+        with pytest.raises(ServiceClientError):
+            client.impute_session("s000001")
+
+
+class TestBackoff:
+    def test_backoff_grows_and_caps(self):
+        client, sleeps = scripted_client(
+            [(503, b"{}", None)] * 5 + [OK],
+            max_retries=5, backoff_seconds=0.1, backoff_cap=0.4,
+            seed=3,
+        )
+        client.request("GET", "/healthz/ready", idempotent=True)
+        bases = [0.1, 0.2, 0.4, 0.4, 0.4]  # doubled, then capped
+        for pause, base in zip(sleeps, bases):
+            assert base <= pause <= base * 1.25  # jitter adds <= 25%
+
+    def test_jitter_is_seed_deterministic(self):
+        first, sleeps_a = scripted_client(
+            [(503, b"{}", None), OK], seed=11
+        )
+        second, sleeps_b = scripted_client(
+            [(503, b"{}", None), OK], seed=11
+        )
+        first.request("GET", "/x", idempotent=True)
+        second.request("GET", "/x", idempotent=True)
+        assert sleeps_a == sleeps_b
+
+    def test_deadline_refuses_to_sleep_past_the_budget(self):
+        client, sleeps = scripted_client(
+            [(429, b"{}", 60.0), OK], deadline_seconds=0.5
+        )
+        with pytest.raises(ServiceClientError) as info:
+            client.request("POST", "/v1/impute", {}, idempotent=True)
+        assert "deadline" in str(info.value)
+        assert sleeps == []
+
+
+class TestMethodIdempotencyMap:
+    def test_reads_and_one_shots_are_idempotent(self, monkeypatch):
+        seen = {}
+
+        def spy(method, path, body=None, *, idempotent=False):
+            seen[path] = idempotent
+            return {}
+
+        client = ServiceClient("http://test")
+        monkeypatch.setattr(client, "request", spy)
+        client.impute({})
+        client.session("s1")
+        client.delete_session("s1")
+        client.health()
+        client.readiness()
+        client.open_session({})
+        client.append_tuples("s1", [])
+        client.impute_session("s1")
+        assert seen["/v1/impute"] is True
+        assert seen["/v1/sessions/s1"] is True
+        assert seen["/healthz/live"] is True
+        assert seen["/healthz/ready"] is True
+        assert seen["/v1/sessions"] is False
+        assert seen["/v1/sessions/s1/tuples"] is False
+        assert seen["/v1/sessions/s1/impute"] is False

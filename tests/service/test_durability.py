@@ -1,0 +1,257 @@
+"""Session envelopes: round trip, torn-file recovery, journal replay."""
+
+import json
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery import DiscoveryConfig
+from repro.service import ServiceConfig, SessionStore, build_server
+from repro.telemetry import Telemetry
+
+CSV = (
+    "Name,City,Phone\n"
+    "ann,rome,111\n"
+    "ann,rome,\n"
+    "bob,oslo,222\n"
+    "bob,oslo,222\n"
+    "cat,lima,333\n"
+)
+RFD_TEXTS = ["Name(<=0),City(<=0) -> Phone(<=0)"]
+DISCOVERY = DiscoveryConfig(threshold_limit=1, max_lhs_size=1)
+
+
+# ----------------------------------------------------------------------
+# Envelope round trip (hypothesis)
+# ----------------------------------------------------------------------
+json_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**9), max_value=10**9)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=30)
+)
+
+payloads = st.fixed_dictionaries({
+    "created": st.dictionaries(
+        st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1,
+            max_size=12,
+        ),
+        json_scalars,
+        max_size=6,
+    ),
+    "events": st.lists(
+        st.fixed_dictionaries({
+            "type": st.sampled_from(["append", "impute"]),
+            "rows": st.lists(
+                st.lists(json_scalars, max_size=4), max_size=3
+            ),
+        }),
+        max_size=5,
+    ),
+})
+
+
+class TestEnvelopeRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(payload=payloads)
+    def test_save_then_load_is_identity(self, payload, tmp_path_factory):
+        store = SessionStore(tmp_path_factory.mktemp("envelopes"))
+        assert store.save("s000001", payload) is True
+        assert store.load("s000001") == payload
+        assert store.persist_failures == 0
+        assert store.corrupt_envelopes == 0
+
+    def test_envelope_seq_increments_per_save(self, tmp_path):
+        store = SessionStore(tmp_path)
+        store.save("s000001", {"created": {}, "events": []})
+        store.save("s000001", {"created": {}, "events": [1]})
+        envelope = json.loads(
+            store.path_for("s000001").read_text(encoding="utf-8")
+        )
+        assert envelope["envelope_seq"] == 2
+        assert envelope["session_id"] == "s000001"
+
+
+class TestTornFileRecovery:
+    def test_torn_current_falls_back_to_prev(self, tmp_path):
+        store = SessionStore(tmp_path)
+        first = {"created": {"a": 1}, "events": []}
+        second = {"created": {"a": 1}, "events": [{"type": "impute"}]}
+        store.save("s000001", first)
+        store.save("s000001", second)
+        path = store.path_for("s000001")
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+
+        reader = SessionStore(tmp_path)
+        assert reader.load("s000001") == first
+        assert reader.envelope_recoveries == 1
+        assert reader.corrupt_envelopes == 0
+
+    def test_both_copies_torn_drops_the_session(self, tmp_path):
+        store = SessionStore(tmp_path)
+        store.save("s000001", {"created": {}, "events": []})
+        store.save("s000001", {"created": {}, "events": [1]})
+        path = store.path_for("s000001")
+        path.write_text("{torn", encoding="utf-8")
+        path.with_name(path.name + ".prev").write_text(
+            "also torn", encoding="utf-8"
+        )
+        reader = SessionStore(tmp_path)
+        assert reader.load("s000001") is None
+        assert reader.corrupt_envelopes == 1
+
+    def test_checksum_mismatch_counts_as_torn(self, tmp_path):
+        store = SessionStore(tmp_path)
+        store.save("s000001", {"created": {"a": 1}, "events": []})
+        path = store.path_for("s000001")
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["payload"]["created"]["a"] = 2  # checksum now stale
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        reader = SessionStore(tmp_path)
+        assert reader.load("s000001") is None
+
+    def test_wrong_version_or_id_is_unreadable(self, tmp_path):
+        store = SessionStore(tmp_path)
+        store.save("s000001", {"created": {}, "events": []})
+        path = store.path_for("s000001")
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["session_version"] = 99
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert SessionStore(tmp_path).load("s000001") is None
+
+    def test_delete_removes_both_copies(self, tmp_path):
+        store = SessionStore(tmp_path)
+        store.save("s000001", {"created": {}, "events": []})
+        store.save("s000001", {"created": {}, "events": [1]})
+        store.delete("s000001")
+        assert store.path_for("s000001").exists() is False
+        assert not list(tmp_path.glob("*.prev"))
+        assert store.session_ids() == []
+
+    def test_session_ids_ignores_foreign_files(self, tmp_path):
+        store = SessionStore(tmp_path)
+        store.save("s000002", {"created": {}, "events": []})
+        (tmp_path / "notes.json").write_text("{}", encoding="utf-8")
+        (tmp_path / "sXYZ.json").write_text("{}", encoding="utf-8")
+        assert store.session_ids() == ["s000002"]
+
+
+# ----------------------------------------------------------------------
+# End-to-end recovery through the HTTP layer (in-process)
+# ----------------------------------------------------------------------
+def _serve(artifact_dir):
+    server = build_server(
+        "127.0.0.1", 0,
+        config=ServiceConfig(discovery=DISCOVERY),
+        artifact_dir=str(artifact_dir),
+        telemetry=Telemetry(),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server
+
+
+def _call(server, method, path, body=None):
+    import urllib.request
+
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}", data=data,
+        method=method, headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+class TestJournalReplayRecovery:
+    def test_recovered_session_answers_bit_identical(self, tmp_path):
+        body = {"csv": CSV, "rfds": RFD_TEXTS}
+        rows = [["ann", "rome", None], ["dot", "kiev", "444"]]
+
+        # Control: an uninterrupted server runs the whole sequence.
+        control = _serve(tmp_path / "a")
+        try:
+            sid = _call(control, "POST", "/v1/sessions", body)["id"]
+            _call(control, "POST", f"/v1/sessions/{sid}/tuples",
+                  {"rows": rows})
+            expected = _call(
+                control, "POST", f"/v1/sessions/{sid}/impute"
+            )
+        finally:
+            control.drain()
+
+        # Crash case: same create+append, then the process "dies" (the
+        # server is abandoned without drain) and a new one boots over
+        # the same artifact directory.
+        crashed = _serve(tmp_path / "b")
+        sid = _call(crashed, "POST", "/v1/sessions", body)["id"]
+        _call(crashed, "POST", f"/v1/sessions/{sid}/tuples",
+              {"rows": rows})
+        # Stop without deleting anything: the journal on disk is
+        # all the next boot gets (the real SIGKILL run lives in
+        # test_chaos_http.py).
+        crashed.drain()
+
+        revived = _serve(tmp_path / "b")
+        try:
+            assert revived.recovery == {"recovered": 1, "dropped": 0}
+            snapshot = _call(revived, "GET", f"/v1/sessions/{sid}")
+            assert snapshot["durable"] is True
+            assert snapshot["appended_tuples"] == len(rows)
+            replayed = _call(
+                revived, "POST", f"/v1/sessions/{sid}/impute"
+            )
+            assert replayed["csv"] == expected["csv"]
+            assert replayed["outcomes"] == expected["outcomes"]
+        finally:
+            revived.drain()
+
+    def test_discovery_session_recovers_without_rediscovery(
+        self, tmp_path
+    ):
+        serve_dir = tmp_path / "cache"
+        first = _serve(serve_dir)
+        sid = _call(first, "POST", "/v1/sessions", {"csv": CSV})["id"]
+        _call(first, "POST", f"/v1/sessions/{sid}/tuples",
+              {"rows": [["eve", "bern", "555"]]})
+        first.drain()
+
+        revived = _serve(serve_dir)
+        try:
+            assert revived.recovery["recovered"] == 1
+            ready = _call(revived, "GET", "/healthz/ready")
+            assert ready["recovered_sessions"] == 1
+            outcome = _call(
+                revived, "POST", f"/v1/sessions/{sid}/impute"
+            )
+            assert outcome["report"]["missing_cells"] >= 1
+        finally:
+            revived.drain()
+
+    def test_corrupt_envelope_drops_session_but_boots(self, tmp_path):
+        serve_dir = tmp_path / "cache"
+        first = _serve(serve_dir)
+        sid = _call(
+            first, "POST", "/v1/sessions",
+            {"csv": CSV, "rfds": RFD_TEXTS},
+        )["id"]
+        first.drain()
+
+        sessions_dir = serve_dir / "sessions"
+        for path in sessions_dir.glob(f"{sid}.json*"):
+            path.write_text("garbage", encoding="utf-8")
+        revived = _serve(serve_dir)
+        try:
+            assert revived.recovery == {"recovered": 0, "dropped": 1}
+            ready = _call(revived, "GET", "/healthz/ready")
+            assert ready["dropped_sessions"] == 1
+            # The server still serves new work.
+            out = _call(revived, "POST", "/v1/impute",
+                        {"csv": CSV, "rfds": RFD_TEXTS})
+            assert out["rfd_source"] == "provided"
+        finally:
+            revived.drain()

@@ -239,30 +239,57 @@ class TestErrorMapping:
 
 
 class TestBackpressure:
-    def test_admission_overflow_is_429_with_retry_after(self, server, base):
-        # Hold every permit so the next imputation request overflows.
-        permits = server.engine.config.max_inflight
-        for _ in range(permits):
-            assert server.admission.acquire(blocking=False)
+    def test_admission_overflow_is_429_with_retry_after(self, tmp_path):
+        # A depth-0 queue: permits still admit, but nothing may wait —
+        # the first request past ``max_inflight`` is shed immediately.
+        server = build_server(
+            "127.0.0.1", 0,
+            config=ServiceConfig(
+                discovery=DISCOVERY, max_inflight=2, max_queue_depth=0,
+            ),
+        )
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        local = f"http://127.0.0.1:{server.port}"
         try:
-            request = urllib.request.Request(
-                base + "/v1/impute",
-                data=json.dumps(
-                    {"csv": CSV, "rfds": RFD_TEXTS}
-                ).encode("utf-8"),
-                headers={"Content-Type": "application/json"},
-            )
-            with pytest.raises(urllib.error.HTTPError) as info:
-                urllib.request.urlopen(request)
-            assert info.value.code == 429
-            assert info.value.headers["Retry-After"] == "1"
-            # Operational endpoints bypass admission entirely.
-            assert call(base, "GET", "/healthz")[0] == 200
-            with urllib.request.urlopen(base + "/metrics") as response:
-                assert response.status == 200
-        finally:
+            # Hold every permit so the next imputation request overflows.
+            permits = server.engine.config.max_inflight
             for _ in range(permits):
-                server.admission.release()
+                server.admission.acquire()
+            try:
+                request = urllib.request.Request(
+                    local + "/v1/impute",
+                    data=json.dumps(
+                        {"csv": CSV, "rfds": RFD_TEXTS}
+                    ).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                )
+                with pytest.raises(urllib.error.HTTPError) as info:
+                    urllib.request.urlopen(request)
+                assert info.value.code == 429
+                assert int(info.value.headers["Retry-After"]) >= 1
+                refusal = json.loads(info.value.read())
+                assert refusal["reason"] == "queue_full"
+                assert server.admission.shed_counts["queue_full"] >= 1
+                # Operational endpoints bypass admission entirely.
+                assert call(local, "GET", "/healthz")[0] == 200
+                assert call(local, "GET", "/healthz/ready")[0] == 200
+                with urllib.request.urlopen(
+                    local + "/metrics"
+                ) as response:
+                    assert response.status == 200
+            finally:
+                for _ in range(permits):
+                    server.admission.release()
+            # With permits back, the same request is served again.
+            status, _ = call(local, "POST", "/v1/impute", {
+                "csv": CSV, "rfds": RFD_TEXTS,
+            })
+            assert status == 200
+        finally:
+            server.drain()
 
     def test_server_recovers_after_overflow(self, base):
         status, _ = call(base, "POST", "/v1/impute", {

@@ -117,6 +117,42 @@ class TestServeSmoke:
         assert process.returncode == 0, err[-2000:]
         assert "drained cleanly" in err
 
+    def test_sigterm_with_inflight_requests_drains_clean(self):
+        # A relation big enough that the request is plausibly still in
+        # flight when SIGTERM lands (the test stays valid either way:
+        # the response must be 200 and the exit must be 0).
+        rows = []
+        for i in range(300):
+            phone = "" if i % 17 == 0 else f"{600 + i % 23}"
+            rows.append(f"n{i % 40},c{i % 15},{phone}")
+        big_csv = "Name,City,Phone\n" + "\n".join(rows) + "\n"
+
+        process, port = _start_server("--max-inflight", "2")
+        results = []
+
+        def inflight():
+            results.append(_post(port, "/v1/impute", {
+                "csv": big_csv, "rfds": RFD_TEXTS,
+            }))
+
+        workers = [threading.Thread(target=inflight) for _ in range(2)]
+        try:
+            for worker in workers:
+                worker.start()
+            import time
+
+            time.sleep(0.15)  # let the requests reach the engine
+        finally:
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=60)
+        for worker in workers:
+            worker.join(timeout=60)
+        # The drain finished every admitted request before exiting.
+        assert len(results) == 2
+        assert all(status == 200 for status, _ in results)
+        assert process.returncode == 0, err[-2000:]
+        assert "drained cleanly" in err
+
     def test_unbindable_port_exits_8(self):
         blocker = socket.socket()
         blocker.bind(("127.0.0.1", 0))
