@@ -98,6 +98,24 @@ class RenuverConfig:
         bit-identical imputation outcomes; the scalar engine is kept for
         equivalence testing and as executable documentation of
         Algorithms 3 and 4.
+    blocking:
+        Blocking-index pre-filtering for the vectorized engine
+        (``repro.index``; see docs/INDEXING.md): ``"auto"`` (default)
+        engages it when the relation has at least
+        ``AUTO_BLOCKING_MIN_TUPLES`` tuples, ``"on"`` forces it at any
+        size, ``"off"`` always runs the full scan.  Candidate sets and
+        imputed values stay bit-identical either way — indexes only
+        prune pairs the RFD thresholds already reject, and every
+        surviving pair's distance is recomputed exactly.  Requires the
+        vectorized engine (``"on"`` with ``engine="scalar"`` is a
+        configuration error; ``"auto"`` simply never engages there).
+    max_group_size:
+        Anchor cap of the blocking indexes: any probe whose candidate
+        group exceeds this many rows falls back to the full scan for
+        that RFD (counted in
+        ``renuver_index_fallbacks_total{reason="hot_group"}``, never a
+        correctness risk).  Keeps pathological hot values — a constant
+        column, say — from turning probes into scans with extra steps.
     verify:
         Run IS_FAULTLESS on every tentative imputation.  Disabling it is
         an ablation: faster, but consistency (Definition 4.3) is no
@@ -179,6 +197,8 @@ class RenuverConfig:
     max_retries: int = 2
     worker_batch_size: int = 8
     worker_backoff_seconds: float = 0.05
+    blocking: str = "auto"
+    max_group_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.cluster_order not in ("ascending", "descending"):
@@ -190,6 +210,20 @@ class RenuverConfig:
             raise ImputationError(
                 f"engine must be 'scalar' or 'vectorized', "
                 f"got {self.engine!r}"
+            )
+        if self.blocking not in ("auto", "on", "off"):
+            raise ImputationError(
+                f"blocking must be 'auto', 'on' or 'off', "
+                f"got {self.blocking!r}"
+            )
+        if self.blocking == "on" and self.engine == "scalar":
+            raise ImputationError(
+                "blocking='on' requires engine='vectorized': the scalar "
+                "reference path has no index seam"
+            )
+        if self.max_group_size < 1:
+            raise ImputationError(
+                f"max_group_size must be >= 1, got {self.max_group_size!r}"
             )
         if self.keyness_scope not in ("complete", "all"):
             raise ImputationError(
@@ -294,12 +328,17 @@ class Renuver:
         *,
         distance_overrides: Mapping[str, DistanceFunction] | None = None,
         telemetry: Telemetry | None = None,
+        index_plan: object | None = None,
     ) -> None:
         self.rfds: tuple[RFD, ...] = tuple(rfds)
         if not self.rfds:
             raise ImputationError("Renuver needs at least one RFD")
         self.config = config or RenuverConfig()
         self._distance_overrides = dict(distance_overrides or {})
+        #: Shared :class:`~repro.index.plan.IndexPlan` for blocked runs
+        #: (sessions reuse one across rounds); ignored unless blocking
+        #: engages and the plan shadows the imputed relation instance.
+        self._index_plan = index_plan
         #: Observability spine (spans + metrics); the no-op default
         #: costs a method call per instrumentation site.  See
         #: docs/OBSERVABILITY.md.
@@ -1113,6 +1152,23 @@ class Renuver:
         engine: ScalarEngine | VectorizedEngine
         if self.config.engine == "scalar":
             engine = ScalarEngine(calculator)
+        elif self._blocking_engages(calculator.relation):
+            from repro.core.blocked import BlockedEngine
+
+            plan = self._index_plan
+            if (
+                plan is not None
+                and getattr(plan, "relation", None)
+                is not calculator.relation
+            ):
+                plan = None  # foreign instance: the engine builds its own
+            engine = BlockedEngine(
+                calculator,
+                self.rfds,
+                override_names=set(self._distance_overrides),
+                max_group_size=self.config.max_group_size,
+                index_plan=plan,
+            )
         else:
             engine = VectorizedEngine(
                 calculator,
@@ -1121,6 +1177,16 @@ class Renuver:
             )
         engine.set_telemetry(self.telemetry)
         return engine
+
+    def _blocking_engages(self, relation: Relation) -> bool:
+        """Whether this (vectorized) run uses the blocking indexes."""
+        if self.config.blocking == "on":
+            return True
+        if self.config.blocking == "off":
+            return False
+        from repro.index.plan import AUTO_BLOCKING_MIN_TUPLES
+
+        return relation.n_tuples >= AUTO_BLOCKING_MIN_TUPLES
 
     def _scan_clusters(
         self,
@@ -1169,4 +1235,5 @@ class Renuver:
             replace(self.config, **changes),  # type: ignore[arg-type]
             distance_overrides=self._distance_overrides,
             telemetry=self.telemetry,
+            index_plan=self._index_plan,
         )

@@ -52,11 +52,25 @@ _ORG_SUFFIXES = ["MEDICAL CENTER", "CLINIC", "HEALTH SYSTEM", "ASSOCIATES",
                  "PHYSICIANS GROUP", "HOSPITAL"]
 
 
-def generate_physician(n_tuples: int = 2072, *, seed: int = 0) -> Relation:
-    """Generate the synthetic Physician relation with ``n_tuples`` rows."""
-    rng = spawn_rng(seed, "physician", n_tuples)
-    organizations = _organizations(rng, max(4, n_tuples // 25))
-    rows = [_row(rng, npi, organizations) for npi in range(n_tuples)]
+def generate_physician(
+    n_tuples: int = 2072, *, seed: int = 0, scale: int = 1
+) -> Relation:
+    """Generate the synthetic Physician relation.
+
+    ``scale`` multiplies the tuple count — ``scale=50`` turns the
+    paper-sized default into a ~100k-row instance for the blocking
+    benchmarks — without shipping data files: the generator stays
+    seeded and deterministic, and ``scale=1`` is byte-identical to the
+    pre-``scale`` output (the derived seed depends only on the total
+    row count).  The organization pool grows with the total, so donor
+    group sizes (~25 physicians per practice) stay scale-invariant.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale!r}")
+    total = n_tuples * scale
+    rng = spawn_rng(seed, "physician", total)
+    organizations = _organizations(rng, max(4, total // 25))
+    rows = [_row(rng, npi, organizations) for npi in range(total)]
     columns = {
         attribute.name: [row[position] for row in rows]
         for position, attribute in enumerate(ATTRIBUTES)

@@ -186,6 +186,7 @@ class DonorScanKernels:
         self.vector_builds = 0
         self.vector_cache_hits = 0
         self.invalidations = 0
+        self.subset_builds = 0
         self.levenshtein_dp_calls = 0
         self.levenshtein_dp_blocked = 0
 
@@ -238,6 +239,38 @@ class DonorScanKernels:
         cache[target_row] = vector
         return vector
 
+    def subset_vector(
+        self, target_row: int, name: str, rows: np.ndarray
+    ) -> np.ndarray:
+        """Distances from cell ``(target_row, name)`` to ``rows`` only.
+
+        The blocked engine's narrow sibling of :meth:`vector`: entry
+        ``i`` equals ``vector(target_row, name)[rows[i]]`` bit for bit
+        (same clamps, same memo, same float operations per element), but
+        only the requested rows are ever touched — the point of probing
+        an index first.  Results are not cached: candidate sets change
+        per RFD, and the string memo already absorbs the expensive part.
+        """
+        self.subset_builds += 1
+        codec = self._codec(name)
+        if isinstance(codec, _StringCodec):
+            return self._string_subset(codec, target_row, name, rows)
+        if isinstance(codec, _NumericCodec):
+            target = codec.codes[target_row]
+            if math.isnan(target):
+                return np.full(rows.shape, np.nan)
+            return np.abs(codec.codes[rows] - target)
+        out = np.full(rows.shape, np.nan)
+        target = codec.column[target_row]
+        if target is MISSING:
+            return out
+        function = codec.function
+        for position, row in enumerate(rows):
+            value = codec.column[row]
+            if value is not MISSING:
+                out[position] = function(target, value)
+        return out
+
     def present_mask(self, name: str) -> np.ndarray:
         """Boolean mask of rows with a present value on ``name``.
 
@@ -264,6 +297,7 @@ class DonorScanKernels:
             "vector_builds": self.vector_builds,
             "vector_cache_hits": self.vector_cache_hits,
             "invalidations": self.invalidations,
+            "subset_builds": self.subset_builds,
             "levenshtein_dp_calls": self.levenshtein_dp_calls,
             "levenshtein_dp_blocked": self.levenshtein_dp_blocked,
         }
@@ -330,6 +364,57 @@ class DonorScanKernels:
             else:
                 hits += 1
             out[rows] = distance
+        if hits:
+            self._memo_hits[name] = self._memo_hits.get(name, 0) + hits
+        return out
+
+    def _string_subset(
+        self,
+        codec: _StringCodec,
+        target_row: int,
+        name: str,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """Per-row string distances, sharing :meth:`_string_vector`'s
+        memo and clamp so each entry is the same float the full vector
+        would hold."""
+        out = np.full(rows.shape, np.nan)
+        target = codec.values[target_row]
+        if target is None:
+            return out
+        limit = self._string_limits.get(name)
+        memo = self._string_memo.setdefault(name, {})
+        target_length = len(target)
+        hits = 0
+        local: dict[str, float] = {}
+        for position, row in enumerate(rows):
+            value = codec.values[row]
+            if value is None:
+                continue
+            distance = local.get(value)
+            if distance is None:
+                key = (
+                    (target, value) if target <= value
+                    else (value, target)
+                )
+                distance = memo.get(key)
+                if distance is None:
+                    if limit is None:
+                        distance = float(levenshtein(target, value))
+                        self.levenshtein_dp_calls += 1
+                    elif abs(len(value) - target_length) > limit:
+                        distance = float(limit + 1)
+                        self.levenshtein_dp_blocked += 1
+                    else:
+                        distance = float(
+                            levenshtein_bounded(target, value, limit)
+                        )
+                        self.levenshtein_dp_calls += 1
+                    memo[key] = distance
+                else:
+                    hits += 1
+                local[value] = distance
+            out[position] = distance
         if hits:
             self._memo_hits[name] = self._memo_hits.get(name, 0) + hits
         return out

@@ -10,9 +10,33 @@ are provided:
 The bounded variant matters for performance: RFD thresholds are small
 (the paper's discovery limits are 3..15), so most of the O(len(a)·len(b))
 work of the exact DP is wasted on pairs that are "far anyway".
+
+:data:`BOUNDED_STATS` counts, process-wide, how often the bounded
+variant's *length filter* settled a call before any DP row was allocated
+— the cheapest exit there is, and the same inequality the blocking
+indexes of :mod:`repro.index` exploit.  Consumers that need per-run
+numbers (the kernel-call seam) snapshot the totals and report deltas.
 """
 
 from __future__ import annotations
+
+
+class _BoundedStats:
+    """Process-wide tallies of :func:`levenshtein_bounded` early exits."""
+
+    __slots__ = ("calls", "length_filtered")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.length_filtered = 0
+
+    def snapshot(self) -> tuple[int, int]:
+        """The current ``(calls, length_filtered)`` totals."""
+        return (self.calls, self.length_filtered)
+
+
+#: Process-wide counters (single snapshot point for all engines).
+BOUNDED_STATS = _BoundedStats()
 
 
 def levenshtein(a: str, b: str) -> int:
@@ -48,16 +72,25 @@ def levenshtein_bounded(a: str, b: str, limit: int) -> int:
     otherwise.  Uses the standard diagonal band of width ``2*limit + 1``:
     cells outside the band can only lie on paths costing more than
     ``limit``, so they are never inspected.
+
+    Every early exit runs *before* any DP row is allocated, in cheapest
+    order: the length filter (``|len(a) - len(b)| > limit`` forces at
+    least that many insertions, so the distance provably exceeds the
+    limit), then the equality check, then the empty-string shortcut.
+    Length-filter exits are tallied in :data:`BOUNDED_STATS`.
     """
     if limit < 0:
         raise ValueError("limit must be non-negative")
-    if a == b:
-        return 0
+    stats = BOUNDED_STATS
+    stats.calls += 1
     if len(a) < len(b):
         a, b = b, a
     len_a, len_b = len(a), len(b)
     if len_a - len_b > limit:
+        stats.length_filtered += 1
         return limit + 1
+    if a == b:
+        return 0
     if not len_b:
         return len_a if len_a <= limit else limit + 1
 

@@ -50,13 +50,39 @@ class ImputationSession:
         retry_unimputed: bool = True,
     ) -> None:
         self._relation = schema.copy(name=f"{schema.name}@session")
-        self._engine = Renuver(rfds, config)
+        self._index_plan = self._make_index_plan(
+            rfds, config or RenuverConfig()
+        )
+        self._engine = Renuver(rfds, config, index_plan=self._index_plan)
         self.retry_unimputed = retry_unimputed
         self._pending: set[tuple[int, str]] = set(
             self._relation.missing_cells()
         )
         self._failed: set[tuple[int, str]] = set()
         self.rounds = 0
+
+    def _make_index_plan(
+        self, rfds: Iterable[RFD], config: RenuverConfig
+    ):
+        """One blocking-index plan shared by every round of the session.
+
+        Each :meth:`impute_pending` builds a fresh engine, but the plan
+        rides the relation's mutation hook across rounds: appends and
+        imputations maintain the indexes incrementally instead of
+        rebuilding them per round (``docs/INDEXING.md``).  Only built
+        when blocking can engage at some size.
+        """
+        if config.engine != "vectorized" or config.blocking == "off":
+            return None
+        from repro.index.plan import IndexPlan
+
+        plan = IndexPlan(
+            self._relation,
+            rfds,
+            max_group_size=config.max_group_size,
+        )
+        plan.attach()
+        return plan
 
     # ------------------------------------------------------------------
     @property
@@ -139,8 +165,14 @@ class ImputationSession:
         maintained set is pushed back into the session so the next
         :meth:`impute_pending` round runs against it.
         """
+        rfds = list(rfds)
+        if self._index_plan is not None:
+            self._index_plan.update_rfds(rfds)
         self._engine = Renuver(
-            rfds, self._engine.config, telemetry=self._engine.telemetry
+            rfds,
+            self._engine.config,
+            telemetry=self._engine.telemetry,
+            index_plan=self._index_plan,
         )
 
 

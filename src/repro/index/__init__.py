@@ -1,0 +1,47 @@
+"""Blocking indexes for sub-linear donor retrieval.
+
+The donor-scan engines of :mod:`repro.core.donor_scan` compare the
+target tuple against *every* other tuple.  This package turns the
+engines' threshold comparisons (``distance(t[A], u[A]) <= tau``) into
+index probes that return a *superset* of the rows that can satisfy
+them — pruning only pairs the RFD thresholds already reject, so the
+exact distances recomputed on the surviving rows (and therefore the
+imputation outcomes) stay bit-identical to the unblocked scan.
+
+Three per-attribute index kinds implement the
+:class:`~repro.index.base.BlockingIndex` protocol:
+
+* :class:`~repro.index.numeric.NumericWindowIndex` — a sorted array of
+  the column's float codes; ``|x - v| <= tau`` becomes one bisect
+  window,
+* :class:`~repro.index.strings.QGramIndex` — length buckets plus a
+  q-gram inverted index; banded Levenshtein becomes a length filter
+  plus a multiset count filter over shared grams,
+* :class:`~repro.index.exact.ExactMatchIndex` — a hash bucket per
+  distinct value for attributes only ever probed at ``tau = 0``.
+
+:class:`~repro.index.plan.IndexPlan` composes them per RFD: probe every
+LHS attribute, intersect the results, and fall back to the engine's
+full scan whenever an attribute cannot serve (counted, never wrong) —
+including the ``max_group_size`` anchor cap on pathological hot values.
+Indexes are maintained incrementally through the relation's
+``set_value`` mutation hook, so service sessions and pipeline INCR runs
+reuse them across rounds.  See ``docs/INDEXING.md``.
+"""
+
+from repro.index.base import EMPTY_ROWS, BlockingIndex, IndexStats
+from repro.index.exact import ExactMatchIndex
+from repro.index.numeric import NumericWindowIndex
+from repro.index.plan import AUTO_BLOCKING_MIN_TUPLES, IndexPlan
+from repro.index.strings import QGramIndex
+
+__all__ = [
+    "AUTO_BLOCKING_MIN_TUPLES",
+    "BlockingIndex",
+    "EMPTY_ROWS",
+    "ExactMatchIndex",
+    "IndexPlan",
+    "IndexStats",
+    "NumericWindowIndex",
+    "QGramIndex",
+]

@@ -1,0 +1,76 @@
+"""The per-attribute blocking-index protocol.
+
+A blocking index answers one question: *which rows can possibly be
+within ``threshold`` of this value on this attribute?*  The contract
+every implementation must honour:
+
+* :meth:`BlockingIndex.probe` returns a sorted, duplicate-free
+  ``int64`` array that is a **superset** of the rows whose distance to
+  the probe value is ``<= threshold`` (rows missing on the attribute
+  are never required — their distance is undefined and every engine
+  mask excludes them).  Over-approximation is always safe: the engine
+  recomputes exact distances on whatever the probe returns.
+* ``probe`` may instead return ``None`` — "I cannot serve this probe"
+  — with :attr:`BlockingIndex.skip_reason` set (``"unsupported"``,
+  ``"hot_group"``, ``"probe_cost"``).  The caller falls back to the
+  full scan for that attribute: slower, never wrong.
+* :meth:`BlockingIndex.update` keeps the index consistent with a
+  relation mutation, including appends past the size the index was
+  built at (new rows materialize as missing first, exactly how
+  ``ImputationSession.append`` grows the relation).  After any update
+  sequence the index must answer probes exactly as a fresh build over
+  the final column would — the property the hypothesis round-trip
+  suite in ``tests/index/`` asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+#: The canonical empty probe result.
+EMPTY_ROWS: np.ndarray = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class IndexStats:
+    """Mutable probe/maintenance tallies of one index."""
+
+    probes: int = 0
+    served: int = 0
+    updates: int = 0
+    builds: int = 0
+    skips: dict[str, int] = field(default_factory=dict)
+
+    def skip(self, reason: str) -> None:
+        self.skips[reason] = self.skips.get(reason, 0) + 1
+
+
+@runtime_checkable
+class BlockingIndex(Protocol):
+    """Structural protocol the three index kinds implement."""
+
+    #: Short kind tag for spans and diagnostics.
+    kind: str
+    #: Why the last ``probe`` returned ``None`` (engine-internal use).
+    skip_reason: str
+    stats: IndexStats
+
+    def probe(self, value: Any, threshold: float) -> np.ndarray | None:
+        """Sorted unique candidate rows, or ``None`` to decline."""
+        ...
+
+    def update(self, row: int, value: Any) -> None:
+        """Apply one ``set_value`` mutation (row may be an append)."""
+        ...
+
+
+def sorted_rows(rows: list[int]) -> np.ndarray:
+    """A probe result array from a list of (unique) row indices."""
+    if not rows:
+        return EMPTY_ROWS
+    out = np.fromiter(rows, dtype=np.int64, count=len(rows))
+    out.sort()
+    return out

@@ -1,0 +1,78 @@
+"""Hash-bucket index for attributes only ever probed at ``tau = 0``.
+
+Levenshtein distance is zero exactly when the rendered strings are
+equal, so for attributes whose every LHS constraint is crisp the whole
+probe is one dict lookup.  Probes with a positive threshold decline
+(``skip_reason = "unsupported"``) — the plan picks a
+:class:`~repro.index.strings.QGramIndex` instead when it knows loose
+thresholds are coming.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.dataset.missing import MISSING
+from repro.index.base import EMPTY_ROWS, IndexStats, sorted_rows
+
+
+class ExactMatchIndex:
+    """Distinct-value hash index over one rendered-string column."""
+
+    kind = "exact"
+
+    def __init__(
+        self, column: list[Any], *, max_result: int | None = None
+    ) -> None:
+        self._max_result = max_result
+        self._values: list[str | None] = [
+            None if value is MISSING else str(value) for value in column
+        ]
+        self._rows_by_value: dict[str, set[int]] = {}
+        for row, value in enumerate(self._values):
+            if value is not None:
+                self._rows_by_value.setdefault(value, set()).add(row)
+        self.skip_reason = ""
+        self.stats = IndexStats()
+        self.stats.builds += 1
+
+    # ------------------------------------------------------------------
+    def update(self, row: int, value: Any) -> None:
+        self.stats.updates += 1
+        if row >= len(self._values):
+            self._values.extend([None] * (row + 1 - len(self._values)))
+        old = self._values[row]
+        if old is not None:
+            rows = self._rows_by_value[old]
+            rows.discard(row)
+            if not rows:
+                del self._rows_by_value[old]
+        new = None if value is MISSING else str(value)
+        self._values[row] = new
+        if new is not None:
+            self._rows_by_value.setdefault(new, set()).add(row)
+
+    # ------------------------------------------------------------------
+    def probe(self, value: Any, threshold: float) -> np.ndarray | None:
+        self.stats.probes += 1
+        if threshold >= 1.0:
+            # Edit distance is integral: tau in [0, 1) still means
+            # "equal", anything >= 1 admits unequal values.
+            self.skip_reason = "unsupported"
+            self.stats.skip("unsupported")
+            return None
+        if value is MISSING:
+            self.stats.served += 1
+            return EMPTY_ROWS
+        rows = self._rows_by_value.get(str(value))
+        if rows is None:
+            self.stats.served += 1
+            return EMPTY_ROWS
+        if self._max_result is not None and len(rows) > self._max_result:
+            self.skip_reason = "hot_group"
+            self.stats.skip("hot_group")
+            return None
+        self.stats.served += 1
+        return sorted_rows(list(rows))

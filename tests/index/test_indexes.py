@@ -1,0 +1,155 @@
+"""Unit probes for the three blocking-index kinds.
+
+Each index must return a *superset* of the rows whose distance to the
+probe value is within threshold (``docs/INDEXING.md``): a brute-force
+reference computes the true within-threshold set and the probe result
+must contain it.  Declines (``None``) are always legal; these tests pin
+down when they are *required* (hot groups, probe-cost caps, unsupported
+thresholds) and that results are sorted unique int64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.missing import MISSING
+from repro.distance.levenshtein import levenshtein
+from repro.index import (
+    EMPTY_ROWS,
+    ExactMatchIndex,
+    NumericWindowIndex,
+    QGramIndex,
+)
+
+
+def assert_probe_shape(rows: np.ndarray) -> None:
+    assert rows.dtype == np.int64
+    assert list(rows) == sorted(set(rows.tolist()))
+
+
+class TestNumericWindowIndex:
+    def test_superset_of_true_window(self):
+        column = [3.0, 1.5, MISSING, 2.25, -4.0, 3.0, 0.0]
+        index = NumericWindowIndex(column)
+        rows = index.probe(2.0, 1.0)
+        assert_probe_shape(rows)
+        expected = {
+            row
+            for row, value in enumerate(column)
+            if value is not MISSING and abs(value - 2.0) <= 1.0
+        }
+        assert expected <= set(rows.tolist())
+
+    def test_missing_probe_value_is_empty(self):
+        index = NumericWindowIndex([1.0, 2.0])
+        assert index.probe(MISSING, 5.0) is EMPTY_ROWS
+
+    def test_missing_rows_never_match(self):
+        index = NumericWindowIndex([MISSING, 1.0, MISSING])
+        rows = index.probe(1.0, 100.0)
+        assert rows.tolist() == [1]
+
+    def test_exact_zero_threshold(self):
+        index = NumericWindowIndex([5.0, 5.0, 6.0])
+        assert index.probe(5.0, 0.0).tolist() == [0, 1]
+
+    def test_large_magnitudes_stay_supersets(self):
+        # The window edges are widened by ULPs of the operand scale, so
+        # catastrophic cancellation at |target| ~ threshold cannot lose
+        # a row the engine's |x - v| <= tau test would accept.
+        big = 1e16
+        column = [big, big + 2.0, big - 2.0]
+        index = NumericWindowIndex(column)
+        rows = index.probe(big, 2.0)
+        assert set(rows.tolist()) == {0, 1, 2}
+
+    def test_hot_group_declines(self):
+        index = NumericWindowIndex([1.0] * 10, max_result=4)
+        assert index.probe(1.0, 0.0) is None
+        assert index.skip_reason == "hot_group"
+        assert index.stats.skips["hot_group"] == 1
+
+    def test_boolean_convert(self):
+        index = NumericWindowIndex(
+            [True, False, True], convert=lambda v: float(bool(v))
+        )
+        assert index.probe(True, 0.0).tolist() == [0, 2]
+
+
+class TestExactMatchIndex:
+    def test_equal_rows_only(self):
+        column = ["ROME", "PARIS", MISSING, "ROME"]
+        index = ExactMatchIndex(column)
+        rows = index.probe("ROME", 0.0)
+        assert_probe_shape(rows)
+        assert rows.tolist() == [0, 3]
+
+    def test_unknown_value_is_empty(self):
+        index = ExactMatchIndex(["A"])
+        assert index.probe("B", 0.0) is EMPTY_ROWS
+
+    def test_sub_one_threshold_still_means_equal(self):
+        # Edit distance is integral: tau in [0, 1) admits only equality.
+        index = ExactMatchIndex(["A", "B"])
+        assert index.probe("A", 0.9).tolist() == [0]
+
+    def test_loose_threshold_unsupported(self):
+        index = ExactMatchIndex(["A", "B"])
+        assert index.probe("A", 1.0) is None
+        assert index.skip_reason == "unsupported"
+
+    def test_hot_group_declines(self):
+        index = ExactMatchIndex(["X"] * 5, max_result=3)
+        assert index.probe("X", 0.0) is None
+        assert index.skip_reason == "hot_group"
+
+
+class TestQGramIndex:
+    VALUES = [
+        "MAPLE STREET", "MAPLE STREE", "OAK AVENUE", MISSING,
+        "MAPLE STREET", "", "OAK AVE", "ELM", "日本語テキスト",
+    ]
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, 2.0, 5.0])
+    @pytest.mark.parametrize(
+        "target", ["MAPLE STREET", "OAK AVE", "", "E", "日本語テスト"]
+    )
+    def test_superset_of_true_matches(self, target, threshold):
+        index = QGramIndex(self.VALUES)
+        rows = index.probe(target, threshold)
+        assert rows is not None
+        assert_probe_shape(rows)
+        expected = {
+            row
+            for row, value in enumerate(self.VALUES)
+            if value is not MISSING
+            and levenshtein(str(value), target) <= threshold
+        }
+        assert expected <= set(rows.tolist())
+
+    def test_missing_probe_value_is_empty(self):
+        index = QGramIndex(self.VALUES)
+        assert index.probe(MISSING, 2.0) is EMPTY_ROWS
+
+    def test_length_filter_prunes(self):
+        index = QGramIndex(["AB", "ABCDEFGH"])
+        rows = index.probe("AB", 1.0)
+        assert rows.tolist() == [0]
+
+    def test_hot_group_declines(self):
+        index = QGramIndex(["SAME VALUE"] * 6, max_result=4)
+        assert index.probe("SAME VALUE", 1.0) is None
+        assert index.skip_reason == "hot_group"
+
+    def test_probe_cost_declines(self):
+        values = [f"PREFIX {i:04d}" for i in range(50)]
+        index = QGramIndex(values, max_probe_cost=10)
+        assert index.probe("PREFIX 0000", 2.0) is None
+        assert index.skip_reason == "probe_cost"
+        assert index.stats.skips["probe_cost"] == 1
+
+    def test_non_string_values_render(self):
+        index = QGramIndex([1234, 1235, 99])
+        rows = index.probe(1234, 1.0)
+        assert 0 in rows.tolist() and 1 in rows.tolist()

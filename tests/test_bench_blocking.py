@@ -1,0 +1,75 @@
+"""Tier-1 smoke test for the blocking benchmark.
+
+Runs ``benchmarks/bench_blocking.py``'s ``run_bench`` with a tiny
+loader (300 synthetic Physician tuples, the bench's own RFD set, one
+repeat) so the bench's code path — per-mode timing, equivalence check,
+JSON artifact, index counters — is exercised on every test run without
+the cost of the 100k phase.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.physician import generate_physician
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def bench_module(monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCHMARKS_DIR))
+    sys.modules.pop("bench_blocking", None)
+    import bench_blocking
+
+    yield bench_blocking
+    sys.modules.pop("bench_blocking", None)
+
+
+def test_run_bench_smoke(bench_module, tmp_path):
+    def tiny_loader(factor):
+        assert factor == 1
+        return generate_physician(300, seed=0), bench_module.bench_rfds()
+
+    result_path = tmp_path / "BENCH_blocking.json"
+    summary = bench_module.run_bench(
+        (1,), result_path=result_path, repeats=1, loader=tiny_loader
+    )
+
+    assert result_path.exists()
+    assert json.loads(result_path.read_text(encoding="utf-8")) == summary
+
+    (entry,) = summary["phases"].values()
+    assert entry["n_tuples"] == 300
+    assert entry["n_rfds"] == len(bench_module.RFD_TEXTS)
+    assert entry["missing_cells"] > 0
+    assert entry["identical_outcomes"] is True
+    assert entry["unblocked_seconds"] > 0
+    assert entry["blocked_seconds"] > 0
+    assert entry["speedup"] == pytest.approx(
+        entry["unblocked_seconds"] / entry["blocked_seconds"]
+    )
+    assert entry["index_counters"]["index_served_probes"] > 0
+    assert entry["index_counters"]["index_builds"] > 0
+    assert summary["repeats"] == 1
+
+
+def test_committed_artifact_is_current(bench_module):
+    """The committed BENCH_blocking.json matches the bench's shape and
+    records the full-scale headline numbers."""
+    committed = json.loads(
+        bench_module.DEFAULT_RESULT_PATH.read_text(encoding="utf-8")
+    )
+    assert committed["bench"] == "blocking"
+    assert committed["scale"] == "full"
+    phases = sorted(
+        committed["phases"].values(), key=lambda entry: entry["n_tuples"]
+    )
+    assert phases[-1]["n_tuples"] >= 100_000
+    assert phases[-1]["speedup"] >= 5.0
+    for entry in phases:
+        assert entry["identical_outcomes"] is True

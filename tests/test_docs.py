@@ -23,7 +23,7 @@ class TestDocumentsExist:
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/ALGORITHMS.md", "docs/ROBUSTNESS.md",
          "docs/OBSERVABILITY.md", "docs/SERVICE.md",
-         "docs/PIPELINE.md"],
+         "docs/PIPELINE.md", "docs/INDEXING.md"],
     )
     def test_present_and_nonempty(self, name):
         path = ROOT / name
@@ -232,6 +232,57 @@ class TestPipelineDoc:
             encoding="utf-8"
         )
         assert "(PipelineError, 9)" in cli
+
+
+class TestIndexingDoc:
+    @pytest.fixture(scope="class")
+    def text(self) -> str:
+        return (ROOT / "docs" / "INDEXING.md").read_text(
+            encoding="utf-8"
+        )
+
+    def test_cross_linked_from_the_other_docs(self):
+        for name in ["README.md", "docs/ALGORITHMS.md",
+                     "docs/SERVICE.md"]:
+            text = (ROOT / name).read_text(encoding="utf-8")
+            assert "INDEXING.md" in text, (
+                f"{name} does not link docs/INDEXING.md"
+            )
+
+    def test_documented_metrics_exist_in_the_code(self, text):
+        src = ROOT / "src" / "repro"
+        code = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in src.rglob("*.py")
+        )
+        for metric in re.findall(r"`(renuver_[a-z_]+[a-z])`", text):
+            assert metric in code, (
+                f"INDEXING.md documents unknown metric {metric}"
+            )
+
+    def test_documented_cli_flags_exist(self, text):
+        cli = (ROOT / "src" / "repro" / "cli.py").read_text(
+            encoding="utf-8"
+        )
+        for flag in ["--blocking", "--max-group-size"]:
+            assert flag in text, flag
+            assert f'"{flag}"' in cli, f"cli.py misses {flag}"
+
+    def test_documented_fallback_reasons_are_real(self, text):
+        src = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in (ROOT / "src" / "repro" / "index").glob("*.py")
+        )
+        for reason in ["unindexed", "unsupported", "hot_group",
+                       "probe_cost", "full_scan"]:
+            assert reason in text, reason
+            assert f'"{reason}"' in src, (
+                f"repro.index misses fallback reason {reason}"
+            )
+
+    def test_bench_artifact_exists(self, text):
+        assert "BENCH_blocking.json" in text
+        assert (ROOT / "BENCH_blocking.json").exists()
 
 
 class TestReadmeReferences:
